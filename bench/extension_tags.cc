@@ -1,0 +1,44 @@
+// Extension bench: what if job sizes are UNKNOWN? The paper's related-work
+// section points to TAGS (Task Assignment by Guessing Size) as the
+// segregation policy for that regime. Compare, on the same workload:
+// class-aware policies (Dedicated, CS-CQ) vs class-blind ones (central
+// FCFS, TAGS with a cutoff sweep).
+#include <iostream>
+
+#include "core/config.h"
+#include "core/table.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace csq;
+  std::cout << "=== Unknown sizes: TAGS cutoff sweep vs class-aware policies ===\n"
+            << "workload: shorts exp(1) rho_S=0.7, longs C^2=8 mean 10 rho_L=0.5\n\n";
+
+  const SystemConfig cfg = SystemConfig::paper_setup(0.7, 0.5, 1.0, 10.0, 8.0);
+  sim::SimOptions opts;
+  opts.total_completions = 1200000;
+
+  Table t({"policy", "E[T_S]", "E[T_L]", "overall E[T]"});
+  const double ps = cfg.lambda_short / (cfg.lambda_short + cfg.lambda_long);
+  const auto add = [&](const std::string& name, const sim::SimResult& r) {
+    t.add_row({name, format_cell(r.shorts.mean_response), format_cell(r.longs.mean_response),
+               format_cell(ps * r.shorts.mean_response +
+                           (1 - ps) * r.longs.mean_response)});
+  };
+  add("Dedicated (knows classes)", sim::simulate(sim::PolicyKind::kDedicated, cfg, opts));
+  add("CS-CQ (knows classes)", sim::simulate(sim::PolicyKind::kCsCq, cfg, opts));
+  add("M/G/2-FCFS (blind, central queue)", sim::simulate(sim::PolicyKind::kMg2Fcfs, cfg, opts));
+  add("Round-Robin (blind, distributed)", sim::simulate(sim::PolicyKind::kRoundRobin, cfg, opts));
+  for (const double cutoff : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    sim::SimOptions o = opts;
+    o.tags_cutoff = cutoff;
+    add("TAGS cutoff=" + format_cell(cutoff, 0), sim::simulate(sim::PolicyKind::kTags, cfg, o));
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: among distributed (no-central-queue) blind policies, a\n"
+               "well-chosen TAGS cutoff protects shorts far better than Round-Robin;\n"
+               "with only two hosts a central M/G/2 queue is strong, and cycle\n"
+               "stealing still wins when classes are known. TAGS pays the killed\n"
+               "work twice, so it is cutoff-sensitive at these loads.\n";
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 3: stability constraint on rho_S as a function of rho_L for
+// Dedicated, CS-ID (immediate dispatch) and CS-CQ (central queue).
+//
+// Paper checkpoints: at rho_L -> 0 the CS-ID frontier approaches the golden
+// ratio (~1.618, "about 1.6" in the paper) and CS-CQ approaches 2; Dedicated
+// is flat at 1.
+#include <cmath>
+#include <iostream>
+
+#include "analysis/stability.h"
+#include "core/table.h"
+
+int main() {
+  using namespace csq;
+  std::cout << "=== Figure 3: stability frontier rho_S*(rho_L) ===\n\n";
+  Table table({"rho_L", "Dedicated", "CS-ID", "CS-CQ"});
+  for (double rho_l = 0.0; rho_l < 0.999; rho_l += 0.05) {
+    table.add_row({rho_l, analysis::dedicated_max_rho_short(rho_l),
+                   analysis::csid_max_rho_short(rho_l),
+                   analysis::cscq_max_rho_short(rho_l)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCheckpoints vs paper:\n";
+  std::cout << "  CS-ID frontier at rho_L=0: " << analysis::csid_max_rho_short(0.0)
+            << "  (paper: ~1.6, golden ratio " << (1.0 + std::sqrt(5.0)) / 2.0 << ")\n";
+  std::cout << "  CS-CQ frontier at rho_L=0: " << analysis::cscq_max_rho_short(0.0)
+            << "  (paper: close to 2)\n";
+  std::cout << "  CS-ID frontier at rho_L=0.5: " << analysis::csid_max_rho_short(0.5)
+            << "  (Figure 4's operating point)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Figure 4: mean response time vs rho_S at rho_L = 0.5, exponential short
+// and long sizes; three size-ratio panels; top row = short jobs (benefit),
+// bottom row = long jobs (penalty).
+//
+// Paper checkpoints for panel (a):
+//   shorts at rho_S -> 1:    Dedicated -> inf, CS-ID ~ 4, CS-CQ ~ 3;
+//   shorts at rho_S -> 1.28: CS-ID -> inf (its frontier), CS-CQ ~ 7;
+//   longs: Dedicated flat at 2; CS-CQ penalty <= ~10%, CS-ID <= ~25%.
+// Panel (b) longs: flat at 20; penalties ~1% (CS-CQ) / ~2.5% (CS-ID).
+#include <iostream>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace csq;
+  const double rho_l = 0.5;
+  const double scv_long = 1.0;  // exponential
+  std::cout << "=== Figure 4: exponential shorts and longs, rho_L = " << rho_l << " ===\n\n";
+
+  const std::vector<double> grid = linspace(0.05, 1.45, 29);
+  for (const auto& p : bench::panels()) {
+    const auto rows = sweep_rho_short(rho_l, p.mean_short, p.mean_long, scv_long, grid);
+    bench::print_sweep(std::string("-- E[T] short jobs, ") + p.label, "rho_S", rows, true);
+    bench::print_sweep(std::string("-- E[T] long jobs,  ") + p.label, "rho_S", rows, false);
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 6: mean response time vs rho_L at fixed rho_S = 1.5 (longs Coxian
+// with C^2 = 8). Dedicated is unstable for shorts over the whole range
+// (rho_S > 1), so the short-job row shows CS-ID and CS-CQ only.
+//
+// Paper checkpoints: CS-ID's short curve diverges at its frontier
+// rho_L = 1/6 (solution of rho_S^2 + rho_S rho_L = 1 + rho_S at rho_S=1.5);
+// CS-CQ diverges at rho_L = 0.5 (= 2 - rho_S). For longs, cycle stealing is
+// essentially invisible except in panel (c) (shorts 10x longs), where the
+// penalty appears at low rho_L and vanishes as rho_L -> 1 (no cycles left
+// to steal).
+#include <iostream>
+
+#include "fig_common.h"
+
+int main() {
+  using namespace csq;
+  const double rho_s = 1.5;
+  const double scv_long = 8.0;
+  std::cout << "=== Figure 6: response vs rho_L at rho_S = " << rho_s
+            << " (longs C^2 = 8) ===\n\n";
+
+  // Shorts: only meaningful below the CS-CQ frontier rho_L = 0.5.
+  const std::vector<double> grid_s = linspace(0.01, 0.49, 25);
+  // Longs: stable for all rho_L < 1 under every policy.
+  const std::vector<double> grid_l = linspace(0.02, 0.96, 25);
+  for (const auto& p : bench::panels()) {
+    const auto rows_s = sweep_rho_long(rho_s, p.mean_short, p.mean_long, scv_long, grid_s);
+    bench::print_sweep(std::string("-- E[T] short jobs, ") + p.label, "rho_L", rows_s, true);
+    const auto rows_l = sweep_rho_long(rho_s, p.mean_short, p.mean_long, scv_long, grid_l);
+    bench::print_sweep(std::string("-- E[T] long jobs,  ") + p.label, "rho_L", rows_l, false);
+  }
+  return 0;
+}

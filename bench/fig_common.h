@@ -1,0 +1,44 @@
+// Shared scaffolding for the figure-regeneration benches: the paper's three
+// size-ratio panels and the sweep printer.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+#include "core/table.h"
+
+namespace csq::bench {
+
+struct Panel {
+  const char* label;
+  double mean_short;
+  double mean_long;
+};
+
+// Panels (a)-(c) of Figures 4-6: shorts/longs mean sizes 1/1, 1/10, 10/1.
+inline const std::vector<Panel>& panels() {
+  static const std::vector<Panel> kPanels = {
+      {"(a) shorts 1, longs 1", 1.0, 1.0},
+      {"(b) shorts 1, longs 10", 1.0, 10.0},
+      {"(c) shorts 10, longs 1", 10.0, 1.0},
+  };
+  return kPanels;
+}
+
+inline void print_sweep(const std::string& title, const char* xname,
+                        const std::vector<SweepRow>& rows, bool shorts) {
+  std::cout << title << "\n";
+  Table table({xname, "Dedicated", "CS-ID", "CS-CQ"});
+  for (const SweepRow& r : rows) {
+    if (shorts)
+      table.add_row({r.x, r.dedicated_short, r.csid_short, r.cscq_short});
+    else
+      table.add_row({r.x, r.dedicated_long, r.csid_long, r.cscq_long});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace csq::bench

@@ -1,0 +1,67 @@
+// Runtime reproduction of the paper's Section 4 remark: "the simulation
+// portion required close to an hour to generate [per results graph], whereas
+// the analysis portion required less than a second" (Matlab 6 on a Pentium
+// III). One figure panel is ~30 sweep points; compare per-point costs.
+#include <benchmark/benchmark.h>
+
+#include "analysis/cscq.h"
+#include "analysis/stability.h"
+#include "analysis/csid.h"
+#include "analysis/truncated_cscq.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace csq;
+
+const SystemConfig& config() {
+  static const SystemConfig cfg = SystemConfig::paper_setup(1.2, 0.5, 1.0, 1.0, 8.0);
+  return cfg;
+}
+
+void BM_AnalyzeCscq(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_cscq(config()));
+}
+BENCHMARK(BM_AnalyzeCscq);
+
+void BM_AnalyzeCsid(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_csid(config()));
+}
+BENCHMARK(BM_AnalyzeCsid);
+
+void BM_SweepPanel30Points(benchmark::State& state) {
+  // One figure panel: 30 sweep points, all three policies.
+  for (auto _ : state) {
+    for (int i = 1; i <= 30; ++i) {
+      const double rho_s = 1.45 * i / 30.0;
+      const SystemConfig cfg = SystemConfig::paper_setup(rho_s, 0.5, 1.0, 1.0, 8.0);
+      if (analysis::cscq_stable(rho_s, 0.5))
+        benchmark::DoNotOptimize(analysis::analyze_cscq(cfg));
+      if (analysis::csid_stable(rho_s, 0.5))
+        benchmark::DoNotOptimize(analysis::analyze_csid(cfg));
+    }
+  }
+}
+BENCHMARK(BM_SweepPanel30Points)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateOnePoint(benchmark::State& state) {
+  // Simulation cost for ONE point at the accuracy used in validation
+  // (the paper's per-graph hour / 30 points ~ 2 min per point on 2003 HW).
+  sim::SimOptions opts;
+  opts.total_completions = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sim::simulate(sim::PolicyKind::kCsCq, config(), opts));
+}
+BENCHMARK(BM_SimulateOnePoint)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_TruncatedChain(benchmark::State& state) {
+  analysis::TruncatedCscqOptions topts;
+  topts.max_shorts = static_cast<int>(state.range(0));
+  topts.max_longs = static_cast<int>(state.range(0));
+  const SystemConfig cfg = SystemConfig::paper_setup(1.2, 0.5, 1.0, 1.0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(analysis::analyze_cscq_truncated(cfg, topts));
+}
+BENCHMARK(BM_TruncatedChain)->Arg(60)->Arg(120)->Unit(benchmark::kMillisecond);
+
+}  // namespace

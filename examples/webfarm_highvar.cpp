@@ -1,0 +1,50 @@
+// A two-node web/application farm with heavy-tailed request sizes: static
+// requests (shorts) vs report/export requests (longs). The analysis assumes
+// exponential shorts; this example uses the simulator to check that the
+// policy ranking survives heavy-tailed (bounded Pareto) short sizes, the
+// canonical web workload model.
+#include <iostream>
+#include <memory>
+
+#include "csq.h"
+
+int main() {
+  using namespace csq;
+
+  const double rho_s = 1.1, rho_l = 0.45;
+
+  std::cout << "=== Web farm: analysis (exponential shorts) ===\n";
+  const SystemConfig analytic =
+      SystemConfig::paper_setup(rho_s, rho_l, 1.0, 20.0, 8.0);
+  Table t1({"policy", "E[T_S]", "E[T_L]"});
+  for (const Policy p : {Policy::kCsId, Policy::kCsCq}) {
+    const PolicyMetrics m = analyze(p, analytic);
+    t1.add_row({policy_label(p), format_cell(m.shorts.mean_response),
+                format_cell(m.longs.mean_response)});
+  }
+  t1.print(std::cout);
+
+  std::cout << "\n=== Same loads, bounded-Pareto shorts (alpha=1.5), simulation ===\n";
+  SystemConfig heavy = analytic;
+  const auto bp = std::make_shared<dist::BoundedPareto>(
+      dist::BoundedPareto::with_mean(1.0, 1000.0, 1.5));
+  heavy.short_size = bp;
+  heavy.lambda_short = rho_s / bp->mean();
+
+  sim::SimOptions opts;
+  opts.total_completions = 1500000;
+  Table t2({"policy", "sim E[T_S]", "+-", "sim E[T_L]", "+-"});
+  for (const auto kind :
+       {sim::PolicyKind::kCsId, sim::PolicyKind::kCsCq, sim::PolicyKind::kMg2Sjf}) {
+    const sim::SimResult r = sim::simulate(kind, heavy, opts);
+    t2.add_row({sim::policy_name(kind), format_cell(r.shorts.mean_response),
+                format_cell(r.shorts.ci95), format_cell(r.longs.mean_response),
+                format_cell(r.longs.ci95)});
+  }
+  t2.print(std::cout);
+
+  std::cout << "\nReading: CS-CQ's advantage over CS-ID for shorts is preserved (and\n"
+               "typically amplified) under heavy-tailed short sizes — queued shorts,\n"
+               "not just lucky arrivals, get to use donated cycles.\n";
+  return 0;
+}

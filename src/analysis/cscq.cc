@@ -1,0 +1,171 @@
+#include "analysis/cscq.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/stability.h"
+#include "mg1/mg1.h"
+#include "transforms/busy_period.h"
+
+namespace csq::analysis {
+
+namespace {
+
+const dist::PhaseType& require_exponential_shorts(const SystemConfig& config) {
+  const auto* ph = dynamic_cast<const dist::PhaseType*>(config.short_size.get());
+  if (ph == nullptr || !ph->is_exponential())
+    throw std::invalid_argument(
+        "analyze_cscq: the analytic chain requires exponential short sizes "
+        "(use the simulator for general shorts)");
+  return *ph;
+}
+
+}  // namespace
+
+CscqResult analyze_cscq(const SystemConfig& config, const CscqOptions& opts) {
+  config.validate();
+  const double mu_s = require_exponential_shorts(config).rate();
+  const double ls = config.lambda_short;
+  const double ll = config.lambda_long;
+  const dist::Moments xl = config.long_size->moments();
+  const double rho_l = ll * xl.m1;
+  const double rho_s = ls / mu_s;
+  if (rho_l >= 1.0 || !cscq_stable(rho_s, rho_l))
+    throw std::domain_error("analyze_cscq: outside CS-CQ stability region");
+
+  CscqResult res;
+
+  // --- busy-period transitions -------------------------------------------
+  res.busy_single = transforms::mg1_busy_period(xl, ll);
+  res.busy_batch = transforms::batch_busy_period(xl, ll, 2.0 * mu_s);
+  const dist::PhaseType bl =
+      dist::fit_ph(res.busy_single, opts.busy_period_moments, &res.fit_single);
+  const dist::PhaseType bn =
+      dist::fit_ph(res.busy_batch, opts.busy_period_moments, &res.fit_batch);
+
+  const std::size_t kl = bl.num_phases();
+  const std::size_t kp = bn.num_phases();
+  const std::size_t m = 2 + kl + kp;      // repeating phases: A, W, L*, P*
+  const std::size_t b = 1 + kl + kp;      // boundary phases:  A, L*, P*
+
+  // Phase indices.
+  const auto rep_a = std::size_t{0};
+  const auto rep_w = std::size_t{1};
+  const auto rep_l = [&](std::size_t i) { return 2 + i; };
+  const auto rep_p = [&](std::size_t j) { return 2 + kl + j; };
+  const auto bnd_a = std::size_t{0};
+  const auto bnd_l = [&](std::size_t i) { return 1 + i; };
+  const auto bnd_p = [&](std::size_t j) { return 1 + kl + j; };
+
+  // Copy a PH subgenerator into a block of `dst`, sending exits to `to_a`.
+  const auto add_ph_block = [](qbd::Matrix& dst, const dist::PhaseType& ph,
+                               auto phase_index, std::size_t to_a) {
+    const auto& t = ph.subgenerator();
+    for (std::size_t i = 0; i < ph.num_phases(); ++i) {
+      for (std::size_t j = 0; j < ph.num_phases(); ++j)
+        if (i != j) dst(phase_index(i), phase_index(j)) += t(i, j);
+      dst(phase_index(i), to_a) += ph.exit_rates()[i];
+    }
+  };
+
+  // --- repeating blocks (levels >= 2) --------------------------------------
+  qbd::Model model;
+  model.a0 = qbd::Matrix(m, m);
+  for (std::size_t i = 0; i < m; ++i) model.a0(i, i) = ls;  // short arrivals
+
+  model.a1 = qbd::Matrix(m, m);
+  model.a1(rep_a, rep_w) = ll;  // long arrives, both hosts on shorts -> waits
+  add_ph_block(model.a1, bl, rep_l, rep_a);
+  add_ph_block(model.a1, bn, rep_p, rep_a);
+
+  model.a2 = qbd::Matrix(m, m);
+  model.a2(rep_a, rep_a) = 2.0 * mu_s;  // two servers on shorts
+  // W: first of two shorts completes; the freed host starts the B_{N+1}
+  // busy period (enter the fitted PH by its initial vector).
+  for (std::size_t j = 0; j < kp; ++j) model.a2(rep_w, rep_p(j)) = 2.0 * mu_s * bn.alpha()[j];
+  for (std::size_t i = 0; i < kl; ++i) model.a2(rep_l(i), rep_l(i)) = mu_s;
+  for (std::size_t j = 0; j < kp; ++j) model.a2(rep_p(j), rep_p(j)) = mu_s;
+
+  // Level 2 -> level 1 (boundary phase set).
+  model.first_down = qbd::Matrix(m, b);
+  model.first_down(rep_a, bnd_a) = 2.0 * mu_s;
+  for (std::size_t j = 0; j < kp; ++j)
+    model.first_down(rep_w, bnd_p(j)) = 2.0 * mu_s * bn.alpha()[j];
+  for (std::size_t i = 0; i < kl; ++i) model.first_down(rep_l(i), bnd_l(i)) = mu_s;
+  for (std::size_t j = 0; j < kp; ++j) model.first_down(rep_p(j), bnd_p(j)) = mu_s;
+
+  // --- boundary levels 0 and 1 ---------------------------------------------
+  model.boundary.resize(2);
+  {
+    // Level 0: no shorts in service. A long arriving to an empty-of-longs
+    // system finds a free host: B_L starts (region 1 -> region 3).
+    qbd::BoundaryLevel& lvl = model.boundary[0];
+    lvl.local = qbd::Matrix(b, b);
+    for (std::size_t i = 0; i < kl; ++i) lvl.local(bnd_a, bnd_l(i)) = ll * bl.alpha()[i];
+    add_ph_block(lvl.local, bl, bnd_l, bnd_a);
+    add_ph_block(lvl.local, bn, bnd_p, bnd_a);
+    lvl.up = qbd::Matrix(b, b);
+    for (std::size_t i = 0; i < b; ++i) lvl.up(i, i) = ls;
+  }
+  {
+    // Level 1: one short in service (one server); the other host is free for
+    // longs, so a long arrival still starts B_L.
+    qbd::BoundaryLevel& lvl = model.boundary[1];
+    lvl.local = qbd::Matrix(b, b);
+    for (std::size_t i = 0; i < kl; ++i) lvl.local(bnd_a, bnd_l(i)) = ll * bl.alpha()[i];
+    add_ph_block(lvl.local, bl, bnd_l, bnd_a);
+    add_ph_block(lvl.local, bn, bnd_p, bnd_a);
+    lvl.up = qbd::Matrix(b, m);
+    lvl.up(bnd_a, rep_a) = ls;
+    for (std::size_t i = 0; i < kl; ++i) lvl.up(bnd_l(i), rep_l(i)) = ls;
+    for (std::size_t j = 0; j < kp; ++j) lvl.up(bnd_p(j), rep_p(j)) = ls;
+    lvl.down = qbd::Matrix(b, b);
+    for (std::size_t i = 0; i < b; ++i) lvl.down(i, i) = mu_s;
+  }
+
+  const qbd::Solution sol = qbd::solve(model, opts.qbd);
+  res.qbd_mass_error = std::abs(sol.total_mass() - 1.0);
+  res.short_count_decay = sol.tail_decay_rate();
+  res.short_count_p99 = sol.level_quantile(0.99);
+
+  // --- short jobs: Little's law on the exact short-job count ---------------
+  const double mean_shorts = sol.mean_level();
+  const dist::Moments xs = config.short_size->moments();
+  ClassMetrics shorts;
+  if (ls > 0.0) {
+    shorts = class_metrics_from_response(mean_shorts / ls, ls, xs.m1);
+  } else {
+    // A lone short always finds a free host.
+    shorts = class_metrics_from_response(xs.m1, 0.0, xs.m1);
+  }
+  res.metrics.shorts = shorts;
+
+  // --- long jobs: M/G/1 with setup chi --------------------------------------
+  // First long of a long-busy-cycle arrives to zero longs (phase A). Region 1
+  // = levels 0..1 (a host is free), region 2 = levels >= 2 (both on shorts).
+  res.p_region1 = sol.boundary_pi[0][bnd_a] + sol.boundary_pi[1][bnd_a];
+  res.p_region2 = sol.repeating_mass_by_phase()[rep_a];
+  const double pa = res.p_region1 + res.p_region2;
+  const double w2 = pa > 0.0 ? res.p_region2 / pa : 0.0;
+  // chi = Exp(2 mu_S) w.p. w2, else 0.
+  const double delta = 2.0 * mu_s;
+  const dist::Moments setup{w2 / delta, 2.0 * w2 / (delta * delta),
+                            6.0 * w2 / (delta * delta * delta)};
+  res.metrics.longs = class_metrics_from_response(mg1::setup_response(ll, xl, setup), ll, xl.m1);
+  return res;
+}
+
+double cscq_long_response_saturated(const SystemConfig& config) {
+  config.validate();
+  const double mu_s = require_exponential_shorts(config).rate();
+  const double ll = config.lambda_long;
+  const dist::Moments xl = config.long_size->moments();
+  if (ll * xl.m1 >= 1.0)
+    throw std::domain_error("cscq_long_response_saturated: rho_L >= 1");
+  if (ll == 0.0) return xl.m1;
+  const double delta = 2.0 * mu_s;
+  const dist::Moments setup{1.0 / delta, 2.0 / (delta * delta), 6.0 / (delta * delta * delta)};
+  return mg1::setup_response(ll, xl, setup);
+}
+
+}  // namespace csq::analysis

@@ -1,0 +1,73 @@
+// Cycle Stealing with Central Queue (CS-CQ) — the paper's contribution.
+//
+// The number of short jobs is tracked exactly as the level of a QBD; the
+// long-job dimension is collapsed into "busy period transitions": phase-type
+// (default 2-stage Coxian) sojourns matched to the first three moments of
+//
+//   B_L      — M/G/1 busy period of longs started by one long (a long
+//              arrived while a host was free for longs), and
+//   B_{N+1}  — busy period started by the N+1 longs present when one of two
+//              in-service shorts completes, N ~ #arrivals in Exp(2 mu_S)
+//              (a long arrived while both hosts were serving shorts).
+//
+// Repeating-level phases:
+//   A  — zero longs; shorts served by min(n,2) servers;
+//   W  — both servers on shorts, >=1 long waiting (paper's region 5);
+//   L* — B_L phases (regions 3);  P* — B_{N+1} phases (region 4).
+//
+// Short-job response time comes from the QBD mean level and Little's law;
+// long-job response time from an M/G/1 queue with setup time chi, where chi
+// is 0 if the first long of a long-busy-cycle finds <= 1 short in service
+// (paper's region 1) and Exp(2 mu_S) if it finds both hosts serving shorts
+// (region 2), with probabilities read off the solved chain via PASTA.
+//
+// Restrictions (same as the paper's numerical sections): Poisson arrivals,
+// exponential short sizes inside the chain (the simulator takes general
+// shorts), general long sizes represented by their first three moments.
+#pragma once
+
+#include "core/config.h"
+#include "dist/moment_match.h"
+#include "qbd/qbd.h"
+
+namespace csq::analysis {
+
+struct CscqOptions {
+  // How many busy-period moments the phase-type transitions match (1..3).
+  // 3 is the paper's choice; 1 and 2 exist for the ablation bench.
+  int busy_period_moments = 3;
+  qbd::Options qbd;
+};
+
+struct CscqResult {
+  PolicyMetrics metrics;
+
+  // Diagnostics.
+  double p_region1 = 0.0;  // P(zero longs, <= 1 short in service)
+  double p_region2 = 0.0;  // P(zero longs, both servers on shorts)
+  dist::Moments busy_single;  // B_L moments
+  dist::Moments busy_batch;   // B_{N+1} moments
+  dist::FitReport fit_single;
+  dist::FitReport fit_batch;
+  double qbd_mass_error = 0.0;  // |total stationary mass - 1|
+
+  // Short-job queue-length distribution (the chain tracks it exactly):
+  // P(N_S = n) ~ c * decay^n asymptotically, and the 99th percentile of the
+  // short-job count — the backlog a provisioner must absorb.
+  double short_count_decay = 0.0;
+  std::size_t short_count_p99 = 0;
+};
+
+// Throws std::domain_error outside the stability region
+// (rho_L < 1 and rho_S < 2 - rho_L) and std::invalid_argument when the short
+// size distribution is not exponential.
+[[nodiscard]] CscqResult analyze_cscq(const SystemConfig& config, const CscqOptions& opts = {});
+
+// Long-job mean response when the SHORT class is overloaded
+// (rho_S >= 2 - rho_L) but rho_L < 1 — Figure 6 plots long curves across
+// this regime. With the short queue saturated, the first long of every
+// long-busy-cycle finds both hosts serving shorts, so the M/G/1 setup time
+// is Exp(2 mu_S) with probability one.
+[[nodiscard]] double cscq_long_response_saturated(const SystemConfig& config);
+
+}  // namespace csq::analysis

@@ -1,0 +1,191 @@
+#include "analysis/cscq_map.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/stability.h"
+#include "mg1/mg1.h"
+#include "transforms/busy_period.h"
+
+namespace csq::analysis {
+
+namespace {
+
+const dist::PhaseType& require_exponential_shorts(const SystemConfig& config) {
+  const auto* ph = dynamic_cast<const dist::PhaseType*>(config.short_size.get());
+  if (ph == nullptr || !ph->is_exponential())
+    throw std::invalid_argument("analyze_cscq_map: short sizes must be exponential");
+  return *ph;
+}
+
+}  // namespace
+
+CscqMapResult analyze_cscq_map(const SystemConfig& config, const CscqMapOptions& opts) {
+  config.validate();
+  if (!config.short_arrivals)
+    throw std::invalid_argument("analyze_cscq_map: config.short_arrivals must be set");
+  const dist::MapProcess& map = *config.short_arrivals;
+  const double mu_s = require_exponential_shorts(config).rate();
+  const double ll = config.lambda_long;
+  const dist::Moments xl = config.long_size->moments();
+  const double rho_l = ll * xl.m1;
+  const double rho_s = map.mean_rate() / mu_s;
+  if (rho_l >= 1.0 || !cscq_stable(rho_s, rho_l))
+    throw std::domain_error("analyze_cscq_map: outside CS-CQ stability region (mean rate)");
+
+  const dist::PhaseType bl =
+      dist::fit_ph(transforms::mg1_busy_period(xl, ll), opts.busy_period_moments);
+  const dist::PhaseType bn = dist::fit_ph(
+      transforms::batch_busy_period(xl, ll, 2.0 * mu_s), opts.busy_period_moments);
+  const std::size_t kl = bl.num_phases();
+  const std::size_t kp = bn.num_phases();
+  const std::size_t v = map.num_phases();
+  const linalg::Matrix& d0 = map.d0();
+  const linalg::Matrix& d1 = map.d1();
+
+  // Base phases as in analyze_cscq; the MAP phase is the fast index.
+  const std::size_t base_rep = 2 + kl + kp;   // A, W, L*, P*
+  const std::size_t base_bnd = 1 + kl + kp;   // A, L*, P*
+  const std::size_t m = base_rep * v;
+  const std::size_t b = base_bnd * v;
+
+  CscqMapResult res;
+  res.num_phases = m;
+
+  const auto rep = [&](std::size_t base, std::size_t a) { return base * v + a; };
+  const std::size_t rep_a = 0, rep_w = 1;
+  const auto rep_l = [&](std::size_t i) { return 2 + i; };
+  const auto rep_p = [&](std::size_t j) { return 2 + kl + j; };
+  const auto bnd = [&](std::size_t base, std::size_t a) { return base * v + a; };
+  const std::size_t bnd_a = 0;
+  const auto bnd_l = [&](std::size_t i) { return 1 + i; };
+  const auto bnd_p = [&](std::size_t j) { return 1 + kl + j; };
+
+  // Scatter base-level transitions over all MAP phases (MAP phase carried
+  // along unchanged), into `dst` with the base->index mapping given.
+  const auto add_base = [&](qbd::Matrix& dst, auto from_idx, std::size_t from_base,
+                            auto to_idx, std::size_t to_base, double rate) {
+    for (std::size_t a = 0; a < v; ++a)
+      dst(from_idx(from_base, a), to_idx(to_base, a)) += rate;
+  };
+  // MAP transitions: D1 moves up a level (arrival), D0 off-diagonals change
+  // the arrival phase in place.
+  const auto add_map = [&](qbd::Matrix& up, qbd::Matrix& local, auto idx,
+                           std::size_t num_base) {
+    for (std::size_t base = 0; base < num_base; ++base)
+      for (std::size_t a = 0; a < v; ++a)
+        for (std::size_t a2 = 0; a2 < v; ++a2) {
+          if (d1(a, a2) > 0.0) up(idx(base, a), idx(base, a2)) += d1(a, a2);
+          if (a2 != a && d0(a, a2) > 0.0) local(idx(base, a), idx(base, a2)) += d0(a, a2);
+        }
+  };
+
+  qbd::Model model;
+  model.a0 = qbd::Matrix(m, m);
+  model.a1 = qbd::Matrix(m, m);
+  model.a2 = qbd::Matrix(m, m);
+  model.first_down = qbd::Matrix(m, b);
+  add_map(model.a0, model.a1, rep, base_rep);
+
+  const auto add_ph_block = [&](qbd::Matrix& dst, const dist::PhaseType& ph, auto base_of,
+                                std::size_t to_a) {
+    const auto& t = ph.subgenerator();
+    for (std::size_t i = 0; i < ph.num_phases(); ++i) {
+      for (std::size_t j = 0; j < ph.num_phases(); ++j)
+        if (i != j) add_base(dst, rep, base_of(i), rep, base_of(j), t(i, j));
+      add_base(dst, rep, base_of(i), rep, to_a, ph.exit_rates()[i]);
+    }
+  };
+
+  add_base(model.a1, rep, rep_a, rep, rep_w, ll);
+  add_ph_block(model.a1, bl, rep_l, rep_a);
+  add_ph_block(model.a1, bn, rep_p, rep_a);
+
+  add_base(model.a2, rep, rep_a, rep, rep_a, 2.0 * mu_s);
+  for (std::size_t j = 0; j < kp; ++j)
+    add_base(model.a2, rep, rep_w, rep, rep_p(j), 2.0 * mu_s * bn.alpha()[j]);
+  for (std::size_t i = 0; i < kl; ++i)
+    add_base(model.a2, rep, rep_l(i), rep, rep_l(i), mu_s);
+  for (std::size_t j = 0; j < kp; ++j)
+    add_base(model.a2, rep, rep_p(j), rep, rep_p(j), mu_s);
+
+  add_base(model.first_down, rep, rep_a, bnd, bnd_a, 2.0 * mu_s);
+  for (std::size_t j = 0; j < kp; ++j)
+    add_base(model.first_down, rep, rep_w, bnd, bnd_p(j), 2.0 * mu_s * bn.alpha()[j]);
+  for (std::size_t i = 0; i < kl; ++i)
+    add_base(model.first_down, rep, rep_l(i), bnd, bnd_l(i), mu_s);
+  for (std::size_t j = 0; j < kp; ++j)
+    add_base(model.first_down, rep, rep_p(j), bnd, bnd_p(j), mu_s);
+
+  const auto add_boundary_common = [&](qbd::BoundaryLevel& lvl) {
+    lvl.local = qbd::Matrix(b, b);
+    // A long arrival at levels 0/1 finds a free host: B_L starts.
+    for (std::size_t i = 0; i < kl; ++i)
+      add_base(lvl.local, bnd, bnd_a, bnd, bnd_l(i), ll * bl.alpha()[i]);
+    const auto add_bnd_ph = [&](const dist::PhaseType& ph, auto base_of) {
+      const auto& t = ph.subgenerator();
+      for (std::size_t i = 0; i < ph.num_phases(); ++i) {
+        for (std::size_t j = 0; j < ph.num_phases(); ++j)
+          if (i != j) add_base(lvl.local, bnd, base_of(i), bnd, base_of(j), t(i, j));
+        add_base(lvl.local, bnd, base_of(i), bnd, bnd_a, ph.exit_rates()[i]);
+      }
+    };
+    add_bnd_ph(bl, bnd_l);
+    add_bnd_ph(bn, bnd_p);
+  };
+
+  model.boundary.resize(2);
+  {
+    qbd::BoundaryLevel& lvl = model.boundary[0];
+    add_boundary_common(lvl);
+    lvl.up = qbd::Matrix(b, b);
+    add_map(lvl.up, lvl.local, bnd, base_bnd);
+  }
+  {
+    qbd::BoundaryLevel& lvl = model.boundary[1];
+    add_boundary_common(lvl);
+    // Up from level 1 maps boundary bases onto repeating bases.
+    lvl.up = qbd::Matrix(b, m);
+    for (std::size_t a = 0; a < v; ++a)
+      for (std::size_t a2 = 0; a2 < v; ++a2) {
+        if (d1(a, a2) <= 0.0) continue;
+        lvl.up(bnd(bnd_a, a), rep(rep_a, a2)) += d1(a, a2);
+        for (std::size_t i = 0; i < kl; ++i)
+          lvl.up(bnd(bnd_l(i), a), rep(rep_l(i), a2)) += d1(a, a2);
+        for (std::size_t j = 0; j < kp; ++j)
+          lvl.up(bnd(bnd_p(j), a), rep(rep_p(j), a2)) += d1(a, a2);
+      }
+    // Silent D0 phase changes at level 1.
+    for (std::size_t base = 0; base < base_bnd; ++base)
+      for (std::size_t a = 0; a < v; ++a)
+        for (std::size_t a2 = 0; a2 < v; ++a2)
+          if (a2 != a && d0(a, a2) > 0.0) lvl.local(bnd(base, a), bnd(base, a2)) += d0(a, a2);
+    lvl.down = qbd::Matrix(b, b);
+    for (std::size_t i = 0; i < b; ++i) lvl.down(i, i) = mu_s;
+  }
+
+  const qbd::Solution sol = qbd::solve(model, opts.qbd);
+  res.qbd_mass_error = std::abs(sol.total_mass() - 1.0);
+
+  const double lambda_eff = map.mean_rate();
+  const dist::Moments xs = config.short_size->moments();
+  res.metrics.shorts = class_metrics_from_response(sol.mean_level() / lambda_eff,
+                                                   lambda_eff, xs.m1);
+
+  for (std::size_t a = 0; a < v; ++a)
+    res.p_region1 += sol.boundary_pi[0][bnd(bnd_a, a)] + sol.boundary_pi[1][bnd(bnd_a, a)];
+  const std::vector<double> rep_mass = sol.repeating_mass_by_phase();
+  for (std::size_t a = 0; a < v; ++a) res.p_region2 += rep_mass[rep(rep_a, a)];
+  const double pa = res.p_region1 + res.p_region2;
+  const double w2 = pa > 0.0 ? res.p_region2 / pa : 0.0;
+  const double delta = 2.0 * mu_s;
+  const dist::Moments setup{w2 / delta, 2.0 * w2 / (delta * delta),
+                            6.0 * w2 / (delta * delta * delta)};
+  res.metrics.longs =
+      ll > 0.0
+          ? class_metrics_from_response(mg1::setup_response(ll, xl, setup), ll, xl.m1)
+          : class_metrics_from_response(xl.m1, 0.0, xl.m1);
+  return res;
+}
+
+}  // namespace csq::analysis

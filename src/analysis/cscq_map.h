@@ -1,0 +1,38 @@
+// CS-CQ with MAP (Markovian Arrival Process) short-job arrivals — the
+// paper's other sketched generalization ("we assume a Poisson arrival
+// process ... which can be generalized to a MAP").
+//
+// Only the short class is generalized (long arrivals stay Poisson, so the
+// busy-period transitions B_L and B_{N+1} are untouched). The QBD phase
+// space becomes {A, W, L*, P*} x {MAP phase}: D1 transitions move up a level
+// while possibly switching the arrival phase; D0 off-diagonal transitions
+// switch the arrival phase in place. Short sizes are exponential, as in the
+// paper's numerical sections.
+#pragma once
+
+#include "core/config.h"
+#include "dist/moment_match.h"
+#include "qbd/qbd.h"
+
+namespace csq::analysis {
+
+struct CscqMapOptions {
+  int busy_period_moments = 3;
+  qbd::Options qbd;
+};
+
+struct CscqMapResult {
+  PolicyMetrics metrics;
+  double p_region1 = 0.0;
+  double p_region2 = 0.0;
+  double qbd_mass_error = 0.0;
+  std::size_t num_phases = 0;
+};
+
+// Requires exponential short sizes and config.short_arrivals set (use
+// dist::MapProcess::poisson to recover the base model — unit-tested to agree
+// with analyze_cscq). Stability uses the MAP's mean rate.
+[[nodiscard]] CscqMapResult analyze_cscq_map(const SystemConfig& config,
+                                             const CscqMapOptions& opts = {});
+
+}  // namespace csq::analysis

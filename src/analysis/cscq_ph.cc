@@ -1,0 +1,308 @@
+#include "analysis/cscq_ph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "analysis/stability.h"
+#include "mg1/mg1.h"
+#include "transforms/busy_period.h"
+
+namespace csq::analysis {
+
+namespace {
+
+// Unordered pairs {i, j} (i <= j) of in-service short phases, plus the
+// dynamics of two parallel PH services on that space.
+struct PairSpace {
+  explicit PairSpace(const dist::PhaseType& ph) : k(ph.num_phases()), ph_(&ph) {
+    index.assign(k, std::vector<std::size_t>(k, 0));
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = i; j < k; ++j) {
+        index[i][j] = index[j][i] = pairs.size();
+        pairs.emplace_back(i, j);
+      }
+  }
+
+  // Visit the events of pair state `pid`:
+  //   on_change(new_pid, rate)        — one service changes phase;
+  //   on_exit(surviving_phase, rate)  — one service completes.
+  template <typename FChange, typename FExit>
+  void for_each_event(std::size_t pid, FChange&& on_change, FExit&& on_exit) const {
+    const auto [i, j] = pairs[pid];
+    const linalg::Matrix& t = ph_->subgenerator();
+    const auto slot = [&](std::size_t active, std::size_t other) {
+      for (std::size_t n = 0; n < k; ++n) {
+        if (n == active) continue;
+        const double r = t(active, n);
+        if (r > 0.0) on_change(index[n][other], r);
+      }
+      const double e = ph_->exit_rates()[active];
+      if (e > 0.0) on_exit(other, e);
+    };
+    slot(i, j);
+    slot(j, i);  // when i == j the duplicate visits double the rates, as two
+                 // identical services should
+  }
+
+  // PH distribution of the FIRST completion among two services, started from
+  // the given distribution over pair states.
+  [[nodiscard]] dist::PhaseType first_completion(std::vector<double> alpha) const {
+    linalg::Matrix t(pairs.size(), pairs.size());
+    for (std::size_t pid = 0; pid < pairs.size(); ++pid) {
+      double out = 0.0;
+      for_each_event(
+          pid,
+          [&](std::size_t to, double r) {
+            t(pid, to) += r;
+            out += r;
+          },
+          [&](std::size_t, double r) { out += r; });
+      t(pid, pid) = -out;
+    }
+    return {std::move(alpha), std::move(t)};
+  }
+
+  // Two freshly-started services.
+  [[nodiscard]] std::vector<double> fresh_pair_alpha() const {
+    std::vector<double> a(pairs.size(), 0.0);
+    const auto& beta = ph_->alpha();
+    for (std::size_t i = 0; i < k; ++i)
+      for (std::size_t j = 0; j < k; ++j) a[index[i][j]] += beta[i] * beta[j];
+    return a;
+  }
+
+  std::size_t k;
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::vector<std::size_t>> index;
+
+ private:
+  const dist::PhaseType* ph_;
+};
+
+const dist::PhaseType& require_ph_shorts(const SystemConfig& config) {
+  const auto* ph = dynamic_cast<const dist::PhaseType*>(config.short_size.get());
+  if (ph == nullptr)
+    throw std::invalid_argument("analyze_cscq_ph: short sizes must be phase-type");
+  return *ph;
+}
+
+}  // namespace
+
+CscqPhResult analyze_cscq_ph(const SystemConfig& config, const CscqPhOptions& opts) {
+  config.validate();
+  const dist::PhaseType& xs = require_ph_shorts(config);
+  const double ls = config.lambda_short;
+  const double ll = config.lambda_long;
+  const dist::Moments xl = config.long_size->moments();
+  const double rho_l = ll * xl.m1;
+  const double rho_s = ls * xs.mean();
+  if (rho_l >= 1.0 || !cscq_stable(rho_s, rho_l))
+    throw std::domain_error("analyze_cscq_ph: outside CS-CQ stability region");
+
+  const PairSpace pair(xs);
+  const std::size_t k = pair.k;
+  const std::size_t p = pair.pairs.size();
+  const std::vector<double>& beta = xs.alpha();
+  const std::vector<double>& exit = xs.exit_rates();
+  const linalg::Matrix& s_t = xs.subgenerator();
+
+  CscqPhResult res;
+  res.busy_single = transforms::mg1_busy_period(xl, ll);
+  const dist::PhaseType bl = dist::fit_ph(res.busy_single, opts.busy_period_moments);
+  const std::size_t kl = bl.num_phases();
+
+  // The B_{N+1} window Theta is the first completion among the two shorts in
+  // service when the long arrived. Its initial pair distribution is what an
+  // arriving long observes (region-2 A states, PASTA) — which comes from the
+  // solved chain, so iterate to a fixed point starting from fresh services.
+  // One pass is exact for exponential shorts.
+  std::vector<double> window_alpha = pair.fresh_pair_alpha();
+  for (int iter = 0; iter < std::max(1, opts.window_iterations); ++iter) {
+    res.window_iterations = iter + 1;
+    res.window = pair.first_completion(window_alpha).moments();
+    res.busy_batch = transforms::batch_busy_period_window(xl, ll, res.window);
+    const dist::PhaseType bn = dist::fit_ph(res.busy_batch, opts.busy_period_moments);
+    const std::size_t kp = bn.num_phases();
+
+    // --- phase indexing -----------------------------------------------------
+    const std::size_t m = 2 * p + (kl + kp) * k;  // repeating levels >= 2
+    const std::size_t b1 = k + (kl + kp) * k;     // boundary level 1
+    const std::size_t b0 = 1 + kl + kp;           // boundary level 0
+    res.num_phases = m;
+
+    const auto rep_a = [&](std::size_t pid) { return pid; };
+    const auto rep_w = [&](std::size_t pid) { return p + pid; };
+    const auto rep_l = [&](std::size_t b, std::size_t i) { return 2 * p + b * k + i; };
+    const auto rep_p = [&](std::size_t c, std::size_t i) {
+      return 2 * p + kl * k + c * k + i;
+    };
+    const auto b1_a = [&](std::size_t i) { return i; };
+    const auto b1_l = [&](std::size_t b, std::size_t i) { return k + b * k + i; };
+    const auto b1_p = [&](std::size_t c, std::size_t i) { return k + kl * k + c * k + i; };
+    const auto b0_a = [] { return std::size_t{0}; };
+    const auto b0_l = [&](std::size_t b) { return 1 + b; };
+    const auto b0_p = [&](std::size_t c) { return 1 + kl + c; };
+
+    qbd::Model model;
+    model.a0 = qbd::Matrix(m, m);
+    for (std::size_t i = 0; i < m; ++i) model.a0(i, i) = ls;  // arrivals queue
+
+    model.a1 = qbd::Matrix(m, m);
+    model.a2 = qbd::Matrix(m, m);
+    model.first_down = qbd::Matrix(m, b1);
+
+    // One in-service short's phase dynamics inside the L/P busy blocks.
+    const auto add_busy_block = [&](const dist::PhaseType& bp, auto rep_idx,
+                                    auto b1_target) {
+      for (std::size_t b = 0; b < bp.num_phases(); ++b) {
+        for (std::size_t i = 0; i < k; ++i) {
+          const std::size_t from = rep_idx(b, i);
+          // Short phase changes.
+          for (std::size_t n = 0; n < k; ++n)
+            if (n != i && s_t(i, n) > 0.0) model.a1(from, rep_idx(b, n)) += s_t(i, n);
+          // Short completion: next queued short starts fresh.
+          for (std::size_t l = 0; l < k; ++l) {
+            model.a2(from, rep_idx(b, l)) += exit[i] * beta[l];
+            model.first_down(from, b1_target(b, l)) += exit[i] * beta[l];
+          }
+          // Busy-period stage changes.
+          for (std::size_t c = 0; c < bp.num_phases(); ++c)
+            if (c != b && bp.subgenerator()(b, c) > 0.0)
+              model.a1(from, rep_idx(c, i)) += bp.subgenerator()(b, c);
+          // Busy period ends: the freed server takes a queued short.
+          for (std::size_t l = 0; l < k; ++l)
+            model.a1(from, rep_a(pair.index[i][l])) += bp.exit_rates()[b] * beta[l];
+        }
+      }
+    };
+    add_busy_block(bl, rep_l, b1_l);
+    add_busy_block(bn, rep_p, b1_p);
+
+    for (std::size_t pid = 0; pid < p; ++pid) {
+      // A pairs: zero longs, both servers on shorts.
+      pair.for_each_event(
+          pid, [&](std::size_t to, double r) { model.a1(rep_a(pid), rep_a(to)) += r; },
+          [&](std::size_t surviving, double r) {
+            // A completion pulls the next queued short (fresh phase).
+            for (std::size_t l = 0; l < k; ++l)
+              model.a2(rep_a(pid), rep_a(pair.index[surviving][l])) += r * beta[l];
+            model.first_down(rep_a(pid), b1_a(surviving)) += r;
+          });
+      model.a1(rep_a(pid), rep_w(pid)) += ll;  // long arrival waits
+
+      // W pairs: >= 1 long waiting; the first completion hands that server to
+      // the long (start B_{N+1}); the surviving short continues in its phase.
+      pair.for_each_event(
+          pid, [&](std::size_t to, double r) { model.a1(rep_w(pid), rep_w(to)) += r; },
+          [&](std::size_t surviving, double r) {
+            for (std::size_t c = 0; c < kp; ++c) {
+              model.a2(rep_w(pid), rep_p(c, surviving)) += r * bn.alpha()[c];
+              model.first_down(rep_w(pid), b1_p(c, surviving)) += r * bn.alpha()[c];
+            }
+          });
+    }
+
+    // --- boundary level 1: one short in service -----------------------------
+    model.boundary.resize(2);
+    {
+      qbd::BoundaryLevel& lvl = model.boundary[1];
+      lvl.local = qbd::Matrix(b1, b1);
+      lvl.up = qbd::Matrix(b1, m);
+      lvl.down = qbd::Matrix(b1, b0);
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t n = 0; n < k; ++n)
+          if (n != i && s_t(i, n) > 0.0) lvl.local(b1_a(i), b1_a(n)) += s_t(i, n);
+        // A long arrival finds a free host: B_L starts, the short keeps going.
+        for (std::size_t b = 0; b < kl; ++b)
+          lvl.local(b1_a(i), b1_l(b, i)) += ll * bl.alpha()[b];
+        // A short arrival starts fresh on the second server.
+        for (std::size_t l = 0; l < k; ++l)
+          lvl.up(b1_a(i), rep_a(pair.index[i][l])) += ls * beta[l];
+        lvl.down(b1_a(i), b0_a()) += exit[i];
+      }
+      const auto busy1 = [&](const dist::PhaseType& bp, auto b1_idx, auto rep_idx,
+                             auto b0_idx) {
+        for (std::size_t b = 0; b < bp.num_phases(); ++b) {
+          for (std::size_t i = 0; i < k; ++i) {
+            const std::size_t from = b1_idx(b, i);
+            for (std::size_t n = 0; n < k; ++n)
+              if (n != i && s_t(i, n) > 0.0) lvl.local(from, b1_idx(b, n)) += s_t(i, n);
+            for (std::size_t c = 0; c < bp.num_phases(); ++c)
+              if (c != b && bp.subgenerator()(b, c) > 0.0)
+                lvl.local(from, b1_idx(c, i)) += bp.subgenerator()(b, c);
+            lvl.local(from, b1_a(i)) += bp.exit_rates()[b];  // busy period ends
+            lvl.up(from, rep_idx(b, i)) += ls;               // new short queues
+            lvl.down(from, b0_idx(b)) += exit[i];
+          }
+        }
+      };
+      busy1(bl, b1_l, rep_l, b0_l);
+      busy1(bn, b1_p, rep_p, b0_p);
+    }
+
+    // --- boundary level 0: no shorts ----------------------------------------
+    {
+      qbd::BoundaryLevel& lvl = model.boundary[0];
+      lvl.local = qbd::Matrix(b0, b0);
+      lvl.up = qbd::Matrix(b0, b1);
+      for (std::size_t b = 0; b < kl; ++b)
+        lvl.local(b0_a(), b0_l(b)) += ll * bl.alpha()[b];
+      for (std::size_t l = 0; l < k; ++l) lvl.up(b0_a(), b1_a(l)) += ls * beta[l];
+      const auto busy0 = [&](const dist::PhaseType& bp, auto b0_idx, auto b1_idx) {
+        for (std::size_t b = 0; b < bp.num_phases(); ++b) {
+          for (std::size_t c = 0; c < bp.num_phases(); ++c)
+            if (c != b && bp.subgenerator()(b, c) > 0.0)
+              lvl.local(b0_idx(b), b0_idx(c)) += bp.subgenerator()(b, c);
+          lvl.local(b0_idx(b), b0_a()) += bp.exit_rates()[b];
+          for (std::size_t l = 0; l < k; ++l)
+            lvl.up(b0_idx(b), b1_idx(b, l)) += ls * beta[l];
+        }
+      };
+      busy0(bl, b0_l, b1_l);
+      busy0(bn, b0_p, b1_p);
+    }
+
+    const qbd::Solution sol = qbd::solve(model, opts.qbd);
+    res.qbd_mass_error = std::abs(sol.total_mass() - 1.0);
+
+    // --- short jobs ----------------------------------------------------------
+    const double mean_shorts = sol.mean_level();
+    res.metrics.shorts =
+        ls > 0.0 ? class_metrics_from_response(mean_shorts / ls, ls, xs.mean())
+                 : class_metrics_from_response(xs.mean(), 0.0, xs.mean());
+
+    // --- long jobs: M/G/1 with pair-state-dependent setup --------------------
+    res.p_region1 = sol.boundary_pi[0][b0_a()];
+    for (std::size_t i = 0; i < k; ++i) res.p_region1 += sol.boundary_pi[1][b1_a(i)];
+    const std::vector<double> rep_mass = sol.repeating_mass_by_phase();
+    std::vector<double> pair_cond(p, 0.0);
+    for (std::size_t pid = 0; pid < p; ++pid) pair_cond[pid] = rep_mass[rep_a(pid)];
+    res.p_region2 = linalg::sum(pair_cond);
+    const double pa = res.p_region1 + res.p_region2;
+    dist::Moments setup{0.0, 0.0, 0.0};
+    if (res.p_region2 > 0.0 && pa > 0.0) {
+      for (double& x : pair_cond) x /= res.p_region2;
+      const double w2 = res.p_region2 / pa;
+      const dist::Moments theta = pair.first_completion(pair_cond).moments();
+      setup = {w2 * theta.m1, w2 * theta.m2, w2 * theta.m3};
+    }
+    res.metrics.longs =
+        ll > 0.0
+            ? class_metrics_from_response(mg1::setup_response(ll, xl, setup), ll, xl.m1)
+            : class_metrics_from_response(xl.m1, 0.0, xl.m1);
+
+    // --- fixed-point update of the window's pair distribution ----------------
+    if (k == 1 || res.p_region2 <= 0.0) break;  // exponential: already exact
+    double diff = 0.0;
+    for (std::size_t pid = 0; pid < p; ++pid)
+      diff = std::max(diff, std::abs(pair_cond[pid] - window_alpha[pid]));
+    window_alpha = std::move(pair_cond);
+    if (diff < 1e-10) break;
+  }
+  return res;
+}
+
+}  // namespace csq::analysis

@@ -1,0 +1,67 @@
+// CS-CQ with PHASE-TYPE short-job sizes — the generalization the paper
+// sketches in one sentence ("this is straightforward to generalize using any
+// phase-type (e.g., Coxian) distribution").
+//
+// The chain keeps the exact short-job count as the QBD level; phases now
+// carry the service stage(s) of the short job(s) in service:
+//
+//   A  — zero longs. Level 0: one state; level 1: the in-service short's
+//        phase (k states); levels >= 2: the unordered pair of in-service
+//        phases (k(k+1)/2 states).
+//   W  — both servers on shorts, >= 1 long waiting: unordered pair states.
+//        On the first completion the long grabs that server and the
+//        surviving short continues in its current phase.
+//   L* — B_L busy period stages x in-service short phase.
+//   P* — B_{N+1} busy period stages x in-service short phase.
+//
+// Busy-period moments: B_L as before; B_{N+1} uses the accumulation window
+// Theta = first completion among the two in-service PH shorts, computed as
+// the absorption time of the pair process started from the pair
+// distribution an arriving long observes (region-2 A states, by PASTA).
+// Since that distribution comes from the solved chain, the window is
+// refined by a short fixed-point iteration; for exponential shorts it is
+// Exp(2 mu_S) immediately and everything reduces to analyze_cscq
+// (unit-tested to 1e-8).
+//
+// Long jobs again see an M/G/1 with setup: zero when the first long of a
+// busy cycle finds a free host, and the first-completion time from the pair
+// state {i,j} it observes otherwise — the pair distribution is read off the
+// solved chain (PASTA), and the setup moments follow from the pair-process
+// absorption time started from that distribution.
+#pragma once
+
+#include "core/config.h"
+#include "dist/moment_match.h"
+#include "qbd/qbd.h"
+
+namespace csq::analysis {
+
+struct CscqPhOptions {
+  int busy_period_moments = 3;
+  // Fixed-point iterations refining the B_{N+1} accumulation window: the
+  // window's initial pair state is the region-2 pair distribution seen by
+  // the arriving long (PASTA), which itself comes from the solved chain.
+  // Starting from two fresh services, a handful of iterations converge; for
+  // exponential shorts one pass is already exact.
+  int window_iterations = 8;
+  qbd::Options qbd;
+};
+
+struct CscqPhResult {
+  PolicyMetrics metrics;
+  double p_region1 = 0.0;      // zero longs, a host free for longs
+  double p_region2 = 0.0;      // zero longs, both hosts serving shorts
+  dist::Moments window;        // Theta: first completion among two services
+  dist::Moments busy_single;   // B_L
+  dist::Moments busy_batch;    // B_{N+1}
+  double qbd_mass_error = 0.0;
+  std::size_t num_phases = 0;   // repeating-level phase count
+  int window_iterations = 0;    // fixed-point iterations actually performed
+};
+
+// Requires the short size distribution to be a dist::PhaseType (any number
+// of phases); throws std::domain_error outside the CS-CQ stability region.
+[[nodiscard]] CscqPhResult analyze_cscq_ph(const SystemConfig& config,
+                                           const CscqPhOptions& opts = {});
+
+}  // namespace csq::analysis

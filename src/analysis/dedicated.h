@@ -1,0 +1,12 @@
+// Dedicated task assignment: shorts to the short host, longs to the long
+// host, no stealing — each host is a plain M/G/1 (Pollaczek-Khinchine).
+#pragma once
+
+#include "core/config.h"
+
+namespace csq::analysis {
+
+// Throws std::domain_error when either host is overloaded.
+[[nodiscard]] PolicyMetrics analyze_dedicated(const SystemConfig& config);
+
+}  // namespace csq::analysis

@@ -1,0 +1,50 @@
+#include "analysis/stability.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csq::analysis {
+
+namespace {
+void require_rho_long(double rho_long) {
+  if (rho_long < 0.0 || rho_long >= 1.0)
+    throw std::domain_error("stability: need 0 <= rho_long < 1");
+}
+}  // namespace
+
+bool dedicated_stable(double rho_short, double rho_long) {
+  return rho_short < 1.0 && rho_long < 1.0;
+}
+
+bool csid_stable(double rho_short, double rho_long) {
+  return rho_long < 1.0 && rho_short < csid_max_rho_short(rho_long);
+}
+
+bool cscq_stable(double rho_short, double rho_long) {
+  return rho_long < 1.0 && rho_short < 2.0 - rho_long;
+}
+
+double dedicated_max_rho_short(double rho_long) {
+  require_rho_long(rho_long);
+  return 1.0;
+}
+
+double csid_max_rho_short(double rho_long) {
+  require_rho_long(rho_long);
+  // Positive root of rho_S^2 + rho_S (rho_L - 1) - 1 = 0.
+  const double b = 1.0 - rho_long;
+  return 0.5 * (b + std::sqrt(b * b + 4.0));
+}
+
+double cscq_max_rho_short(double rho_long) {
+  require_rho_long(rho_long);
+  return 2.0 - rho_long;
+}
+
+double csid_long_host_idle_probability(double rho_short, double rho_long) {
+  require_rho_long(rho_long);
+  if (rho_short < 0.0) throw std::invalid_argument("csid idle: rho_short < 0");
+  return (1.0 - rho_long) / (1.0 + rho_short);
+}
+
+}  // namespace csq::analysis

@@ -1,0 +1,30 @@
+// Stability regions (Theorem 1 of the paper, plus Dedicated).
+//
+//   Dedicated:  rho_S < 1               and rho_L < 1
+//   CS-ID:      rho_S^2 + rho_S rho_L < 1 + rho_S   (equivalently
+//               rho_S < ((1-rho_L) + sqrt((1-rho_L)^2 + 4)) / 2),  rho_L < 1
+//   CS-CQ:      rho_S < 2 - rho_L       and rho_L < 1
+//
+// The CS-ID frontier follows from the renewal analysis of the long host:
+// its idle probability is (1 - rho_L)/(1 + rho_S), a fraction P(idle) of
+// shorts is stolen (PASTA), so the short host is stable iff
+// rho_S (1 - P(idle)) < 1. At rho_L = 0 the bound is the golden ratio
+// (1+sqrt(5))/2 ~ 1.618, matching the paper's "about 1.6".
+#pragma once
+
+namespace csq::analysis {
+
+[[nodiscard]] bool dedicated_stable(double rho_short, double rho_long);
+[[nodiscard]] bool csid_stable(double rho_short, double rho_long);
+[[nodiscard]] bool cscq_stable(double rho_short, double rho_long);
+
+// Supremum of stable rho_S at the given rho_L (requires rho_long < 1).
+[[nodiscard]] double dedicated_max_rho_short(double rho_long);
+[[nodiscard]] double csid_max_rho_short(double rho_long);
+[[nodiscard]] double cscq_max_rho_short(double rho_long);
+
+// Long-host idle probability under CS-ID (exact, any service distributions):
+// (1 - rho_long) / (1 + rho_short).
+[[nodiscard]] double csid_long_host_idle_probability(double rho_short, double rho_long);
+
+}  // namespace csq::analysis

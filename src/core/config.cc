@@ -1,0 +1,42 @@
+#include "core/config.h"
+
+#include <memory>
+
+namespace csq {
+
+void SystemConfig::validate() const {
+  if (!short_size || !long_size)
+    throw std::invalid_argument("SystemConfig: size distributions must be set");
+  if (lambda_short < 0.0 || lambda_long < 0.0)
+    throw std::invalid_argument("SystemConfig: arrival rates must be nonnegative");
+}
+
+SystemConfig SystemConfig::from_loads(double rho_short, double rho_long,
+                                      dist::DistPtr short_size, dist::DistPtr long_size) {
+  if (!short_size || !long_size)
+    throw std::invalid_argument("SystemConfig::from_loads: distributions must be set");
+  if (rho_short < 0.0 || rho_long < 0.0)
+    throw std::invalid_argument("SystemConfig::from_loads: loads must be nonnegative");
+  SystemConfig c;
+  c.short_size = std::move(short_size);
+  c.long_size = std::move(long_size);
+  c.lambda_short = rho_short / c.short_size->mean();
+  c.lambda_long = rho_long / c.long_size->mean();
+  return c;
+}
+
+SystemConfig SystemConfig::paper_setup(double rho_short, double rho_long, double mean_short,
+                                       double mean_long, double long_scv) {
+  auto shorts = std::make_shared<dist::PhaseType>(dist::PhaseType::exponential(1.0 / mean_short));
+  auto longs = std::make_shared<dist::PhaseType>(
+      long_scv == 1.0 ? dist::PhaseType::exponential(1.0 / mean_long)
+                      : dist::PhaseType::coxian_mean_scv(mean_long, long_scv));
+  return from_loads(rho_short, rho_long, std::move(shorts), std::move(longs));
+}
+
+ClassMetrics class_metrics_from_response(double mean_response, double lambda,
+                                         double mean_size) {
+  return {mean_response, mean_response - mean_size, lambda * mean_response};
+}
+
+}  // namespace csq

@@ -1,0 +1,64 @@
+// Public configuration and result types for the cyclesteal library.
+#pragma once
+
+#include <stdexcept>
+
+#include "dist/distribution.h"
+#include "dist/map_process.h"
+#include "dist/phase_type.h"
+
+namespace csq {
+
+// A two-class, two-host system: short (beneficiary) and long (donor) jobs
+// arrive Poisson with the given rates; sizes are drawn i.i.d. from the given
+// distributions. This single object drives both the analytic solvers and the
+// discrete-event simulator.
+struct SystemConfig {
+  double lambda_short = 0.0;
+  double lambda_long = 0.0;
+  dist::DistPtr short_size;
+  dist::DistPtr long_size;
+  // Optional Markovian arrival process for the short class (the paper's
+  // "can be generalized to a MAP"). When set it replaces the Poisson stream
+  // and lambda_short is ignored; the effective rate is its mean rate.
+  dist::MapPtr short_arrivals;
+
+  [[nodiscard]] double effective_lambda_short() const {
+    return short_arrivals ? short_arrivals->mean_rate() : lambda_short;
+  }
+  [[nodiscard]] double rho_short() const {
+    return effective_lambda_short() * short_size->mean();
+  }
+  [[nodiscard]] double rho_long() const { return lambda_long * long_size->mean(); }
+
+  // Throws std::invalid_argument on missing distributions / negative rates.
+  void validate() const;
+
+  // Convenience: build a config from per-class loads and size distributions
+  // (lambda = rho / mean).
+  static SystemConfig from_loads(double rho_short, double rho_long, dist::DistPtr short_size,
+                                 dist::DistPtr long_size);
+
+  // The paper's canonical setups: exponential shorts with the given mean;
+  // longs exponential (scv == 1) or two-moment Coxian (scv > 1).
+  static SystemConfig paper_setup(double rho_short, double rho_long, double mean_short,
+                                  double mean_long, double long_scv = 1.0);
+};
+
+// Per-class steady-state metrics.
+struct ClassMetrics {
+  double mean_response = 0.0;  // E[T] = wait + service
+  double mean_wait = 0.0;      // E[T] - E[X]
+  double mean_number = 0.0;    // E[N] = lambda E[T] (Little)
+};
+
+struct PolicyMetrics {
+  ClassMetrics shorts;
+  ClassMetrics longs;
+};
+
+// Build ClassMetrics from a mean response time.
+[[nodiscard]] ClassMetrics class_metrics_from_response(double mean_response, double lambda,
+                                                       double mean_size);
+
+}  // namespace csq

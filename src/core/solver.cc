@@ -1,0 +1,51 @@
+#include "core/solver.h"
+
+#include <stdexcept>
+
+#include "analysis/cscq.h"
+#include "analysis/csid.h"
+#include "analysis/dedicated.h"
+#include "analysis/stability.h"
+
+namespace csq {
+
+const char* policy_label(Policy p) {
+  switch (p) {
+    case Policy::kDedicated: return "Dedicated";
+    case Policy::kCsId: return "CS-ID";
+    case Policy::kCsCq: return "CS-CQ";
+  }
+  return "?";
+}
+
+PolicyMetrics analyze(Policy policy, const SystemConfig& config, int busy_period_moments) {
+  switch (policy) {
+    case Policy::kDedicated:
+      return analysis::analyze_dedicated(config);
+    case Policy::kCsId: {
+      analysis::CsidOptions opts;
+      opts.busy_period_moments = busy_period_moments;
+      return analysis::analyze_csid(config, opts).metrics;
+    }
+    case Policy::kCsCq: {
+      analysis::CscqOptions opts;
+      opts.busy_period_moments = busy_period_moments;
+      return analysis::analyze_cscq(config, opts).metrics;
+    }
+  }
+  throw std::invalid_argument("analyze: unknown policy");
+}
+
+bool is_stable(Policy policy, const SystemConfig& config) {
+  const double rs = config.rho_short();
+  const double rl = config.rho_long();
+  if (rl >= 1.0) return false;
+  switch (policy) {
+    case Policy::kDedicated: return analysis::dedicated_stable(rs, rl);
+    case Policy::kCsId: return analysis::csid_stable(rs, rl);
+    case Policy::kCsCq: return analysis::cscq_stable(rs, rl);
+  }
+  return false;
+}
+
+}  // namespace csq

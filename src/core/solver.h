@@ -1,0 +1,23 @@
+// One-call analytic entry points over the three analyzed policies.
+#pragma once
+
+#include "core/config.h"
+
+namespace csq {
+
+enum class Policy { kDedicated, kCsId, kCsCq };
+
+[[nodiscard]] const char* policy_label(Policy p);
+
+// Analytic mean response times for the given policy. Throws
+// std::domain_error outside the policy's stability region.
+// `busy_period_moments` selects how many busy-period moments the cycle-
+// stealing chains match (3 = paper's setting; 1/2 for ablations); ignored by
+// Dedicated.
+[[nodiscard]] PolicyMetrics analyze(Policy policy, const SystemConfig& config,
+                                    int busy_period_moments = 3);
+
+// True when the policy is stable for the config's loads.
+[[nodiscard]] bool is_stable(Policy policy, const SystemConfig& config);
+
+}  // namespace csq

@@ -1,0 +1,80 @@
+#include "core/sweep.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/cscq.h"
+#include "analysis/csid.h"
+#include "core/solver.h"
+#include "mg1/mg1.h"
+
+namespace csq {
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  if (n < 2) throw std::invalid_argument("linspace: need n >= 2");
+  std::vector<double> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    v[static_cast<std::size_t>(i)] = lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+  return v;
+}
+
+namespace {
+
+SweepRow evaluate_point(double rho_short, double rho_long, double mean_short,
+                        double mean_long, double long_scv, double x) {
+  SweepRow row;
+  row.x = x;
+  const SystemConfig config =
+      SystemConfig::paper_setup(rho_short, rho_long, mean_short, mean_long, long_scv);
+  for (const Policy p : {Policy::kDedicated, Policy::kCsId, Policy::kCsCq}) {
+    if (!is_stable(p, config)) continue;
+    const PolicyMetrics m = analyze(p, config);
+    switch (p) {
+      case Policy::kDedicated:
+        row.dedicated_short = m.shorts.mean_response;
+        row.dedicated_long = m.longs.mean_response;
+        break;
+      case Policy::kCsId:
+        row.csid_short = m.shorts.mean_response;
+        row.csid_long = m.longs.mean_response;
+        break;
+      case Policy::kCsCq:
+        row.cscq_short = m.shorts.mean_response;
+        row.cscq_long = m.longs.mean_response;
+        break;
+    }
+  }
+  // The long host is stable for every rho_L < 1 regardless of the short
+  // class (paper, Figure 6 discussion) — fill long columns even where the
+  // shorts saturate.
+  if (rho_long < 1.0) {
+    if (std::isnan(row.dedicated_long))
+      row.dedicated_long = mg1::pk_response(config.lambda_long, config.long_size->moments());
+    if (std::isnan(row.csid_long)) row.csid_long = analysis::csid_long_response(config);
+    if (std::isnan(row.cscq_long))
+      row.cscq_long = analysis::cscq_long_response_saturated(config);
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<SweepRow> sweep_rho_short(double rho_long, double mean_short, double mean_long,
+                                      double long_scv, const std::vector<double>& rho_shorts) {
+  std::vector<SweepRow> rows;
+  rows.reserve(rho_shorts.size());
+  for (const double rs : rho_shorts)
+    rows.push_back(evaluate_point(rs, rho_long, mean_short, mean_long, long_scv, rs));
+  return rows;
+}
+
+std::vector<SweepRow> sweep_rho_long(double rho_short, double mean_short, double mean_long,
+                                     double long_scv, const std::vector<double>& rho_longs) {
+  std::vector<SweepRow> rows;
+  rows.reserve(rho_longs.size());
+  for (const double rl : rho_longs)
+    rows.push_back(evaluate_point(rho_short, rl, mean_short, mean_long, long_scv, rl));
+  return rows;
+}
+
+}  // namespace csq

@@ -1,0 +1,35 @@
+// Parameter sweeps that regenerate the paper's figure series.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "core/config.h"
+
+namespace csq {
+
+// One x-point of a figure: per-policy mean response times for both classes.
+// NaN marks "unstable at this point" (the paper's curves diverge there).
+struct SweepRow {
+  double x = 0.0;
+  double dedicated_short = std::numeric_limits<double>::quiet_NaN();
+  double csid_short = std::numeric_limits<double>::quiet_NaN();
+  double cscq_short = std::numeric_limits<double>::quiet_NaN();
+  double dedicated_long = std::numeric_limits<double>::quiet_NaN();
+  double csid_long = std::numeric_limits<double>::quiet_NaN();
+  double cscq_long = std::numeric_limits<double>::quiet_NaN();
+};
+
+[[nodiscard]] std::vector<double> linspace(double lo, double hi, int n);
+
+// Figures 4 and 5: response time vs rho_S at fixed rho_L.
+[[nodiscard]] std::vector<SweepRow> sweep_rho_short(double rho_long, double mean_short,
+                                                    double mean_long, double long_scv,
+                                                    const std::vector<double>& rho_shorts);
+
+// Figure 6: response time vs rho_L at fixed rho_S.
+[[nodiscard]] std::vector<SweepRow> sweep_rho_long(double rho_short, double mean_short,
+                                                   double mean_long, double long_scv,
+                                                   const std::vector<double>& rho_longs);
+
+}  // namespace csq

@@ -1,0 +1,31 @@
+// Minimal fixed-width ASCII table / CSV writer for bench and example output.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace csq {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // NaN cells render as "-" (unstable / not applicable).
+  void add_row(const std::vector<double>& values);
+  void add_row(std::vector<std::string> cells);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Format a double compactly ("-" for NaN).
+[[nodiscard]] std::string format_cell(double v, int precision = 4);
+
+}  // namespace csq

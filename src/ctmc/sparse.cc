@@ -1,0 +1,45 @@
+#include "ctmc/sparse.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace csq::ctmc {
+
+void Generator::add(std::size_t from, std::size_t to, double rate) {
+  if (finalized()) throw std::logic_error("Generator::add after finalize");
+  if (from >= n_ || to >= n_) throw std::out_of_range("Generator::add: state out of range");
+  if (from == to) throw std::invalid_argument("Generator::add: self-loop");
+  if (rate < 0.0) throw std::invalid_argument("Generator::add: negative rate");
+  if (rate == 0.0) return;
+  triplets_.push_back({from, to, rate});
+  out_rate_[from] += rate;
+}
+
+void Generator::finalize() {
+  if (finalized()) throw std::logic_error("Generator::finalize called twice");
+  std::sort(triplets_.begin(), triplets_.end(), [](const Triplet& a, const Triplet& b) {
+    return a.to != b.to ? a.to < b.to : a.from < b.from;
+  });
+  col_ptr_.assign(n_ + 1, 0);
+  row_idx_.reserve(triplets_.size());
+  value_.reserve(triplets_.size());
+  for (std::size_t i = 0; i < triplets_.size();) {
+    std::size_t j = i;
+    double acc = triplets_[i].rate;
+    while (j + 1 < triplets_.size() && triplets_[j + 1].to == triplets_[i].to &&
+           triplets_[j + 1].from == triplets_[i].from) {
+      ++j;
+      acc += triplets_[j].rate;
+    }
+    row_idx_.push_back(triplets_[i].from);
+    value_.push_back(acc);
+    col_ptr_[triplets_[i].to + 1] = row_idx_.size();
+    i = j + 1;
+  }
+  // Make col_ptr cumulative over empty columns too.
+  for (std::size_t c = 1; c <= n_; ++c) col_ptr_[c] = std::max(col_ptr_[c], col_ptr_[c - 1]);
+  triplets_.clear();
+  triplets_.shrink_to_fit();
+}
+
+}  // namespace csq::ctmc

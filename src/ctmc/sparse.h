@@ -1,0 +1,54 @@
+// Sparse CTMC generator, stored by column for stationary-equation sweeps.
+//
+// The paper dismisses truncating the 2-D infinite chain as "neither
+// sufficiently accurate nor robust"; we build the truncated chain anyway as
+// an exactness oracle for the exponential/exponential case, so the ablation
+// bench can quantify both the truncation error and the busy-period-
+// approximation error.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace csq::ctmc {
+
+// Builder for a CTMC generator Q. Off-diagonal rates are added with add();
+// diagonals are derived at finalize() so rows sum to zero.
+class Generator {
+ public:
+  explicit Generator(std::size_t n) : n_(n), out_rate_(n, 0.0) {}
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+
+  // Add rate from state `from` to state `to` (accumulates duplicates).
+  void add(std::size_t from, std::size_t to, double rate);
+
+  // Build column-compressed form. Call once, after all add()s.
+  void finalize();
+
+  // q_jj = -(total outflow of j).
+  [[nodiscard]] double diagonal(std::size_t j) const { return -out_rate_[j]; }
+
+  // Iterate the in-flows of state j: calls f(i, rate) for each i != j with
+  // Q(i, j) = rate > 0.
+  template <typename F>
+  void for_each_inflow(std::size_t j, F&& f) const {
+    for (std::size_t k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) f(row_idx_[k], value_[k]);
+  }
+
+  [[nodiscard]] bool finalized() const { return !col_ptr_.empty(); }
+
+ private:
+  struct Triplet {
+    std::size_t from, to;
+    double rate;
+  };
+  std::size_t n_;
+  std::vector<Triplet> triplets_;
+  std::vector<double> out_rate_;
+  std::vector<std::size_t> col_ptr_;
+  std::vector<std::size_t> row_idx_;
+  std::vector<double> value_;
+};
+
+}  // namespace csq::ctmc

@@ -1,0 +1,46 @@
+#include "ctmc/stationary.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csq::ctmc {
+
+StationaryResult stationary(const Generator& q, const StationaryOptions& opts) {
+  if (!q.finalized()) throw std::logic_error("ctmc::stationary: generator not finalized");
+  if (opts.omega <= 0.0 || opts.omega >= 2.0)
+    throw std::invalid_argument("ctmc::stationary: omega must be in (0, 2)");
+  const std::size_t n = q.size();
+  StationaryResult res;
+  res.pi.assign(n, 1.0 / static_cast<double>(n));
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    double l1_change = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double d = q.diagonal(j);
+      if (d == 0.0) {
+        res.pi[j] = 0.0;  // absorbing or unreachable padding state
+        continue;
+      }
+      double inflow = 0.0;
+      q.for_each_inflow(j, [&](std::size_t i, double rate) {
+        if (i != j) inflow += res.pi[i] * rate;
+      });
+      const double gs = inflow / (-d);
+      const double next = std::max(0.0, res.pi[j] + opts.omega * (gs - res.pi[j]));
+      l1_change += std::abs(next - res.pi[j]);
+      res.pi[j] = next;
+    }
+    // Renormalize.
+    double mass = 0.0;
+    for (double x : res.pi) mass += x;
+    if (mass <= 0.0) throw std::domain_error("ctmc::stationary: zero mass");
+    for (double& x : res.pi) x /= mass;
+    res.sweeps = sweep + 1;
+    if (l1_change < opts.tolerance) {
+      res.converged = true;
+      break;
+    }
+  }
+  return res;
+}
+
+}  // namespace csq::ctmc

@@ -1,0 +1,33 @@
+// Stationary distribution of a finite CTMC by Gauss-Seidel sweeps on
+// pi Q = 0 with renormalization.
+#pragma once
+
+#include <vector>
+
+#include "ctmc/sparse.h"
+
+namespace csq::ctmc {
+
+struct StationaryOptions {
+  // Convergence criterion: L1 norm of the per-sweep change of pi. (A
+  // max-relative criterion stalls on the exponentially small lattice tail
+  // states, which carry no weight in any functional of interest.)
+  double tolerance = 1e-10;
+  int max_sweeps = 50000;
+  // Relaxation factor in (0, 2); 1.0 = plain Gauss-Seidel. Over-relaxation
+  // can oscillate on the singular stationary system — keep 1.0 unless
+  // experimenting.
+  double omega = 1.0;
+};
+
+struct StationaryResult {
+  std::vector<double> pi;
+  int sweeps = 0;
+  bool converged = false;
+};
+
+// The chain must be irreducible over the states with positive outflow.
+[[nodiscard]] StationaryResult stationary(const Generator& q,
+                                          const StationaryOptions& opts = {});
+
+}  // namespace csq::ctmc

@@ -1,0 +1,116 @@
+#include "dist/distribution.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace csq::dist {
+
+namespace {
+void check_moment_order(int k) {
+  if (k < 1 || k > 3) throw std::invalid_argument("Distribution::moment: k must be 1..3");
+}
+}  // namespace
+
+Deterministic::Deterministic(double value) : value_(value) {
+  if (value < 0.0) throw std::invalid_argument("Deterministic: negative value");
+}
+
+double Deterministic::moment(int k) const {
+  check_moment_order(k);
+  return std::pow(value_, k);
+}
+
+std::string Deterministic::name() const {
+  std::ostringstream os;
+  os << "Det(" << value_ << ")";
+  return os.str();
+}
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (lo < 0.0 || hi <= lo) throw std::invalid_argument("Uniform: need 0 <= lo < hi");
+}
+
+double Uniform::sample(Rng& rng) const {
+  return std::uniform_real_distribution<double>(lo_, hi_)(rng);
+}
+
+double Uniform::moment(int k) const {
+  check_moment_order(k);
+  // E[X^k] = (hi^{k+1} - lo^{k+1}) / ((k+1)(hi - lo))
+  return (std::pow(hi_, k + 1) - std::pow(lo_, k + 1)) / ((k + 1) * (hi_ - lo_));
+}
+
+std::string Uniform::name() const {
+  std::ostringstream os;
+  os << "U(" << lo_ << "," << hi_ << ")";
+  return os.str();
+}
+
+BoundedPareto::BoundedPareto(double lo, double hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  if (lo <= 0.0 || hi <= lo || alpha <= 0.0)
+    throw std::invalid_argument("BoundedPareto: need 0 < lo < hi, alpha > 0");
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  // Inverse CDF of the bounded Pareto.
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+}
+
+double BoundedPareto::moment(int k) const {
+  check_moment_order(k);
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  const double norm = la / (1.0 - la / ha);
+  if (std::abs(alpha_ - k) < 1e-12) {
+    // E[X^k] = alpha * norm * ln(hi/lo) when alpha == k.
+    return alpha_ * norm * std::log(hi_ / lo_);
+  }
+  return alpha_ * norm / (alpha_ - k) *
+         (std::pow(lo_, static_cast<double>(k) - alpha_) -
+          std::pow(hi_, static_cast<double>(k) - alpha_));
+}
+
+std::string BoundedPareto::name() const {
+  std::ostringstream os;
+  os << "BP(" << lo_ << "," << hi_ << ";a=" << alpha_ << ")";
+  return os.str();
+}
+
+BoundedPareto BoundedPareto::with_mean(double mean, double hi, double alpha) {
+  // Bisection on lo in (0, mean): the mean is increasing in lo.
+  double a = mean * 1e-9;
+  double b = mean;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (a + b);
+    const double m = BoundedPareto(mid, hi, alpha).moment(1);
+    (m < mean ? a : b) = mid;
+  }
+  return {0.5 * (a + b), hi, alpha};
+}
+
+LogNormal::LogNormal(double mean, double scv) {
+  if (mean <= 0.0 || scv <= 0.0) throw std::invalid_argument("LogNormal: need mean, scv > 0");
+  sigma_ = std::sqrt(std::log(1.0 + scv));
+  mu_ = std::log(mean) - 0.5 * sigma_ * sigma_;
+}
+
+double LogNormal::sample(Rng& rng) const {
+  return std::exp(std::normal_distribution<double>(mu_, sigma_)(rng));
+}
+
+double LogNormal::moment(int k) const {
+  check_moment_order(k);
+  return std::exp(k * mu_ + 0.5 * k * k * sigma_ * sigma_);
+}
+
+std::string LogNormal::name() const {
+  std::ostringstream os;
+  os << "LogN(mu=" << mu_ << ",sig=" << sigma_ << ")";
+  return os.str();
+}
+
+}  // namespace csq::dist

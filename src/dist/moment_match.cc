@@ -1,0 +1,129 @@
+#include "dist/moment_match.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csq::dist {
+
+namespace {
+
+// g(x) from the reduced 3-moment Coxian-2 system; see fit_coxian2_3moments.
+double reduced_g(double x, const Moments& m, double* y_out, double* p_out) {
+  const double denom = m.m1 - x;
+  const double y = (m.m2 / 2.0 - x * x) / denom - x;
+  const double p = denom / y;
+  if (y_out) *y_out = y;
+  if (p_out) *p_out = p;
+  return x * x * x + denom * (x * x + x * y + y * y) - m.m3 / 6.0;
+}
+
+bool valid_root(double x, double y, double p, double m1) {
+  return x > 0.0 && x < m1 && y > 0.0 && p > 0.0 && p <= 1.0 + 1e-12;
+}
+
+}  // namespace
+
+bool fit_coxian2_3moments(const Moments& m, double* mu1, double* mu2, double* p_out) {
+  // Coxian-2 with sojourn means x = 1/mu1, y = 1/mu2 and continuation
+  // probability p satisfies
+  //   m1   = x + p y
+  //   m2/2 = x^2 + p y (x + y)
+  //   m3/6 = x^3 + p y (x^2 + x y + y^2).
+  // Eliminating p and y leaves a single equation g(x) = 0 on (0, m1).
+  const double m1 = m.m1;
+  if (m1 <= 0.0) return false;
+  const int kGrid = 4096;
+  double prev_x = m1 * (1.0 / (kGrid + 1));
+  double prev_g = reduced_g(prev_x, m, nullptr, nullptr);
+  for (int i = 2; i <= kGrid; ++i) {
+    const double x = m1 * (static_cast<double>(i) / (kGrid + 1));
+    const double g = reduced_g(x, m, nullptr, nullptr);
+    if (std::isfinite(prev_g) && std::isfinite(g) && prev_g * g <= 0.0) {
+      // Bisect on [prev_x, x].
+      double lo = prev_x, hi = x, glo = prev_g;
+      for (int it = 0; it < 200; ++it) {
+        const double mid = 0.5 * (lo + hi);
+        const double gm = reduced_g(mid, m, nullptr, nullptr);
+        if (glo * gm <= 0.0) {
+          hi = mid;
+        } else {
+          lo = mid;
+          glo = gm;
+        }
+      }
+      double y = 0.0, p = 0.0;
+      const double x_root = 0.5 * (lo + hi);
+      reduced_g(x_root, m, &y, &p);
+      if (valid_root(x_root, y, p, m1)) {
+        *mu1 = 1.0 / x_root;
+        *mu2 = 1.0 / y;
+        *p_out = std::min(p, 1.0);
+        return true;
+      }
+    }
+    prev_x = x;
+    prev_g = g;
+  }
+  return false;
+}
+
+PhaseType fit_mixed_erlang(double mean, double scv) {
+  if (mean <= 0.0 || scv <= 0.0 || scv > 1.0 + 1e-12)
+    throw std::invalid_argument("fit_mixed_erlang: need mean > 0, 0 < scv <= 1");
+  if (scv > 1.0 - 1e-9) return PhaseType::exponential(1.0 / mean);
+  // Tijms: pick k with 1/k <= scv <= 1/(k-1); mix Erlang(k-1) and Erlang(k).
+  const int k = static_cast<int>(std::ceil(1.0 / scv));
+  const double kd = k;
+  const double p =
+      (1.0 / (1.0 + scv)) * (kd * scv - std::sqrt(kd * (1.0 + scv) - kd * kd * scv));
+  const double rate = (kd - p) / mean;
+  // Build as a single Erlang(k) chain entered at stage 2 with probability p
+  // (shortening it to k-1 stages).
+  const auto n = static_cast<std::size_t>(k);
+  std::vector<double> alpha(n, 0.0);
+  alpha[0] = 1.0 - p;
+  alpha[1] = p;
+  linalg::Matrix t(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    t(i, i) = -rate;
+    if (i + 1 < n) t(i, i + 1) = rate;
+  }
+  return {std::move(alpha), std::move(t)};
+}
+
+PhaseType fit_ph(const Moments& target, int max_moments, FitReport* report) {
+  if (report) *report = FitReport{max_moments, 1, false};
+  if (target.m1 <= 0.0) throw std::invalid_argument("fit_ph: mean must be positive");
+  if (max_moments < 1 || max_moments > 3)
+    throw std::invalid_argument("fit_ph: max_moments must be 1..3");
+
+  if (max_moments == 1) {
+    if (report) report->moments_matched = 1;
+    return PhaseType::exponential(1.0 / target.m1);
+  }
+
+  const double scv = target.scv();
+  if (scv < -1e-9) throw std::invalid_argument("fit_ph: m2 < m1^2 is not realizable");
+
+  const auto two_moment = [&]() -> PhaseType {
+    if (report) report->moments_matched = 2;
+    if (std::abs(scv - 1.0) < 1e-9) {
+      if (report) report->moments_matched = 3;  // exponential matches all of them
+      return PhaseType::exponential(1.0 / target.m1);
+    }
+    if (scv < 1.0) return fit_mixed_erlang(target.m1, std::max(scv, 1e-9));
+    return PhaseType::coxian_mean_scv(target.m1, scv);
+  };
+
+  if (max_moments == 2) return two_moment();
+
+  double mu1 = 0, mu2 = 0, p = 0;
+  if (fit_coxian2_3moments(target, &mu1, &mu2, &p)) {
+    if (report) report->moments_matched = 3;
+    return PhaseType::coxian({mu1, mu2}, {p});
+  }
+  if (report) report->used_fallback = true;
+  return two_moment();
+}
+
+}  // namespace csq::dist

@@ -1,0 +1,60 @@
+// Continuous phase-type (PH) distributions: absorption time of a CTMC with
+// initial vector alpha and subgenerator T. Covers exponential, Erlang,
+// hyperexponential and Coxian as named constructors; arbitrary (alpha, T)
+// accepted with validation.
+#pragma once
+
+#include <vector>
+
+#include "dist/distribution.h"
+#include "jets/jet.h"
+#include "linalg/matrix.h"
+
+namespace csq::dist {
+
+class PhaseType final : public Distribution {
+ public:
+  // General constructor: alpha must be a probability vector over the phases,
+  // T a valid subgenerator (negative diagonal, nonnegative off-diagonal,
+  // nonpositive row sums with at least one strictly negative "exit").
+  PhaseType(std::vector<double> alpha, linalg::Matrix t);
+
+  static PhaseType exponential(double rate);
+  static PhaseType erlang(int k, double rate);
+  // Mixture of exponentials: with probability probs[i], Exp(rates[i]).
+  static PhaseType hyperexp(std::vector<double> probs, std::vector<double> rates);
+  // Coxian: phase i has rate rates[i]; after phase i < k-1, continue to phase
+  // i+1 with probability cont[i], else absorb. cont has size k-1.
+  static PhaseType coxian(std::vector<double> rates, std::vector<double> cont);
+  // Coxian with the given mean and squared coefficient of variation scv >= 1
+  // (two-moment match; the paper's "Coxian with appropriate mean and C^2=8").
+  static PhaseType coxian_mean_scv(double mean, double scv);
+
+  [[nodiscard]] std::size_t num_phases() const { return alpha_.size(); }
+  [[nodiscard]] const std::vector<double>& alpha() const { return alpha_; }
+  [[nodiscard]] const linalg::Matrix& subgenerator() const { return t_; }
+  // Exit (absorption) rate vector: -T * 1.
+  [[nodiscard]] const std::vector<double>& exit_rates() const { return exit_; }
+
+  [[nodiscard]] bool is_exponential() const { return num_phases() == 1; }
+  // For a one-phase PH, the exponential rate.
+  [[nodiscard]] double rate() const;
+
+  [[nodiscard]] double sample(Rng& rng) const override;
+  [[nodiscard]] double moment(int k) const override;
+  [[nodiscard]] std::string name() const override;
+
+  // Jet of the LST built from the first three moments.
+  [[nodiscard]] jets::Jet lst_jet() const;
+
+  // Same shape, mean scaled by `factor` (all rates divided by factor).
+  [[nodiscard]] PhaseType scaled(double factor) const;
+
+ private:
+  std::vector<double> alpha_;
+  linalg::Matrix t_;
+  std::vector<double> exit_;
+  double moments_[3];  // cached raw moments
+};
+
+}  // namespace csq::dist

@@ -1,0 +1,128 @@
+// Truncated Taylor-series ("jet") arithmetic, order 3 (four coefficients).
+//
+// Used to manipulate Laplace–Stieltjes transforms (LSTs) symbolically enough
+// to extract the first three moments of composed random variables — e.g. the
+// busy period started by a batch of jobs accumulated during an exponential
+// window (the B_{N+1} transition of the CS-CQ chain).
+//
+// A Jet stores Taylor *coefficients* c_k = f^(k)(0) / k!, so for an LST
+// f(s) = E[e^{-sX}] the k-th raw moment is E[X^k] = (-1)^k k! c_k.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace csq::jets {
+
+inline constexpr int kOrder = 4;  // number of stored coefficients
+
+struct Jet {
+  std::array<double, kOrder> c{};
+
+  constexpr double operator[](int i) const { return c[static_cast<std::size_t>(i)]; }
+  constexpr double& operator[](int i) { return c[static_cast<std::size_t>(i)]; }
+
+  static constexpr Jet constant(double v) { return Jet{{v, 0.0, 0.0, 0.0}}; }
+  // The identity series s.
+  static constexpr Jet variable() { return Jet{{0.0, 1.0, 0.0, 0.0}}; }
+};
+
+constexpr Jet operator+(const Jet& a, const Jet& b) {
+  Jet r;
+  for (int i = 0; i < kOrder; ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+constexpr Jet operator-(const Jet& a, const Jet& b) {
+  Jet r;
+  for (int i = 0; i < kOrder; ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+constexpr Jet operator-(const Jet& a) {
+  Jet r;
+  for (int i = 0; i < kOrder; ++i) r[i] = -a[i];
+  return r;
+}
+
+constexpr Jet operator*(double s, const Jet& a) {
+  Jet r;
+  for (int i = 0; i < kOrder; ++i) r[i] = s * a[i];
+  return r;
+}
+
+constexpr Jet operator*(const Jet& a, double s) { return s * a; }
+
+constexpr Jet operator+(const Jet& a, double s) {
+  Jet r = a;
+  r[0] += s;
+  return r;
+}
+constexpr Jet operator+(double s, const Jet& a) { return a + s; }
+constexpr Jet operator-(const Jet& a, double s) { return a + (-s); }
+constexpr Jet operator-(double s, const Jet& a) { return (-a) + s; }
+
+// Truncated Cauchy product.
+constexpr Jet operator*(const Jet& a, const Jet& b) {
+  Jet r;
+  for (int i = 0; i < kOrder; ++i)
+    for (int j = 0; i + j < kOrder; ++j) r[i + j] += a[i] * b[j];
+  return r;
+}
+
+// Series reciprocal; requires a nonzero constant term.
+inline Jet reciprocal(const Jet& a) {
+  if (a[0] == 0.0) throw std::domain_error("jets::reciprocal: zero constant term");
+  Jet r;
+  r[0] = 1.0 / a[0];
+  for (int k = 1; k < kOrder; ++k) {
+    double acc = 0.0;
+    for (int j = 1; j <= k; ++j) acc += a[j] * r[k - j];
+    r[k] = -acc / a[0];
+  }
+  return r;
+}
+
+inline Jet operator/(const Jet& a, const Jet& b) { return a * reciprocal(b); }
+inline Jet operator/(double s, const Jet& b) { return s * reciprocal(b); }
+constexpr Jet operator/(const Jet& a, double s) { return (1.0 / s) * a; }
+
+// Compose an analytic outer function with an inner series. The outer function
+// is given by its *plain* derivatives d[k] = g^(k)(a) evaluated at the inner
+// series' constant term a = inner[0]. Returns the jet of g(inner(s)).
+constexpr Jet compose(const std::array<double, kOrder>& outer_derivs_at_inner0,
+                      const Jet& inner) {
+  Jet u = inner;
+  u[0] = 0.0;  // u = inner - a
+  const Jet u2 = u * u;
+  const Jet u3 = u2 * u;
+  return Jet::constant(outer_derivs_at_inner0[0]) + outer_derivs_at_inner0[1] * u +
+         (outer_derivs_at_inner0[2] / 2.0) * u2 + (outer_derivs_at_inner0[3] / 6.0) * u3;
+}
+
+// Polynomial composition f(g(s)) where g has zero constant term.
+constexpr Jet compose0(const Jet& f, const Jet& g) {
+  if (g[0] != 0.0) throw std::domain_error("jets::compose0: inner constant term must be 0");
+  const Jet g2 = g * g;
+  const Jet g3 = g2 * g;
+  return Jet::constant(f[0]) + f[1] * g + f[2] * g2 + f[3] * g3;
+}
+
+// --- LST <-> moments -------------------------------------------------------
+
+struct RawMoments3 {
+  double m1 = 0, m2 = 0, m3 = 0;
+};
+
+// Jet of the LST E[e^{-sX}] of a random variable with the given raw moments.
+constexpr Jet lst_from_moments(double m1, double m2, double m3) {
+  return Jet{{1.0, -m1, m2 / 2.0, -m3 / 6.0}};
+}
+
+// Extract raw moments from an LST jet: E[X^k] = (-1)^k k! c_k.
+constexpr RawMoments3 moments_from_lst(const Jet& f) {
+  return {-f[1], 2.0 * f[2], -6.0 * f[3]};
+}
+
+}  // namespace csq::jets

@@ -1,0 +1,82 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace csq::linalg {
+
+Lu::Lu(Matrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("Lu: matrix not square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = static_cast<int>(i);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t piv = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, k));
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    if (best < 1e-300) throw std::domain_error("Lu: singular matrix");
+    if (piv != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
+      std::swap(perm_[k], perm_[piv]);
+      sign_ = -sign_;
+    }
+    const double d = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double m = lu_(r, k) / d;
+      lu_(r, k) = m;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= m * lu_(k, c);
+    }
+  }
+}
+
+std::vector<double> Lu::solve(std::vector<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw std::invalid_argument("Lu::solve: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[static_cast<std::size_t>(perm_[i])];
+  // Forward substitution (L has unit diagonal).
+  for (std::size_t i = 1; i < n; ++i)
+    for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu_(ii, j) * x[j];
+    x[ii] /= lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Lu::solve(const Matrix& b) const {
+  const std::size_t n = lu_.rows();
+  if (b.rows() != n) throw std::invalid_argument("Lu::solve: shape mismatch");
+  Matrix x(n, b.cols());
+  std::vector<double> col(n);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < n; ++r) col[r] = b(r, c);
+    const std::vector<double> xc = solve(col);
+    for (std::size_t r = 0; r < n; ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+double Lu::determinant() const {
+  double d = sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+std::vector<double> solve_left(const Matrix& a, const std::vector<double>& b) {
+  return Lu(a.transpose()).solve(b);
+}
+
+Matrix inverse(const Matrix& a) { return Lu(a).solve(Matrix::identity(a.rows())); }
+
+}  // namespace csq::linalg

@@ -1,0 +1,34 @@
+// LU factorization with partial pivoting, linear solves and inverses.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace csq::linalg {
+
+// PA = LU factorization of a square matrix. Throws std::domain_error on
+// (numerically) singular input.
+class Lu {
+ public:
+  explicit Lu(Matrix a);
+
+  // Solve A x = b.
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
+  // Solve A X = B column-by-column.
+  [[nodiscard]] Matrix solve(const Matrix& b) const;
+
+  [[nodiscard]] double determinant() const;
+
+ private:
+  Matrix lu_;               // packed L (unit diagonal, below) and U (on/above)
+  std::vector<int> perm_;   // row permutation
+  int sign_ = 1;
+};
+
+// Solve x A = b for a row vector x (i.e. A^T x^T = b^T).
+[[nodiscard]] std::vector<double> solve_left(const Matrix& a, const std::vector<double>& b);
+
+[[nodiscard]] Matrix inverse(const Matrix& a);
+
+}  // namespace csq::linalg

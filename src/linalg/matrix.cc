@@ -1,0 +1,124 @@
+#include "linalg/matrix.h"
+
+#include <cassert>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace csq::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+std::vector<double> Matrix::row_sums() const {
+  std::vector<double> s(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) s[r] += (*this)(r, c);
+  return s;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+
+Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
+  if (lhs.cols() != rhs.rows()) throw std::invalid_argument("Matrix*: shape mismatch");
+  Matrix out(lhs.rows(), rhs.cols());
+  for (std::size_t i = 0; i < lhs.rows(); ++i)
+    for (std::size_t k = 0; k < lhs.cols(); ++k) {
+      const double a = lhs(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols(); ++j) out(i, j) += a * rhs(k, j);
+    }
+  return out;
+}
+
+Matrix operator*(double s, Matrix m) { return m *= s; }
+Matrix operator*(Matrix m, double s) { return m *= s; }
+
+std::vector<double> operator*(const std::vector<double>& v, const Matrix& m) {
+  if (v.size() != m.rows()) throw std::invalid_argument("vec*Matrix: shape mismatch");
+  std::vector<double> out(m.cols(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double a = v[r];
+    if (a == 0.0) continue;
+    for (std::size_t c = 0; c < m.cols(); ++c) out[c] += a * m(r, c);
+  }
+  return out;
+}
+
+std::vector<double> operator*(const Matrix& m, const std::vector<double>& v) {
+  if (v.size() != m.cols()) throw std::invalid_argument("Matrix*vec: shape mismatch");
+  std::vector<double> out(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) out[r] += m(r, c) * v[c];
+  return out;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    os << (r == 0 ? "[" : " ");
+    for (std::size_t c = 0; c < m.cols(); ++c) os << (c ? ", " : "[") << m(r, c);
+    os << "]" << (r + 1 == m.rows() ? "]" : "\n");
+  }
+  return os;
+}
+
+}  // namespace csq::linalg

@@ -1,0 +1,17 @@
+// Erlang-C / M/M/c formulas — used to validate the CS-CQ analysis in the
+// limiting case lambda_L -> 0, where short jobs see an M/M/2 queue.
+#pragma once
+
+namespace csq::mg1 {
+
+// Erlang-C probability of waiting in M/M/c with offered load a = lambda/mu.
+// Requires a < c.
+[[nodiscard]] double erlang_c(int c, double offered_load);
+
+// Mean waiting time in M/M/c.
+[[nodiscard]] double mmc_wait(int c, double lambda, double mu);
+
+// Mean response time in M/M/c.
+[[nodiscard]] double mmc_response(int c, double lambda, double mu);
+
+}  // namespace csq::mg1

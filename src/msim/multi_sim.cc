@@ -1,0 +1,276 @@
+#include "msim/multi_sim.h"
+
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+namespace csq::msim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+using sim::Job;
+using sim::JobClass;
+
+struct Server {
+  bool busy = false;
+  double done = 0.0;
+  Job job;
+};
+
+// Shared mutable state the per-policy schedulers operate on.
+struct World {
+  int k = 0;  // short hosts: servers [0, k)
+  int m = 0;  // long hosts:  servers [k, k+m)
+  double now = 0.0;
+  std::vector<Server> servers;
+
+  [[nodiscard]] int total() const { return k + m; }
+  [[nodiscard]] bool idle(int s) const { return !servers[static_cast<std::size_t>(s)].busy; }
+  void start(int s, const Job& job) {
+    Server& sv = servers[static_cast<std::size_t>(s)];
+    if (sv.busy) throw std::logic_error("msim: server already busy");
+    sv.busy = true;
+    sv.job = job;
+    sv.done = now + job.size;
+  }
+  // Any idle server in [lo, hi), or -1.
+  [[nodiscard]] int find_idle(int lo, int hi) const {
+    for (int s = lo; s < hi; ++s)
+      if (idle(s)) return s;
+    return -1;
+  }
+  [[nodiscard]] int servers_serving_longs() const {
+    int n = 0;
+    for (const Server& s : servers)
+      if (s.busy && s.job.cls == JobClass::kLong) ++n;
+    return n;
+  }
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual void arrival(World& w, const Job& job) = 0;
+  virtual void freed(World& w, int server) = 0;
+};
+
+// Central FCFS queue per partition.
+class DedicatedScheduler final : public Scheduler {
+ public:
+  void arrival(World& w, const Job& job) override {
+    const bool is_short = job.cls == JobClass::kShort;
+    const int s = is_short ? w.find_idle(0, w.k) : w.find_idle(w.k, w.total());
+    if (s >= 0)
+      w.start(s, job);
+    else
+      (is_short ? shorts_ : longs_).push_back(job);
+  }
+  void freed(World& w, int server) override {
+    auto& q = server < w.k ? shorts_ : longs_;
+    if (!q.empty()) {
+      w.start(server, q.front());
+      q.pop_front();
+    }
+  }
+
+ private:
+  std::deque<Job> shorts_;
+  std::deque<Job> longs_;
+};
+
+// Immediate dispatch with idle-donor stealing; JSQ within each partition.
+class CsIdScheduler final : public Scheduler {
+ public:
+  explicit CsIdScheduler(const World& w)
+      : queues_(static_cast<std::size_t>(w.total())) {}
+
+  void arrival(World& w, const Job& job) override {
+    if (job.cls == JobClass::kShort) {
+      const int donor = w.find_idle(w.k, w.total());
+      if (donor >= 0) {
+        w.start(donor, job);
+        return;
+      }
+      dispatch_jsq(w, job, 0, w.k);
+      return;
+    }
+    dispatch_jsq(w, job, w.k, w.total());
+  }
+  void freed(World& w, int server) override {
+    auto& q = queues_[static_cast<std::size_t>(server)];
+    if (!q.empty()) {
+      w.start(server, q.front());
+      q.pop_front();
+    }
+  }
+
+ private:
+  void dispatch_jsq(World& w, const Job& job, int lo, int hi) {
+    int best = lo;
+    std::size_t best_len = std::numeric_limits<std::size_t>::max();
+    for (int s = lo; s < hi; ++s) {
+      const std::size_t len =
+          queues_[static_cast<std::size_t>(s)].size() + (w.idle(s) ? 0 : 1);
+      if (len < best_len) {
+        best_len = len;
+        best = s;
+      }
+    }
+    if (w.idle(best))
+      w.start(best, job);
+    else
+      queues_[static_cast<std::size_t>(best)].push_back(job);
+  }
+
+  std::vector<std::deque<Job>> queues_;
+};
+
+// Central queue per class; at most m servers serve longs at a time.
+class CsCqScheduler final : public Scheduler {
+ public:
+  void arrival(World& w, const Job& job) override {
+    (job.cls == JobClass::kShort ? shorts_ : longs_).push_back(job);
+    schedule(w);
+  }
+  void freed(World& w, int server) override {
+    (void)server;
+    schedule(w);
+  }
+
+ private:
+  void schedule(World& w) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int s = 0; s < w.total(); ++s) {
+        if (!w.idle(s)) continue;
+        if (!longs_.empty() && w.servers_serving_longs() < w.m) {
+          w.start(s, longs_.front());
+          longs_.pop_front();
+          progress = true;
+        } else if (!shorts_.empty()) {
+          w.start(s, shorts_.front());
+          shorts_.pop_front();
+          progress = true;
+        }
+      }
+    }
+  }
+
+  std::deque<Job> shorts_;
+  std::deque<Job> longs_;
+};
+
+}  // namespace
+
+const char* multi_policy_name(MultiPolicy p) {
+  switch (p) {
+    case MultiPolicy::kDedicated: return "Dedicated";
+    case MultiPolicy::kCsId: return "CS-ID";
+    case MultiPolicy::kCsCq: return "CS-CQ";
+  }
+  return "?";
+}
+
+MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
+                           const sim::SimOptions& opts) {
+  config.workload.validate();
+  if (config.short_hosts < 1 || config.long_hosts < 1)
+    throw std::invalid_argument("simulate_multi: need >= 1 host per partition");
+  if (opts.total_completions < 100)
+    throw std::invalid_argument("simulate_multi: total_completions too small");
+
+  World w;
+  w.k = config.short_hosts;
+  w.m = config.long_hosts;
+  w.servers.resize(static_cast<std::size_t>(w.total()));
+
+  std::unique_ptr<Scheduler> sched;
+  switch (policy) {
+    case MultiPolicy::kDedicated: sched = std::make_unique<DedicatedScheduler>(); break;
+    case MultiPolicy::kCsId: sched = std::make_unique<CsIdScheduler>(w); break;
+    case MultiPolicy::kCsCq: sched = std::make_unique<CsCqScheduler>(); break;
+  }
+
+  dist::Rng rng = sim::make_rng(opts.seed, /*stream=*/7);
+  dist::MapProcess::State map_state;
+  if (config.workload.short_arrivals)
+    map_state = config.workload.short_arrivals->stationary_state(rng);
+  const auto draw_gap = [&](JobClass cls) {
+    if (cls == JobClass::kShort && config.workload.short_arrivals)
+      return config.workload.short_arrivals->next_interarrival(map_state, rng);
+    const double rate = cls == JobClass::kShort ? config.workload.lambda_short
+                                                : config.workload.lambda_long;
+    if (rate <= 0.0) return kInf;
+    return std::exponential_distribution<double>(rate)(rng);
+  };
+  const auto draw_size = [&](JobClass cls) {
+    return (cls == JobClass::kShort ? *config.workload.short_size
+                                    : *config.workload.long_size)
+        .sample(rng);
+  };
+
+  double next_arrival[2] = {draw_gap(JobClass::kShort), draw_gap(JobClass::kLong)};
+  std::size_t completions = 0;
+  const auto warmup =
+      static_cast<std::size_t>(opts.warmup_fraction * static_cast<double>(opts.total_completions));
+  sim::BatchMeans resp_short(opts.batches), resp_long(opts.batches);
+  std::vector<double> busy(w.servers.size(), 0.0);
+  double last_event = 0.0;
+
+  while (completions < opts.total_completions) {
+    double t = next_arrival[0];
+    int ev = 0;  // 0/1 arrivals, 2+s completion on server s
+    if (next_arrival[1] < t) {
+      t = next_arrival[1];
+      ev = 1;
+    }
+    for (int s = 0; s < w.total(); ++s) {
+      const Server& sv = w.servers[static_cast<std::size_t>(s)];
+      if (sv.busy && sv.done < t) {
+        t = sv.done;
+        ev = 2 + s;
+      }
+    }
+    if (t == kInf) throw std::logic_error("simulate_multi: no events");
+    const double dt = t - last_event;
+    for (std::size_t s = 0; s < w.servers.size(); ++s)
+      if (w.servers[s].busy) busy[s] += dt;
+    last_event = t;
+    w.now = t;
+
+    if (ev <= 1) {
+      const JobClass cls = static_cast<JobClass>(ev);
+      const Job job{w.now, draw_size(cls), cls};
+      next_arrival[ev] = w.now + draw_gap(cls);
+      sched->arrival(w, job);
+    } else {
+      const int s = ev - 2;
+      Server& sv = w.servers[static_cast<std::size_t>(s)];
+      const Job done = sv.job;
+      sv.busy = false;
+      ++completions;
+      if (completions > warmup)
+        (done.cls == JobClass::kShort ? resp_short : resp_long).add(w.now - done.arrival);
+      sched->freed(w, s);
+    }
+  }
+
+  MultiResult res;
+  res.shorts = {resp_short.count(), resp_short.mean(), resp_short.ci95_halfwidth()};
+  res.longs = {resp_long.count(), resp_long.mean(), resp_long.ci95_halfwidth()};
+  res.sim_time = w.now;
+  for (int s = 0; s < w.k; ++s)
+    res.short_partition_utilization += busy[static_cast<std::size_t>(s)] / (w.now * w.k);
+  for (int s = w.k; s < w.total(); ++s)
+    res.long_partition_utilization += busy[static_cast<std::size_t>(s)] / (w.now * w.m);
+  return res;
+}
+
+}  // namespace csq::msim

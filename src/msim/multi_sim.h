@@ -1,0 +1,44 @@
+// Multi-host generalization of the simulator: k short (beneficiary) hosts
+// plus m long (donor) hosts. The paper analyzes the 2-host instance and
+// lists real installations with 2-8 hosts (Table 1); this module lets a
+// user study cycle stealing at those sizes by simulation.
+//
+// Policies:
+//   Dedicated — central FCFS queue per partition (M/G/k per class);
+//   CS-ID     — immediate dispatch: an arriving short grabs an idle donor
+//               if one exists, else joins the shortest short-host queue
+//               (JSQ); longs JSQ among donors and never migrate;
+//   CS-CQ     — one central queue per class; a freed host takes a long if
+//               fewer than m hosts are serving longs, else a short (the
+//               renamable-hosts invariant, generalized).
+#pragma once
+
+#include "core/config.h"
+#include "sim/simulator.h"
+
+namespace csq::msim {
+
+enum class MultiPolicy { kDedicated, kCsId, kCsCq };
+
+[[nodiscard]] const char* multi_policy_name(MultiPolicy p);
+
+struct MultiConfig {
+  int short_hosts = 1;
+  int long_hosts = 1;
+  SystemConfig workload;
+};
+
+struct MultiResult {
+  sim::ClassStats shorts;
+  sim::ClassStats longs;
+  double short_partition_utilization = 0.0;  // busy fraction averaged over partition
+  double long_partition_utilization = 0.0;
+  double sim_time = 0.0;
+};
+
+// Throws std::invalid_argument on malformed configs. Uses seed/completions/
+// warmup/batches from SimOptions (server_speeds and tags_cutoff ignored).
+[[nodiscard]] MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
+                                         const sim::SimOptions& opts = {});
+
+}  // namespace csq::msim

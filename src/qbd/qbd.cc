@@ -1,0 +1,267 @@
+#include "qbd/qbd.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.h"
+
+namespace csq::qbd {
+
+namespace {
+
+// Fill the diagonal of `local` so that each generator row sums to zero given
+// the other blocks in that block-row.
+void fill_diagonal(Matrix& local, const std::vector<const Matrix*>& others) {
+  for (std::size_t i = 0; i < local.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < local.cols(); ++j)
+      if (j != i) s += local(i, j);
+    for (const Matrix* m : others)
+      if (!m->empty())
+        for (std::size_t j = 0; j < m->cols(); ++j) s += (*m)(i, j);
+    local(i, i) = -s;
+  }
+}
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+double Solution::r_row_sum_max() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < r.cols(); ++j) s += r(i, j);
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double Solution::mean_level() const {
+  const std::size_t k = boundary_pi.size();
+  double mean = 0.0;
+  for (std::size_t i = 0; i < k; ++i) mean += static_cast<double>(i) * linalg::sum(boundary_pi[i]);
+  const std::vector<double> tail = pi_k * i_minus_r_inv;           // sum_j pi_K R^j
+  const std::vector<double> tail2 = (tail * i_minus_r_inv) * r;    // sum_j j pi_K R^j
+  mean += static_cast<double>(k) * linalg::sum(tail) + linalg::sum(tail2);
+  return mean;
+}
+
+double Solution::level_probability(std::size_t n) const {
+  const std::size_t k = boundary_pi.size();
+  if (n < k) return linalg::sum(boundary_pi[n]);
+  std::vector<double> v = pi_k;
+  for (std::size_t j = k; j < n; ++j) v = v * r;
+  return linalg::sum(v);
+}
+
+std::vector<double> Solution::repeating_mass_by_phase() const { return pi_k * i_minus_r_inv; }
+
+double Solution::level_tail(std::size_t n) const {
+  const std::size_t k = boundary_pi.size();
+  double below = 0.0;
+  for (std::size_t i = 0; i < k && i <= n; ++i) below += linalg::sum(boundary_pi[i]);
+  if (n < k) return 1.0 - below;
+  // P(level > n) = pi_K R^{n-K+1} (I-R)^{-1} 1.
+  std::vector<double> v = pi_k;
+  for (std::size_t j = k; j <= n; ++j) v = v * r;
+  return linalg::sum(v * i_minus_r_inv);
+}
+
+double Solution::tail_decay_rate() const {
+  const std::size_t m = r.rows();
+  std::vector<double> v(m, 1.0);
+  double norm = 0.0;
+  for (int it = 0; it < 500; ++it) {
+    v = r * v;
+    norm = 0.0;
+    for (double x : v) norm = std::max(norm, std::abs(x));
+    if (norm == 0.0) return 0.0;
+    for (double& x : v) x /= norm;
+  }
+  return norm;
+}
+
+std::size_t Solution::level_quantile(double q) const {
+  if (q <= 0.0 || q >= 1.0) throw std::invalid_argument("level_quantile: q must be in (0,1)");
+  double cdf = 0.0;
+  const std::size_t k = boundary_pi.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    cdf += linalg::sum(boundary_pi[i]);
+    if (cdf >= q) return i;
+  }
+  std::vector<double> v = pi_k;
+  for (std::size_t n = k;; ++n) {
+    cdf += linalg::sum(v);
+    if (cdf >= q) return n;
+    v = v * r;
+    if (n > k + 100000000) throw std::logic_error("level_quantile: runaway");
+  }
+}
+
+double Solution::total_mass() const {
+  double s = 0.0;
+  for (const auto& b : boundary_pi) s += linalg::sum(b);
+  return s + linalg::sum(repeating_mass_by_phase());
+}
+
+Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Options& opts) {
+  const std::size_t m = a0.rows();
+  require(a0.cols() == m && a1.rows() == m && a1.cols() == m && a2.rows() == m &&
+              a2.cols() == m,
+          "solve_r: blocks must be square and same size");
+  const Matrix a1_inv = linalg::inverse(a1);
+  Matrix r(m, m);
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    // R <- -(A0 + R^2 A2) A1^{-1}
+    Matrix next = (-1.0) * ((a0 + r * r * a2) * a1_inv);
+    const double diff = (next - r).max_abs();
+    r = std::move(next);
+    if (r.max_abs() > 1e6) throw std::domain_error("solve_r: iteration diverged (unstable QBD?)");
+    if (diff < opts.tolerance) {
+      // Positive recurrence check: sp(R) < 1. Power-iterate a few steps.
+      std::vector<double> v(m, 1.0);
+      double norm = 1.0;
+      for (int p = 0; p < 200; ++p) {
+        v = r * v;
+        norm = 0.0;
+        for (double x : v) norm = std::max(norm, std::abs(x));
+        if (norm == 0.0) break;
+        for (double& x : v) x /= norm;
+      }
+      if (norm >= 1.0 - 1e-10)
+        throw std::domain_error("solve_r: spectral radius >= 1 (QBD not positive recurrent)");
+      return r;
+    }
+  }
+  throw std::domain_error("solve_r: functional iteration did not converge");
+}
+
+Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
+                      const Options& opts) {
+  // Logarithmic reduction (Latouche & Ramaswami 1999, Ch. 8).
+  const std::size_t m = a0.rows();
+  const Matrix neg_a1_inv = linalg::inverse((-1.0) * a1);
+  Matrix h = neg_a1_inv * a0;  // "up" probability block
+  Matrix l = neg_a1_inv * a2;  // "down" probability block
+  Matrix g = l;
+  Matrix t = h;
+  for (int it = 0; it < 64; ++it) {
+    const Matrix u = h * l + l * h;
+    const Matrix m2 = linalg::inverse(Matrix::identity(m) - u);
+    const Matrix h2 = m2 * (h * h);
+    const Matrix l2 = m2 * (l * l);
+    g += t * l2;
+    t = t * h2;
+    h = h2;
+    l = l2;
+    if (t.max_abs() < opts.tolerance) break;
+  }
+  return g;
+}
+
+Matrix r_from_g(const Matrix& a0, const Matrix& a1, const Matrix& g) {
+  return a0 * linalg::inverse((-1.0) * a1 - a0 * g);
+}
+
+Solution solve(const Model& model, const Options& opts) {
+  const std::size_t k = model.boundary.size();
+  require(k >= 1, "qbd::solve: need at least one boundary level");
+  const std::size_t m = model.a0.rows();
+  require(model.a1.rows() == m && model.a2.rows() == m && model.first_down.rows() == m,
+          "qbd::solve: repeating block shape mismatch");
+
+  // Copy and complete diagonals.
+  std::vector<Matrix> local(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const BoundaryLevel& b = model.boundary[i];
+    const std::size_t bi = b.local.rows();
+    require(b.local.cols() == bi, "qbd::solve: boundary local not square");
+    if (i == 0)
+      require(b.down.empty(), "qbd::solve: level 0 must have no down block");
+    else
+      require(b.down.rows() == bi && b.down.cols() == model.boundary[i - 1].local.rows(),
+              "qbd::solve: boundary down block shape mismatch");
+    const std::size_t up_cols = (i + 1 < k) ? model.boundary[i + 1].local.rows() : m;
+    require(b.up.rows() == bi && b.up.cols() == up_cols,
+            "qbd::solve: boundary up block shape mismatch");
+    local[i] = b.local;
+    std::vector<const Matrix*> others{&b.up};
+    if (i > 0) others.push_back(&b.down);
+    fill_diagonal(local[i], others);
+  }
+  require(model.first_down.cols() == model.boundary[k - 1].local.rows(),
+          "qbd::solve: first_down shape mismatch");
+  // The repeating diagonal must be level-independent: first_down and a2 must
+  // carry the same per-row outflow.
+  {
+    const std::vector<double> fd = model.first_down.row_sums();
+    const std::vector<double> a2s = model.a2.row_sums();
+    for (std::size_t i = 0; i < m; ++i)
+      require(std::abs(fd[i] - a2s[i]) < 1e-9,
+              "qbd::solve: first_down row sums must match a2 row sums");
+  }
+  Matrix a1 = model.a1;
+  {
+    std::vector<const Matrix*> others{&model.a0, &model.a2};
+    fill_diagonal(a1, others);
+  }
+
+  const Matrix r = solve_r(model.a0, a1, model.a2, opts);
+  const Matrix i_minus_r_inv = linalg::inverse(Matrix::identity(m) - r);
+
+  // Assemble boundary balance equations. Unknowns x = (pi_0,...,pi_{k-1},pi_K).
+  std::vector<std::size_t> offset(k + 1);
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    offset[i] = n;
+    n += local[i].rows();
+  }
+  offset[k] = n;
+  n += m;
+
+  // e[r][c]: coefficient of unknown r in balance equation c (x * E = 0).
+  Matrix e(n, n);
+  const auto add_block = [&e](std::size_t row0, std::size_t col0, const Matrix& blk) {
+    for (std::size_t i = 0; i < blk.rows(); ++i)
+      for (std::size_t j = 0; j < blk.cols(); ++j) e(row0 + i, col0 + j) += blk(i, j);
+  };
+  for (std::size_t i = 0; i < k; ++i) {
+    add_block(offset[i], offset[i], local[i]);
+    add_block(offset[i], offset[i + 1], model.boundary[i].up);
+    if (i > 0) add_block(offset[i], offset[i - 1], model.boundary[i].down);
+  }
+  // Level K equations: pi_{K-1} U_{K-1} (added above) + pi_K (A1 + R A2).
+  add_block(offset[k], offset[k], a1 + r * model.a2);
+  // Level K's down-flow into level K-1's equations.
+  add_block(offset[k], offset[k - 1], model.first_down);
+
+  // Replace equation 0 with normalization:
+  // sum boundary + pi_K (I-R)^{-1} 1 = 1.
+  for (std::size_t row = 0; row < n; ++row) e(row, 0) = 0.0;
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < local[i].rows(); ++j) e(offset[i] + j, 0) = 1.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < m; ++j) s += i_minus_r_inv(i, j);
+    e(offset[k] + i, 0) = s;
+  }
+
+  std::vector<double> rhs(n, 0.0);
+  rhs[0] = 1.0;
+  const std::vector<double> x = linalg::Lu(e.transpose()).solve(rhs);
+
+  Solution sol;
+  sol.r = r;
+  sol.i_minus_r_inv = i_minus_r_inv;
+  sol.boundary_pi.resize(k);
+  for (std::size_t i = 0; i < k; ++i)
+    sol.boundary_pi[i].assign(x.begin() + static_cast<std::ptrdiff_t>(offset[i]),
+                              x.begin() + static_cast<std::ptrdiff_t>(offset[i + 1]));
+  sol.pi_k.assign(x.begin() + static_cast<std::ptrdiff_t>(offset[k]), x.end());
+  return sol;
+}
+
+}  // namespace csq::qbd

@@ -1,0 +1,100 @@
+// Quasi-birth-death (QBD) process solver (matrix-analytic method).
+//
+// Supports the chain shape the paper's analysis needs: a few heterogeneous
+// boundary levels (phase sets may differ level to level) followed by an
+// infinite level-independent repeating portion. The stationary distribution
+// of the repeating portion is matrix-geometric: pi_{K+j} = pi_K R^j, where R
+// is the minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0
+// (Neuts 1981; Latouche & Ramaswami 1999).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace csq::qbd {
+
+using linalg::Matrix;
+
+// One boundary level. `local` holds within-level transition *rates*
+// (off-diagonal; the solver fills diagonals so generator rows sum to zero),
+// `up` the rates to the next level, `down` the rates to the previous level
+// (empty for level 0).
+struct BoundaryLevel {
+  Matrix local;
+  Matrix up;
+  Matrix down;
+};
+
+// QBD model: boundary levels 0..K-1, then repeating levels K, K+1, ... with
+// blocks a0 (up), a1 (within-level, off-diagonal only), a2 (down). The first
+// repeating level K transitions down into boundary level K-1 via
+// `first_down` (m x b_{K-1}); its per-row rate totals must match a2's so the
+// repeating generator row sums stay level-independent.
+struct Model {
+  std::vector<BoundaryLevel> boundary;
+  Matrix a0, a1, a2;
+  Matrix first_down;
+};
+
+struct Options {
+  double tolerance = 1e-13;
+  int max_iterations = 200000;
+};
+
+struct Solution {
+  std::vector<std::vector<double>> boundary_pi;  // stationary mass, levels 0..K-1
+  std::vector<double> pi_k;                      // level K (first repeating)
+  Matrix r;                                      // rate matrix R
+  Matrix i_minus_r_inv;                          // (I - R)^{-1}
+
+  // Spectral-radius proxy: max row sum of R (< 1 for positive recurrence).
+  [[nodiscard]] double r_row_sum_max() const;
+
+  // E[level] with boundary level i worth i and repeating level K+j worth K+j.
+  [[nodiscard]] double mean_level() const;
+
+  // P(level == n).
+  [[nodiscard]] double level_probability(std::size_t n) const;
+
+  // P(level > n) — exact partial sums for the boundary plus the closed-form
+  // matrix-geometric tail.
+  [[nodiscard]] double level_tail(std::size_t n) const;
+
+  // Asymptotic decay rate of the level distribution: the spectral radius of
+  // R, so P(level = n) ~ c * rate^n for large n. Power iteration.
+  [[nodiscard]] double tail_decay_rate() const;
+
+  // Smallest n with P(level <= n) >= q (q in (0,1)); e.g. q = 0.99 bounds
+  // the backlog a provisioner must absorb.
+  [[nodiscard]] std::size_t level_quantile(double q) const;
+
+  // Stationary mass of each repeating-portion phase, summed over all levels
+  // >= K: pi_K (I-R)^{-1}.
+  [[nodiscard]] std::vector<double> repeating_mass_by_phase() const;
+
+  // Total stationary mass (== 1 up to numerical error; used by tests).
+  [[nodiscard]] double total_mass() const;
+};
+
+// Solve the QBD. Throws std::domain_error if the process is not positive
+// recurrent (R iteration diverges / spectral radius >= 1) and
+// std::invalid_argument for malformed models.
+[[nodiscard]] Solution solve(const Model& model, const Options& opts = {});
+
+// Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0 by functional
+// iteration R <- -(A0 + R^2 A2) A1^{-1}. a1 must carry its diagonal.
+[[nodiscard]] Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
+                             const Options& opts = {});
+
+// G matrix by logarithmic reduction (Latouche-Ramaswami); used as an
+// independent cross-check of solve_r in the test-suite.
+// G solves A2 + A1 G + A0 G^2 = 0 (first-passage probabilities down a level).
+[[nodiscard]] Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
+                                    const Options& opts = {});
+
+// R from G: R = A0 (-A1 - A0 G)^{-1}.
+[[nodiscard]] Matrix r_from_g(const Matrix& a0, const Matrix& a1, const Matrix& g);
+
+}  // namespace csq::qbd

@@ -1,0 +1,319 @@
+// The five task-assignment policies the paper discusses, as simulator
+// schedulers. Server 1 plays the "long host" / donor role wherever the
+// policy distinguishes hosts; under CS-CQ hosts are renamable, so the
+// scheduler only maintains the invariant that at most one server serves
+// longs at a time.
+#include <algorithm>
+#include <array>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "sim/simulator.h"
+
+namespace csq::sim {
+
+namespace {
+
+class DedicatedPolicy final : public Policy {
+ public:
+  void on_arrival(Engine& eng, const Job& job) override {
+    const int host = job.cls == JobClass::kShort ? 0 : 1;
+    if (eng.server_idle(host))
+      eng.start(host, job);
+    else
+      queue_[static_cast<std::size_t>(host)].push_back(job);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    auto& q = queue_[static_cast<std::size_t>(server)];
+    if (!q.empty()) {
+      eng.start(server, q.front());
+      q.pop_front();
+    }
+  }
+
+ private:
+  std::array<std::deque<Job>, 2> queue_;
+};
+
+class CsIdPolicy final : public Policy {
+ public:
+  void on_arrival(Engine& eng, const Job& job) override {
+    if (job.cls == JobClass::kLong) {
+      if (eng.server_idle(1))
+        eng.start(1, job);
+      else
+        long_queue_.push_back(job);
+      return;
+    }
+    // A short steals the long host only if it is idle at this instant.
+    if (eng.server_idle(1))
+      eng.start(1, job);
+    else if (eng.server_idle(0))
+      eng.start(0, job);
+    else
+      short_queue_.push_back(job);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    if (server == 0) {
+      if (!short_queue_.empty()) {
+        eng.start(0, short_queue_.front());
+        short_queue_.pop_front();
+      }
+      return;
+    }
+    // The long host serves its own (long) queue; queued shorts never move to
+    // it under immediate dispatch.
+    if (!long_queue_.empty()) {
+      eng.start(1, long_queue_.front());
+      long_queue_.pop_front();
+    }
+  }
+
+ private:
+  std::deque<Job> short_queue_;
+  std::deque<Job> long_queue_;
+};
+
+class CsCqPolicy final : public Policy {
+ public:
+  void on_arrival(Engine& eng, const Job& job) override {
+    (job.cls == JobClass::kShort ? short_queue_ : long_queue_).push_back(job);
+    schedule(eng);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    (void)server;
+    schedule(eng);
+  }
+
+ private:
+  void schedule(Engine& eng) {
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int s = 0; s < 2; ++s) {
+        if (!eng.server_idle(s)) continue;
+        const int o = 1 - s;
+        const bool other_serving_long =
+            !eng.server_idle(o) && eng.server_job_class(o) == JobClass::kLong;
+        if (!long_queue_.empty() && !other_serving_long) {
+          // This server becomes (or stays) the long host.
+          eng.start(s, long_queue_.front());
+          long_queue_.pop_front();
+          progress = true;
+        } else if (!short_queue_.empty()) {
+          eng.start(s, short_queue_.front());
+          short_queue_.pop_front();
+          progress = true;
+        }
+      }
+    }
+  }
+
+  std::deque<Job> short_queue_;
+  std::deque<Job> long_queue_;
+};
+
+// CS-CQ with a FIXED long host (server 1): server 0 never serves longs, so
+// a long arriving while server 1 runs a short must wait even if server 0 is
+// idle. Quantifies what renaming buys (the paper credits renaming for
+// CS-CQ's long-job penalty being lower than CS-ID's).
+class CsCqNoRenamePolicy final : public Policy {
+ public:
+  void on_arrival(Engine& eng, const Job& job) override {
+    (job.cls == JobClass::kShort ? short_queue_ : long_queue_).push_back(job);
+    schedule(eng);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    (void)server;
+    schedule(eng);
+  }
+
+ private:
+  void schedule(Engine& eng) {
+    if (eng.server_idle(1)) {
+      if (!long_queue_.empty()) {
+        eng.start(1, long_queue_.front());
+        long_queue_.pop_front();
+      } else if (!short_queue_.empty()) {
+        eng.start(1, short_queue_.front());
+        short_queue_.pop_front();
+      }
+    }
+    if (eng.server_idle(0) && !short_queue_.empty()) {
+      eng.start(0, short_queue_.front());
+      short_queue_.pop_front();
+    }
+  }
+
+  std::deque<Job> short_queue_;
+  std::deque<Job> long_queue_;
+};
+
+// Least-Work-Remaining immediate dispatch: each arrival goes to the host
+// with the smaller backlog (in-service remainder plus queued work) and is
+// served FCFS there. Provably equivalent to central-queue M/G/k FCFS
+// (Harchol-Balter, JACM 2002) — the test-suite checks that equivalence.
+class LwrPolicy final : public Policy {
+ public:
+  void on_arrival(Engine& eng, const Job& job) override {
+    const auto backlog = [&](int s) {
+      return eng.server_remaining(s) +
+             queued_work_[static_cast<std::size_t>(s)] / eng.server_speed(s);
+    };
+    const int target = backlog(0) <= backlog(1) ? 0 : 1;
+    if (eng.server_idle(target)) {
+      eng.start(target, job);
+    } else {
+      queue_[static_cast<std::size_t>(target)].push_back(job);
+      queued_work_[static_cast<std::size_t>(target)] += job.size;
+    }
+  }
+  void on_server_free(Engine& eng, int server) override {
+    auto& q = queue_[static_cast<std::size_t>(server)];
+    if (!q.empty()) {
+      queued_work_[static_cast<std::size_t>(server)] -= q.front().size;
+      eng.start(server, q.front());
+      q.pop_front();
+    }
+  }
+
+ private:
+  std::array<std::deque<Job>, 2> queue_;
+  std::array<double, 2> queued_work_{};
+};
+
+// TAGS (Task Assignment by Guessing Size): all jobs start at host 0, FCFS,
+// but are only granted `cutoff` units of work there; a job that exceeds the
+// cutoff is killed and restarted FROM SCRATCH at host 1, which runs to
+// completion. No size or class knowledge is used — the cutoff alone
+// segregates shorts from longs (at the price of the wasted cutoff work).
+class TagsPolicy final : public Policy {
+ public:
+  explicit TagsPolicy(double cutoff) : cutoff_(cutoff) {
+    if (cutoff <= 0.0) throw std::invalid_argument("TAGS: cutoff must be positive");
+  }
+
+  void on_arrival(Engine& eng, const Job& job) override {
+    if (eng.server_idle(0))
+      eng.start(0, job, std::min(job.size, cutoff_));
+    else
+      first_queue_.push_back(job);
+  }
+  bool on_service_end(Engine& eng, int server, const Job& job) override {
+    if (server == 0 && job.size > cutoff_) {
+      // Killed at the cutoff: restart from scratch at the overflow host.
+      if (eng.server_idle(1))
+        eng.start(1, job);
+      else
+        overflow_queue_.push_back(job);
+      return false;
+    }
+    return true;
+  }
+  void on_server_free(Engine& eng, int server) override {
+    if (server == 0) {
+      if (!first_queue_.empty()) {
+        eng.start(0, first_queue_.front(), std::min(first_queue_.front().size, cutoff_));
+        first_queue_.pop_front();
+      }
+    } else if (!overflow_queue_.empty()) {
+      eng.start(1, overflow_queue_.front());
+      overflow_queue_.pop_front();
+    }
+  }
+
+ private:
+  double cutoff_;
+  std::deque<Job> first_queue_;
+  std::deque<Job> overflow_queue_;
+};
+
+// Round-Robin immediate dispatch, per-host FCFS — the blind baseline the
+// paper calls "by far the most common task assignment policy".
+class RoundRobinPolicy final : public Policy {
+ public:
+  void on_arrival(Engine& eng, const Job& job) override {
+    const int host = next_;
+    next_ = 1 - next_;
+    if (eng.server_idle(host))
+      eng.start(host, job);
+    else
+      queue_[static_cast<std::size_t>(host)].push_back(job);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    auto& q = queue_[static_cast<std::size_t>(server)];
+    if (!q.empty()) {
+      eng.start(server, q.front());
+      q.pop_front();
+    }
+  }
+
+ private:
+  int next_ = 0;
+  std::array<std::deque<Job>, 2> queue_;
+};
+
+class Mg2FcfsPolicy final : public Policy {
+ public:
+  void on_arrival(Engine& eng, const Job& job) override {
+    for (int s = 0; s < 2; ++s) {
+      if (eng.server_idle(s)) {
+        eng.start(s, job);
+        return;
+      }
+    }
+    queue_.push_back(job);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    if (!queue_.empty()) {
+      eng.start(server, queue_.front());
+      queue_.pop_front();
+    }
+  }
+
+ private:
+  std::deque<Job> queue_;
+};
+
+// Non-preemptive shortest-job-first at both servers (Section 6's M/G/2/SJF).
+class Mg2SjfPolicy final : public Policy {
+ public:
+  void on_arrival(Engine& eng, const Job& job) override {
+    for (int s = 0; s < 2; ++s) {
+      if (eng.server_idle(s)) {
+        eng.start(s, job);
+        return;
+      }
+    }
+    queue_.emplace(job.size, job);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    if (!queue_.empty()) {
+      eng.start(server, queue_.begin()->second);
+      queue_.erase(queue_.begin());
+    }
+  }
+
+ private:
+  std::multimap<double, Job> queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<Policy> make_policy(PolicyKind kind, const SimOptions& opts) {
+  switch (kind) {
+    case PolicyKind::kDedicated: return std::make_unique<DedicatedPolicy>();
+    case PolicyKind::kCsId: return std::make_unique<CsIdPolicy>();
+    case PolicyKind::kCsCq: return std::make_unique<CsCqPolicy>();
+    case PolicyKind::kCsCqNoRename: return std::make_unique<CsCqNoRenamePolicy>();
+    case PolicyKind::kMg2Fcfs: return std::make_unique<Mg2FcfsPolicy>();
+    case PolicyKind::kMg2Sjf: return std::make_unique<Mg2SjfPolicy>();
+    case PolicyKind::kLwr: return std::make_unique<LwrPolicy>();
+    case PolicyKind::kTags: return std::make_unique<TagsPolicy>(opts.tags_cutoff);
+    case PolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
+  }
+  throw std::invalid_argument("make_policy: unknown kind");
+}
+
+}  // namespace csq::sim

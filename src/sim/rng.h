@@ -1,0 +1,15 @@
+// Seeding helpers for the simulator's random number generation.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/distribution.h"
+
+namespace csq::sim {
+
+// Deterministically derive a well-mixed RNG from (seed, stream) so replicas
+// and parameter sweeps get independent, reproducible streams
+// (splitmix64-style seeding of std::mt19937_64).
+[[nodiscard]] dist::Rng make_rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+}  // namespace csq::sim

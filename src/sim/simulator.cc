@@ -1,0 +1,136 @@
+#include "sim/simulator.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "sim/rng.h"
+
+namespace csq::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kDedicated: return "Dedicated";
+    case PolicyKind::kCsId: return "CS-ID";
+    case PolicyKind::kCsCq: return "CS-CQ";
+    case PolicyKind::kCsCqNoRename: return "CS-CQ-norename";
+    case PolicyKind::kMg2Fcfs: return "M/G/2-FCFS";
+    case PolicyKind::kMg2Sjf: return "M/G/2-SJF";
+    case PolicyKind::kLwr: return "LWR";
+    case PolicyKind::kTags: return "TAGS";
+    case PolicyKind::kRoundRobin: return "Round-Robin";
+  }
+  return "?";
+}
+
+Engine::Engine(const SystemConfig& config, const SimOptions& opts)
+    : config_(config),
+      opts_(opts),
+      rng_(make_rng(opts.seed)),
+      resp_short_(opts.batches),
+      resp_long_(opts.batches) {
+  config_.validate();
+  if (opts_.total_completions < 100)
+    throw std::invalid_argument("SimOptions: total_completions too small");
+  if (opts_.server_speeds[0] <= 0.0 || opts_.server_speeds[1] <= 0.0)
+    throw std::invalid_argument("SimOptions: server speeds must be positive");
+  warmup_completions_ =
+      static_cast<std::size_t>(opts_.warmup_fraction * static_cast<double>(opts_.total_completions));
+}
+
+void Engine::start(int server, const Job& job, double work) {
+  Server& s = servers_[static_cast<std::size_t>(server)];
+  if (s.busy) throw std::logic_error("Engine::start: server already busy");
+  s.busy = true;
+  s.job = job;
+  const double amount = work < 0.0 ? job.size : work;
+  s.done = now_ + amount / opts_.server_speeds[static_cast<std::size_t>(server)];
+}
+
+void Engine::record_completion(const Job& job) {
+  ++completions_;
+  if (completions_ <= warmup_completions_) return;
+  const double resp = now_ - job.arrival;
+  (job.cls == JobClass::kShort ? resp_short_ : resp_long_).add(resp);
+}
+
+SimResult Engine::run(Policy& policy) {
+  dist::MapProcess::State map_state;
+  if (config_.short_arrivals) map_state = config_.short_arrivals->stationary_state(rng_);
+  const auto draw_interarrival = [this, &map_state](JobClass cls) {
+    if (cls == JobClass::kShort && config_.short_arrivals)
+      return config_.short_arrivals->next_interarrival(map_state, rng_);
+    const double rate = cls == JobClass::kShort ? config_.lambda_short : config_.lambda_long;
+    if (rate <= 0.0) return kInf;
+    return std::exponential_distribution<double>(rate)(rng_);
+  };
+  const auto draw_size = [this](JobClass cls) {
+    const dist::Distribution& d =
+        cls == JobClass::kShort ? *config_.short_size : *config_.long_size;
+    return d.sample(rng_);
+  };
+
+  next_arrival_[0] = draw_interarrival(JobClass::kShort);
+  next_arrival_[1] = draw_interarrival(JobClass::kLong);
+
+  while (completions_ < opts_.total_completions) {
+    // Next event: one of two arrivals or two completions.
+    double t = next_arrival_[0];
+    int ev = 0;  // 0,1: arrival short/long; 2,3: completion on server 0/1
+    if (next_arrival_[1] < t) {
+      t = next_arrival_[1];
+      ev = 1;
+    }
+    for (int s = 0; s < 2; ++s) {
+      if (servers_[static_cast<std::size_t>(s)].busy &&
+          servers_[static_cast<std::size_t>(s)].done < t) {
+        t = servers_[static_cast<std::size_t>(s)].done;
+        ev = 2 + s;
+      }
+    }
+    if (t == kInf) throw std::logic_error("Engine::run: no events (both arrival rates zero?)");
+
+    // Accumulate busy/idle time over (last_event_time_, t].
+    const double dt = t - last_event_time_;
+    for (int s = 0; s < 2; ++s)
+      if (servers_[static_cast<std::size_t>(s)].busy) busy_time_[static_cast<std::size_t>(s)] += dt;
+    if (!servers_[1].busy) long_host_idle_time_ += dt;
+    last_event_time_ = t;
+    now_ = t;
+
+    if (ev <= 1) {
+      const JobClass cls = static_cast<JobClass>(ev);
+      Job job{now_, draw_size(cls), cls};
+      next_arrival_[static_cast<std::size_t>(ev)] = now_ + draw_interarrival(cls);
+      policy.on_arrival(*this, job);
+    } else {
+      const int s = ev - 2;
+      Server& server = servers_[static_cast<std::size_t>(s)];
+      const Job done = server.job;
+      server.busy = false;
+      server.done = 0.0;
+      if (policy.on_service_end(*this, s, done)) record_completion(done);
+      policy.on_server_free(*this, s);
+    }
+  }
+
+  SimResult res;
+  res.shorts = {resp_short_.count(), resp_short_.mean(), resp_short_.ci95_halfwidth()};
+  res.longs = {resp_long_.count(), resp_long_.mean(), resp_long_.ci95_halfwidth()};
+  res.sim_time = now_;
+  res.utilization = {busy_time_[0] / now_, busy_time_[1] / now_};
+  res.p_long_host_idle = long_host_idle_time_ / now_;
+  return res;
+}
+
+SimResult simulate(PolicyKind kind, const SystemConfig& config, const SimOptions& opts) {
+  Engine engine(config, opts);
+  const std::unique_ptr<Policy> policy = make_policy(kind, opts);
+  return engine.run(*policy);
+}
+
+}  // namespace csq::sim

@@ -1,0 +1,148 @@
+// Discrete-event simulation of the two-host, two-class system.
+//
+// The engine owns the clock, the two servers and the Poisson arrival
+// streams; a Policy object owns the queues and decides which job a freed
+// server runs. This is the validation harness of Section 4 of the paper
+// (their C simulator) and the only way to evaluate non-analyzed policies
+// such as M/G/2/SJF (Section 6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "core/config.h"
+#include "sim/stats.h"
+
+namespace csq::sim {
+
+enum class JobClass : std::uint8_t { kShort = 0, kLong = 1 };
+
+enum class PolicyKind {
+  kDedicated,
+  kCsId,
+  kCsCq,
+  kCsCqNoRename,  // CS-CQ with a fixed long host (ablation: the paper credits
+                  // renamable hosts for CS-CQ's lower long-job penalty)
+  kMg2Fcfs,       // central queue, FCFS, both servers
+  kMg2Sjf,        // central queue, non-preemptive shortest-job-first
+  kLwr,           // immediate dispatch to the host with Least Work Remaining
+                  // (provably equivalent to central-queue M/G/k FCFS [7])
+  kTags,          // TAGS (Task Assignment by Guessing Size, Harchol-Balter
+                  // JACM 2002): every job starts at host 0 and is killed and
+                  // restarted from scratch at host 1 if it exceeds the
+                  // cutoff — size-based segregation without knowing sizes
+  kRoundRobin,    // alternate arrivals between hosts, per-host FCFS — the
+                  // paper's "by far the most common" blind baseline
+};
+
+[[nodiscard]] const char* policy_name(PolicyKind kind);
+
+struct Job {
+  double arrival = 0.0;
+  double size = 0.0;
+  JobClass cls = JobClass::kShort;
+};
+
+struct SimOptions {
+  std::uint64_t seed = 20030701;          // ICDCS'03 vintage
+  std::size_t total_completions = 400000; // stop after this many completions
+  double warmup_fraction = 0.1;           // discarded prefix (by completions)
+  int batches = 20;                       // batch-means batches for the CI
+  // Relative host speeds (service duration = size / speed). The paper's
+  // analysis assumes homogeneous hosts "for ease of exposition"; the
+  // simulator supports the heterogeneous extension it mentions.
+  std::array<double, 2> server_speeds{1.0, 1.0};
+  // TAGS cutoff: work granted at host 0 before kill-and-restart at host 1.
+  double tags_cutoff = 1.0;
+};
+
+struct ClassStats {
+  std::size_t completions = 0;
+  double mean_response = 0.0;
+  double ci95 = 0.0;  // batch-means half width
+};
+
+struct SimResult {
+  ClassStats shorts;
+  ClassStats longs;
+  double sim_time = 0.0;
+  std::array<double, 2> utilization{};  // busy fraction per server
+  double p_long_host_idle = 0.0;        // fraction of time server 1 is idle
+};
+
+class Engine;
+
+// Scheduling policy: owns its queues; reacts to arrivals and completions by
+// starting jobs on idle servers through the Engine.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual void on_arrival(Engine& eng, const Job& job) = 0;
+  virtual void on_server_free(Engine& eng, int server) = 0;
+  // Called when the job on `server` exhausts its allotted service, before
+  // the completion is recorded. Return true if the job is genuinely done;
+  // return false to claim it instead (e.g. TAGS kills the job at its cutoff
+  // and resubmits it to the overflow host) — no response time is recorded.
+  virtual bool on_service_end(Engine& eng, int server, const Job& job) {
+    (void)eng;
+    (void)server;
+    (void)job;
+    return true;
+  }
+};
+
+class Engine {
+ public:
+  Engine(const SystemConfig& config, const SimOptions& opts);
+
+  // Run to completion with the given policy.
+  [[nodiscard]] SimResult run(Policy& policy);
+
+  // --- services for Policy implementations --------------------------------
+  [[nodiscard]] bool server_idle(int s) const { return !servers_[s].busy; }
+  // Class of the job currently on server s (undefined when idle).
+  [[nodiscard]] JobClass server_job_class(int s) const { return servers_[s].job.cls; }
+  // Start `job` on `server`. By default the service requirement is the job's
+  // full size; `work` overrides it (TAGS runs a job only up to its cutoff).
+  void start(int server, const Job& job, double work = -1.0);
+  [[nodiscard]] double now() const { return now_; }
+  // Remaining processing time of the job on server s (0 when idle).
+  [[nodiscard]] double server_remaining(int s) const {
+    return servers_[s].busy ? servers_[s].done - now_ : 0.0;
+  }
+  [[nodiscard]] double server_speed(int s) const { return opts_.server_speeds[s]; }
+
+ private:
+  struct Server {
+    bool busy = false;
+    double done = 0.0;
+    Job job;
+  };
+
+  void record_completion(const Job& job);
+
+  SystemConfig config_;
+  SimOptions opts_;
+  dist::Rng rng_;
+  double now_ = 0.0;
+  std::array<Server, 2> servers_{};
+  std::array<double, 2> next_arrival_{};
+  std::array<double, 2> busy_time_{};
+  double long_host_idle_time_ = 0.0;
+  double last_event_time_ = 0.0;
+  std::size_t completions_ = 0;
+  std::size_t warmup_completions_ = 0;
+  BatchMeans resp_short_;
+  BatchMeans resp_long_;
+};
+
+// Simulate the given policy on the given system.
+[[nodiscard]] SimResult simulate(PolicyKind kind, const SystemConfig& config,
+                                 const SimOptions& opts = {});
+
+// Factory used by simulate(); exposed for tests that drive Engine directly.
+[[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind, const SimOptions& opts);
+
+}  // namespace csq::sim

@@ -1,0 +1,55 @@
+#include "sim/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csq::sim {
+
+void Welford::add(double x) {
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+double Welford::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+BatchMeans::BatchMeans(int batches) : batches_(batches) {
+  if (batches < 2) throw std::invalid_argument("BatchMeans: need >= 2 batches");
+}
+
+double BatchMeans::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double BatchMeans::ci95_halfwidth() const {
+  const std::size_t b = static_cast<std::size_t>(batches_);
+  if (values_.size() < 2 * b) return 0.0;
+  const std::size_t per = values_.size() / b;
+  Welford batch_stats;
+  for (std::size_t i = 0; i < b; ++i) {
+    double s = 0.0;
+    for (std::size_t j = i * per; j < (i + 1) * per; ++j) s += values_[j];
+    batch_stats.add(s / static_cast<double>(per));
+  }
+  const double se = std::sqrt(batch_stats.variance() / static_cast<double>(b));
+  return student_t_975(batches_ - 1) * se;
+}
+
+double student_t_975(int df) {
+  if (df < 1) return 12.7;
+  static constexpr double kTable[] = {12.71, 4.30, 3.18, 2.78, 2.57, 2.45, 2.36, 2.31,
+                                      2.26,  2.23, 2.20, 2.18, 2.16, 2.14, 2.13, 2.12,
+                                      2.11,  2.10, 2.09, 2.09};
+  if (df <= 20) return kTable[df - 1];
+  if (df <= 30) return 2.04;
+  if (df <= 60) return 2.00;
+  return 1.96;
+}
+
+}  // namespace csq::sim

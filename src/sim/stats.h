@@ -1,0 +1,45 @@
+// Streaming statistics for simulation output: Welford accumulators and
+// batch-means confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace csq::sim {
+
+// Numerically stable running mean/variance.
+class Welford {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Batch-means estimator: splits an observation stream into `batches` equal
+// contiguous batches and treats batch means as i.i.d. samples — the standard
+// way to get a confidence interval out of one long correlated run.
+class BatchMeans {
+ public:
+  explicit BatchMeans(int batches = 20);
+
+  void add(double x) { values_.push_back(x); }
+  [[nodiscard]] std::size_t count() const { return values_.size(); }
+  [[nodiscard]] double mean() const;
+  // Half-width of the ~95% confidence interval (0 when too few samples).
+  [[nodiscard]] double ci95_halfwidth() const;
+
+ private:
+  int batches_;
+  std::vector<double> values_;
+};
+
+// Approximate two-sided 97.5% Student-t quantile for df degrees of freedom.
+[[nodiscard]] double student_t_975(int df);
+
+}  // namespace csq::sim

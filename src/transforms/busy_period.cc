@@ -1,0 +1,68 @@
+#include "transforms/busy_period.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace csq::transforms {
+
+using jets::Jet;
+
+namespace {
+void require_stable(const dist::Moments& job, double lambda) {
+  if (lambda < 0.0) throw std::invalid_argument("busy period: lambda < 0");
+  if (lambda * job.m1 >= 1.0)
+    throw std::domain_error("busy period: rho >= 1, busy period has no finite moments");
+}
+}  // namespace
+
+dist::Moments mg1_busy_period(const dist::Moments& job, double lambda) {
+  require_stable(job, lambda);
+  const double r = 1.0 - lambda * job.m1;  // 1 - rho
+  const double b1 = job.m1 / r;
+  const double b2 = job.m2 / (r * r * r);
+  const double b3 = job.m3 / (r * r * r * r) +
+                    3.0 * lambda * job.m2 * job.m2 / (r * r * r * r * r);
+  return {b1, b2, b3};
+}
+
+dist::Moments delay_cycle(const Jet& initial_work, const dist::Moments& job,
+                          double lambda) {
+  require_stable(job, lambda);
+  const dist::Moments bl = mg1_busy_period(job, lambda);
+  // sigma(s) = s + lambda (1 - B~_L(s)); constant term is 0.
+  const Jet bl_lst = jets::lst_from_moments(bl.m1, bl.m2, bl.m3);
+  const Jet sigma = Jet::variable() + lambda * (1.0 - bl_lst);
+  const Jet b = jets::compose0(initial_work, sigma);
+  const auto mm = jets::moments_from_lst(b);
+  return {mm.m1, mm.m2, mm.m3};
+}
+
+jets::Jet batch_initial_work_lst(const dist::Moments& job, double lambda, double delta) {
+  if (delta <= 0.0) throw std::invalid_argument("batch_initial_work_lst: delta <= 0");
+  const Jet x = jets::lst_from_moments(job.m1, job.m2, job.m3);
+  // G(z) = E[z^N] = delta / (delta + lambda (1 - z)); W~ = X~ * G(X~).
+  // G's derivatives at z0 = X~(0) = 1: G(1)=1, G^(k)(1) = k! (lambda/delta)^k.
+  const double r = lambda / delta;
+  const std::array<double, jets::kOrder> g_derivs = {1.0, r, 2.0 * r * r, 6.0 * r * r * r};
+  return x * jets::compose(g_derivs, x);
+}
+
+dist::Moments batch_busy_period(const dist::Moments& job, double lambda, double delta) {
+  return delay_cycle(batch_initial_work_lst(job, lambda, delta), job, lambda);
+}
+
+dist::Moments batch_busy_period_window(const dist::Moments& job, double lambda,
+                                       const dist::Moments& window) {
+  if (window.m1 <= 0.0)
+    throw std::invalid_argument("batch_busy_period_window: window mean <= 0");
+  const Jet x = jets::lst_from_moments(job.m1, job.m2, job.m3);
+  // G(z) = E[z^N] = Theta~(lambda (1 - z)); derivatives at z = 1:
+  // G^(k)(1) = lambda^k E[Theta^k].
+  const std::array<double, jets::kOrder> g_derivs = {
+      1.0, lambda * window.m1, lambda * lambda * window.m2,
+      lambda * lambda * lambda * window.m3};
+  const Jet w = x * jets::compose(g_derivs, x);
+  return delay_cycle(w, job, lambda);
+}
+
+}  // namespace csq::transforms

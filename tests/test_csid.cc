@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/csid.h"
+#include "analysis/stability.h"
+#include "mg1/mg1.h"
+#include "sim/simulator.h"
+
+namespace csq::analysis {
+namespace {
+
+TEST(Csid, ModulatorReproducesClosedFormIdleProbability) {
+  // The MMPP modulator's stationary idle mass must agree with the exact
+  // renewal-theoretic P(idle) = (1-rho_L)/(1+rho_S); the only gap is the
+  // 3-moment busy-period fit.
+  for (const double rho_s : {0.3, 0.9, 1.2}) {
+    for (const double rho_l : {0.2, 0.5}) {
+      if (!csid_stable(rho_s, rho_l)) continue;
+      const SystemConfig c = SystemConfig::paper_setup(rho_s, rho_l, 1.0, 1.0);
+      const CsidResult r = analyze_csid(c);
+      EXPECT_LT(r.modulator_idle_error, 2e-3) << "rho_s=" << rho_s << " rho_l=" << rho_l;
+    }
+  }
+}
+
+TEST(Csid, IdleProbabilityMatchesSimulation) {
+  const SystemConfig c = SystemConfig::paper_setup(0.9, 0.5, 1.0, 1.0);
+  const CsidResult r = analyze_csid(c);
+  sim::SimOptions opts;
+  opts.total_completions = 400000;
+  const sim::SimResult s = sim::simulate(sim::PolicyKind::kCsId, c, opts);
+  EXPECT_NEAR(r.p_long_host_idle, s.p_long_host_idle, 0.01);
+}
+
+TEST(Csid, LimitNoLongsMatchesStolenFractionModel) {
+  // With no longs, the long host is a pure overflow server: a fraction
+  // f = 1/(1+rho_S) of shorts is stolen and completes in E[X_S].
+  const SystemConfig c = SystemConfig::paper_setup(0.9, 1e-10, 1.0, 1.0);
+  const CsidResult r = analyze_csid(c);
+  EXPECT_NEAR(r.fraction_stolen, 1.0 / 1.9, 1e-6);
+  sim::SimOptions opts;
+  opts.total_completions = 600000;
+  const sim::SimResult s = sim::simulate(sim::PolicyKind::kCsId, c, opts);
+  EXPECT_NEAR(r.metrics.shorts.mean_response, s.shorts.mean_response,
+              0.03 * s.shorts.mean_response);
+}
+
+TEST(Csid, LimitNoShortsIsExactMG1ForLongs) {
+  const SystemConfig c = SystemConfig::paper_setup(1e-10, 0.6, 1.0, 1.0, 8.0);
+  const CsidResult r = analyze_csid(c);
+  EXPECT_NEAR(r.metrics.longs.mean_response,
+              mg1::pk_response(c.lambda_long, c.long_size->moments()), 1e-6);
+}
+
+TEST(Csid, LongResponseHelperAgreesWithFullAnalysis) {
+  const SystemConfig c = SystemConfig::paper_setup(1.0, 0.5, 1.0, 10.0, 8.0);
+  EXPECT_DOUBLE_EQ(csid_long_response(c), analyze_csid(c).metrics.longs.mean_response);
+}
+
+TEST(Csid, LongResponseValidBeyondShortStability) {
+  // Figure 6 regime: rho_S = 1.5 saturates the short host, the long host
+  // doesn't care.
+  const SystemConfig c = SystemConfig::paper_setup(1.5, 0.8, 1.0, 1.0, 8.0);
+  const double t = csid_long_response(c);
+  EXPECT_GT(t, mg1::pk_response(c.lambda_long, c.long_size->moments()));
+  EXPECT_LT(t, 1e3);
+}
+
+TEST(Csid, StabilityEdgeBehaviour) {
+  const double frontier = csid_max_rho_short(0.5);
+  EXPECT_NO_THROW((void)analyze_csid(
+      SystemConfig::paper_setup(frontier - 0.02, 0.5, 1.0, 1.0)));
+  EXPECT_THROW((void)analyze_csid(
+                   SystemConfig::paper_setup(frontier + 0.01, 0.5, 1.0, 1.0)),
+               std::domain_error);
+}
+
+TEST(Csid, ShortResponseDivergesNearFrontier) {
+  const double frontier = csid_max_rho_short(0.5);
+  const double near = analyze_csid(SystemConfig::paper_setup(frontier - 0.01, 0.5, 1.0, 1.0))
+                          .metrics.shorts.mean_response;
+  const double mid = analyze_csid(SystemConfig::paper_setup(1.0, 0.5, 1.0, 1.0))
+                         .metrics.shorts.mean_response;
+  EXPECT_GT(near, 10.0 * mid);
+}
+
+TEST(Csid, NonExponentialShortsRejected) {
+  SystemConfig c = SystemConfig::paper_setup(0.5, 0.5, 1.0, 1.0);
+  c.short_size = std::make_shared<dist::PhaseType>(dist::PhaseType::erlang(2, 2.0));
+  EXPECT_THROW((void)analyze_csid(c), std::invalid_argument);
+  EXPECT_THROW((void)csid_long_response(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csq::analysis

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ctmc/sparse.h"
+#include "ctmc/stationary.h"
+
+namespace csq::ctmc {
+namespace {
+
+TEST(Ctmc, TwoStateChain) {
+  // 0 -> 1 at rate a, 1 -> 0 at rate b: pi = (b, a)/(a+b).
+  Generator q(2);
+  q.add(0, 1, 2.0);
+  q.add(1, 0, 6.0);
+  q.finalize();
+  const StationaryResult r = stationary(q);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.pi[0], 0.75, 1e-10);
+  EXPECT_NEAR(r.pi[1], 0.25, 1e-10);
+}
+
+TEST(Ctmc, TruncatedMM1IsGeometric) {
+  const double lambda = 0.6, mu = 1.0;
+  const std::size_t n = 60;
+  Generator q(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    q.add(i, i + 1, lambda);
+    q.add(i + 1, i, mu);
+  }
+  q.finalize();
+  const StationaryResult r = stationary(q);
+  ASSERT_TRUE(r.converged);
+  const double rho = lambda / mu;
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_NEAR(r.pi[i], (1 - rho) * std::pow(rho, i), 1e-8) << "state " << i;
+}
+
+TEST(Ctmc, DuplicateRatesAccumulate) {
+  Generator q(2);
+  q.add(0, 1, 1.0);
+  q.add(0, 1, 1.0);
+  q.add(1, 0, 6.0);
+  q.finalize();
+  const StationaryResult r = stationary(q);
+  EXPECT_NEAR(r.pi[1], 0.25, 1e-10);
+}
+
+TEST(Ctmc, ApiMisuseThrows) {
+  Generator q(2);
+  EXPECT_THROW(q.add(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(q.add(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(q.add(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(stationary(q), std::logic_error);  // not finalized
+  q.finalize();
+  EXPECT_THROW(q.finalize(), std::logic_error);
+  EXPECT_THROW(q.add(0, 1, 1.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace csq::ctmc

@@ -1,0 +1,116 @@
+// End-to-end checks: the analytic chain against the discrete-event
+// simulator over a parameter grid (the paper's Section 4 validation, as a
+// regression test), plus cross-policy consistency through the facade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stability.h"
+#include "core/solver.h"
+#include "sim/simulator.h"
+
+namespace csq {
+namespace {
+
+struct GridPoint {
+  double rho_s, rho_l, mean_l, scv_l;
+};
+
+class AnalysisVsSimulation : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(AnalysisVsSimulation, CsCqWithinFivePercent) {
+  const GridPoint g = GetParam();
+  const SystemConfig c = SystemConfig::paper_setup(g.rho_s, g.rho_l, 1.0, g.mean_l, g.scv_l);
+  const PolicyMetrics m = analyze(Policy::kCsCq, c);
+  sim::SimOptions opts;
+  opts.total_completions = 800000;
+  const sim::SimResult s = sim::simulate(sim::PolicyKind::kCsCq, c, opts);
+  EXPECT_NEAR(m.shorts.mean_response, s.shorts.mean_response,
+              0.05 * s.shorts.mean_response + 2.0 * s.shorts.ci95);
+  EXPECT_NEAR(m.longs.mean_response, s.longs.mean_response,
+              0.05 * s.longs.mean_response + 2.0 * s.longs.ci95);
+}
+
+TEST_P(AnalysisVsSimulation, CsIdWithinFivePercent) {
+  const GridPoint g = GetParam();
+  if (!analysis::csid_stable(g.rho_s, g.rho_l)) GTEST_SKIP();
+  const SystemConfig c = SystemConfig::paper_setup(g.rho_s, g.rho_l, 1.0, g.mean_l, g.scv_l);
+  const PolicyMetrics m = analyze(Policy::kCsId, c);
+  sim::SimOptions opts;
+  opts.total_completions = 800000;
+  const sim::SimResult s = sim::simulate(sim::PolicyKind::kCsId, c, opts);
+  EXPECT_NEAR(m.shorts.mean_response, s.shorts.mean_response,
+              0.05 * s.shorts.mean_response + 2.0 * s.shorts.ci95);
+  EXPECT_NEAR(m.longs.mean_response, s.longs.mean_response,
+              0.05 * s.longs.mean_response + 2.0 * s.longs.ci95);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AnalysisVsSimulation,
+    ::testing::Values(GridPoint{0.5, 0.5, 1.0, 1.0}, GridPoint{1.0, 0.5, 1.0, 1.0},
+                      GridPoint{1.2, 0.3, 10.0, 1.0}, GridPoint{0.8, 0.6, 1.0, 8.0},
+                      GridPoint{1.1, 0.5, 10.0, 8.0}),
+    [](const ::testing::TestParamInfo<GridPoint>& info) {
+      const GridPoint& g = info.param;
+      const auto f = [](double v) {
+        std::string s = std::to_string(v);
+        for (auto& ch : s)
+          if (ch == '.' || ch == '-') ch = '_';
+        return s.substr(0, 4);
+      };
+      return "rs" + f(g.rho_s) + "_rl" + f(g.rho_l) + "_ml" + f(g.mean_l) + "_c" + f(g.scv_l);
+    });
+
+TEST(Integration, PaperHeadline_OrderOfMagnitudeBenefitNearSaturation) {
+  // Figure 4(a): at rho_S slightly below 1, Dedicated is ~10x worse than
+  // cycle stealing for shorts.
+  const SystemConfig c = SystemConfig::paper_setup(0.97, 0.5, 1.0, 1.0);
+  const double ded = analyze(Policy::kDedicated, c).shorts.mean_response;
+  const double cq = analyze(Policy::kCsCq, c).shorts.mean_response;
+  EXPECT_GT(ded / cq, 10.0);
+}
+
+TEST(Integration, PaperHeadline_LongPenaltySmallAtUnitShortLoad) {
+  // Figure 4(a) text: at rho_S = 1, long penalty ~10% (CS-CQ) / ~25% (CS-ID).
+  const SystemConfig c = SystemConfig::paper_setup(1.0, 0.5, 1.0, 1.0);
+  const double ded = 2.0;  // M/M/1 at rho = 0.5, mean 1
+  const double cq = analyze(Policy::kCsCq, c).longs.mean_response;
+  const double id = analyze(Policy::kCsId, c).longs.mean_response;
+  EXPECT_NEAR((cq - ded) / ded, 0.10, 0.05);
+  EXPECT_NEAR((id - ded) / ded, 0.25, 0.05);
+}
+
+TEST(Integration, PaperHeadline_HighVariabilityShrinksRelativePenalty) {
+  // Figure 5 text: with C^2 = 8 longs, the percentage penalty drops —
+  // < 5% for CS-CQ and < 10% for CS-ID at rho_S = 1 (case (a)).
+  const SystemConfig c = SystemConfig::paper_setup(1.0, 0.5, 1.0, 1.0, 8.0);
+  const double ded = 5.5;  // 1 + PK at rho=0.5, E[X^2]=9
+  const double cq = analyze(Policy::kCsCq, c).longs.mean_response;
+  const double id = analyze(Policy::kCsId, c).longs.mean_response;
+  EXPECT_LT((cq - ded) / ded, 0.05);
+  EXPECT_LT((id - ded) / ded, 0.10);
+}
+
+TEST(Integration, PaperHeadline_CsCqBeatsCsIdNearCsIdFrontier) {
+  // Figure 4(a): as rho_S -> 1.28, CS-ID diverges while CS-CQ stays ~7.
+  const SystemConfig c = SystemConfig::paper_setup(1.27, 0.5, 1.0, 1.0);
+  const double id = analyze(Policy::kCsId, c).shorts.mean_response;
+  const double cq = analyze(Policy::kCsCq, c).shorts.mean_response;
+  EXPECT_GT(id, 40.0);
+  EXPECT_LT(cq, 8.0);
+  EXPECT_GT(cq, 4.0);
+}
+
+TEST(Integration, SimulatedPolicyOrderingMatchesAnalysis) {
+  const SystemConfig c = SystemConfig::paper_setup(0.9, 0.5, 1.0, 10.0);
+  sim::SimOptions opts;
+  opts.total_completions = 500000;
+  const double ded = sim::simulate(sim::PolicyKind::kDedicated, c, opts).shorts.mean_response;
+  const double id = sim::simulate(sim::PolicyKind::kCsId, c, opts).shorts.mean_response;
+  const double cq = sim::simulate(sim::PolicyKind::kCsCq, c, opts).shorts.mean_response;
+  EXPECT_LT(cq, id);
+  EXPECT_LT(id, ded);
+}
+
+}  // namespace
+}  // namespace csq

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "jets/jet.h"
+
+namespace csq::jets {
+namespace {
+
+TEST(Jet, ProductTruncates) {
+  // (1 + s)(1 - s) = 1 - s^2.
+  const Jet a{{1, 1, 0, 0}};
+  const Jet b{{1, -1, 0, 0}};
+  const Jet p = a * b;
+  EXPECT_DOUBLE_EQ(p[0], 1);
+  EXPECT_DOUBLE_EQ(p[1], 0);
+  EXPECT_DOUBLE_EQ(p[2], -1);
+  EXPECT_DOUBLE_EQ(p[3], 0);
+}
+
+TEST(Jet, Reciprocal) {
+  // 1/(1 + s) = 1 - s + s^2 - s^3.
+  const Jet r = reciprocal(Jet{{1, 1, 0, 0}});
+  EXPECT_DOUBLE_EQ(r[0], 1);
+  EXPECT_DOUBLE_EQ(r[1], -1);
+  EXPECT_DOUBLE_EQ(r[2], 1);
+  EXPECT_DOUBLE_EQ(r[3], -1);
+  EXPECT_THROW(reciprocal(Jet{{0, 1, 0, 0}}), std::domain_error);
+}
+
+TEST(Jet, DivisionMatchesGeometricSeries) {
+  // mu/(mu + s) with mu = 2: coefficients (-1)^k / 2^k.
+  const Jet f = 2.0 / (Jet::variable() + 2.0);
+  EXPECT_DOUBLE_EQ(f[0], 1);
+  EXPECT_DOUBLE_EQ(f[1], -0.5);
+  EXPECT_DOUBLE_EQ(f[2], 0.25);
+  EXPECT_DOUBLE_EQ(f[3], -0.125);
+}
+
+TEST(Jet, ExponentialLstRoundTrip) {
+  // Exp(mu): LST mu/(mu+s), moments k!/mu^k.
+  const double mu = 3.0;
+  const Jet f = mu / (Jet::variable() + mu);
+  const RawMoments3 m = moments_from_lst(f);
+  EXPECT_NEAR(m.m1, 1.0 / mu, 1e-12);
+  EXPECT_NEAR(m.m2, 2.0 / (mu * mu), 1e-12);
+  EXPECT_NEAR(m.m3, 6.0 / (mu * mu * mu), 1e-12);
+}
+
+TEST(Jet, LstFromMomentsInverse) {
+  const Jet f = lst_from_moments(1.5, 4.0, 20.0);
+  const RawMoments3 m = moments_from_lst(f);
+  EXPECT_DOUBLE_EQ(m.m1, 1.5);
+  EXPECT_DOUBLE_EQ(m.m2, 4.0);
+  EXPECT_DOUBLE_EQ(m.m3, 20.0);
+}
+
+TEST(Jet, Compose0Polynomial) {
+  // f(u) = 1 + u + u^2 + u^3 composed with g = 2s:
+  // 1 + 2s + 4s^2 + 8s^3.
+  const Jet f{{1, 1, 1, 1}};
+  const Jet g{{0, 2, 0, 0}};
+  const Jet c = compose0(f, g);
+  EXPECT_DOUBLE_EQ(c[0], 1);
+  EXPECT_DOUBLE_EQ(c[1], 2);
+  EXPECT_DOUBLE_EQ(c[2], 4);
+  EXPECT_DOUBLE_EQ(c[3], 8);
+  EXPECT_THROW(compose0(f, Jet{{1, 0, 0, 0}}), std::domain_error);
+}
+
+TEST(Jet, ComposeAnalyticOuter) {
+  // g(z) = 1/(2 - z) around z = 1: derivatives k! — compose with inner
+  // z(s) = 1 + s gives 1/(1 - s) = 1 + s + s^2 + s^3.
+  const std::array<double, kOrder> derivs{1.0, 1.0, 2.0, 6.0};
+  const Jet inner{{1, 1, 0, 0}};
+  const Jet c = compose(derivs, inner);
+  for (int k = 0; k < kOrder; ++k) EXPECT_NEAR(c[k], 1.0, 1e-12);
+}
+
+TEST(Jet, GeometricCompoundMatchesClosedForm) {
+  // Sum of a Geometric(p)-distributed number (support 1,2,...) of Exp(mu)
+  // variables is Exp(mu p): check via composition of the PGF with the LST.
+  const double mu = 2.0, p = 0.25;
+  const Jet x = mu / (Jet::variable() + mu);
+  // PGF of Geometric(p) on {1,2,...}: g(z) = p z / (1 - (1-p) z).
+  // Derivatives at z = 1: g(1)=1, g'(1)=1/p, g''(1)=2(1-p)/p^2,
+  // g'''(1)=6(1-p)^2/p^3.
+  const std::array<double, kOrder> derivs{1.0, 1.0 / p, 2.0 * (1 - p) / (p * p),
+                                          6.0 * (1 - p) * (1 - p) / (p * p * p)};
+  const RawMoments3 m = moments_from_lst(compose(derivs, x));
+  const double rate = mu * p;
+  EXPECT_NEAR(m.m1, 1.0 / rate, 1e-12);
+  EXPECT_NEAR(m.m2, 2.0 / (rate * rate), 1e-12);
+  EXPECT_NEAR(m.m3, 6.0 / (rate * rate * rate), 1e-12);
+}
+
+}  // namespace
+}  // namespace csq::jets

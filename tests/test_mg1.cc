@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dist/phase_type.h"
+#include "mg1/mg1.h"
+#include "mg1/mmc.h"
+#include "sim/rng.h"
+
+namespace csq::mg1 {
+namespace {
+
+TEST(Mg1, PkReducesToMM1) {
+  const double lambda = 0.8, mu = 1.0;
+  const dist::Moments x = dist::Moments::exponential(1.0 / mu);
+  EXPECT_NEAR(pk_response(lambda, x), mm1_response(lambda, mu), 1e-12);
+}
+
+TEST(Mg1, PkDeterministicIsHalfExponentialWait) {
+  // M/D/1 wait = half of M/M/1 wait at the same load.
+  const double lambda = 0.5;
+  const dist::Moments det{1.0, 1.0, 1.0};
+  const dist::Moments exp = dist::Moments::exponential(1.0);
+  EXPECT_NEAR(pk_wait(lambda, det), 0.5 * pk_wait(lambda, exp), 1e-12);
+}
+
+TEST(Mg1, UnstableThrows) {
+  EXPECT_THROW((void)pk_wait(1.0, dist::Moments::exponential(1.0)), std::domain_error);
+  EXPECT_THROW((void)mm1_response(2.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)pk_wait(-0.1, dist::Moments::exponential(1.0)), std::invalid_argument);
+}
+
+TEST(Mg1, SetupZeroReducesToPk) {
+  const double lambda = 0.6;
+  const dist::Moments x{1.0, 9.0, 250.0};
+  EXPECT_NEAR(setup_wait(lambda, x, {0.0, 0.0, 0.0}), pk_wait(lambda, x), 1e-12);
+}
+
+TEST(Mg1, SetupIncreasesWait) {
+  const double lambda = 0.6;
+  const dist::Moments x = dist::Moments::exponential(1.0);
+  const dist::Moments s = dist::Moments::exponential(0.5);
+  EXPECT_GT(setup_wait(lambda, x, s), pk_wait(lambda, x));
+}
+
+TEST(Mg1, WaitSecondMoment) {
+  // For M/M/1, E[W^2] = 2 rho (1+rho...) — use the known LST result:
+  // W is 0 w.p. 1-rho, Exp(mu-lambda) w.p. rho, so
+  // E[W^2] = rho * 2/(mu-lambda)^2.
+  const double lambda = 0.5, mu = 1.0;
+  const dist::Moments x = dist::Moments::exponential(1.0);
+  const double expected = lambda / mu * 2.0 / ((mu - lambda) * (mu - lambda));
+  EXPECT_NEAR(pk_wait_second_moment(lambda, x), expected, 1e-12);
+}
+
+// Discrete-event oracle for the M/G/1-with-setup formula: single server,
+// Poisson arrivals; when an arrival starts a new busy period the server
+// first performs an independent setup.
+TEST(Mg1, SetupFormulaMatchesSimulation) {
+  const double lambda = 0.5;
+  const dist::PhaseType job = dist::PhaseType::exponential(1.0);
+  const dist::PhaseType setup = dist::PhaseType::exponential(2.0);
+
+  dist::Rng rng = sim::make_rng(99);
+  std::exponential_distribution<double> interarrival(lambda);
+  const int kJobs = 2000000;
+  double clock = 0.0;          // arrival clock
+  double server_free_at = 0.0; // next time the server is idle
+  double total_response = 0.0;
+  int measured = 0;
+  for (int i = 0; i < kJobs; ++i) {
+    clock += interarrival(rng);
+    double start = server_free_at;
+    if (clock >= server_free_at) start = clock + setup.sample(rng);  // new busy period
+    const double done = start + job.sample(rng);
+    server_free_at = done;
+    if (i > kJobs / 10) {
+      total_response += done - clock;
+      ++measured;
+    }
+  }
+  const double sim_response = total_response / measured;
+  const double analytic = setup_response(lambda, job.moments(), setup.moments());
+  EXPECT_NEAR(sim_response, analytic, 0.02 * analytic);
+}
+
+TEST(Mmc, ErlangCKnownValues) {
+  // M/M/1: P(wait) = rho.
+  EXPECT_NEAR(erlang_c(1, 0.3), 0.3, 1e-12);
+  // M/M/2 with a = 1: C(2,1) = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Mmc, MM2ResponseClosedForm) {
+  // E[T] for M/M/2 = 1/mu * 1/(1 - (rho)^2) with rho = lambda/(2mu)... use
+  // the standard identity E[T] = 1/mu + C(2,a)/(2mu - lambda).
+  const double lambda = 1.0, mu = 1.0;
+  const double c = erlang_c(2, lambda / mu);
+  EXPECT_NEAR(mmc_response(2, lambda, mu), 1.0 / mu + c / (2 * mu - lambda), 1e-12);
+}
+
+TEST(Mmc, InvalidThrows) {
+  EXPECT_THROW((void)erlang_c(0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)erlang_c(2, 2.0), std::domain_error);
+  EXPECT_THROW((void)mmc_wait(2, 1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace csq::mg1

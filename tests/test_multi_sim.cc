@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "analysis/cscq.h"
+#include "mg1/mg1.h"
+#include "mg1/mmc.h"
+#include "msim/multi_sim.h"
+
+namespace csq::msim {
+namespace {
+
+sim::SimOptions opts(std::size_t n = 500000) {
+  sim::SimOptions o;
+  o.total_completions = n;
+  return o;
+}
+
+MultiConfig make(int k, int m, double rho_s_total, double rho_l_total, double mean_l = 1.0,
+                 double scv_l = 1.0) {
+  MultiConfig c;
+  c.short_hosts = k;
+  c.long_hosts = m;
+  c.workload = SystemConfig::paper_setup(rho_s_total, rho_l_total, 1.0, mean_l, scv_l);
+  return c;
+}
+
+TEST(MultiSim, TwoHostCsCqMatchesAnalyticChain) {
+  // k = m = 1 must reproduce the analyzed 2-host system.
+  const MultiConfig c = make(1, 1, 0.9, 0.5);
+  const MultiResult r = simulate_multi(MultiPolicy::kCsCq, c, opts(1000000));
+  const analysis::CscqResult a = analysis::analyze_cscq(c.workload);
+  EXPECT_NEAR(r.shorts.mean_response, a.metrics.shorts.mean_response,
+              0.03 * a.metrics.shorts.mean_response + 2.0 * r.shorts.ci95);
+  EXPECT_NEAR(r.longs.mean_response, a.metrics.longs.mean_response,
+              0.03 * a.metrics.longs.mean_response + 2.0 * r.longs.ci95);
+}
+
+TEST(MultiSim, DedicatedShortPartitionIsMMk) {
+  // Two short hosts fed from one central queue = M/M/2.
+  const MultiConfig c = make(2, 1, 1.4, 0.3);
+  const MultiResult r = simulate_multi(MultiPolicy::kDedicated, c, opts(800000));
+  const double expected = mg1::mmc_response(2, c.workload.lambda_short, 1.0);
+  EXPECT_NEAR(r.shorts.mean_response, expected, 0.04 * expected);
+}
+
+TEST(MultiSim, MoreDonorsHelpShorts) {
+  // Fixed overloaded short partition (rho_S = 1.3 on one host); adding
+  // donor hosts (each at rho_L = 0.5) adds stealable capacity.
+  double prev = 1e100;
+  for (int m = 1; m <= 3; ++m) {
+    MultiConfig c = make(1, m, 1.3, 0.5 * m);
+    const MultiResult r = simulate_multi(MultiPolicy::kCsCq, c, opts(800000));
+    EXPECT_LT(r.shorts.mean_response, prev) << "m=" << m;
+    prev = r.shorts.mean_response;
+  }
+}
+
+TEST(MultiSim, CsCqBeatsCsIdBeatsDedicatedAtScale) {
+  const MultiConfig c = make(2, 2, 1.8, 1.0, 10.0, 8.0);
+  const double ded =
+      simulate_multi(MultiPolicy::kDedicated, c, opts()).shorts.mean_response;
+  const double id = simulate_multi(MultiPolicy::kCsId, c, opts()).shorts.mean_response;
+  const double cq = simulate_multi(MultiPolicy::kCsCq, c, opts()).shorts.mean_response;
+  EXPECT_LT(cq, id);
+  EXPECT_LT(id, ded);
+}
+
+TEST(MultiSim, UtilizationAccounting) {
+  const MultiConfig c = make(2, 2, 1.0, 0.8);
+  const MultiResult r = simulate_multi(MultiPolicy::kDedicated, c, opts());
+  EXPECT_NEAR(r.short_partition_utilization, 0.5, 0.02);  // rho_S/k
+  EXPECT_NEAR(r.long_partition_utilization, 0.4, 0.02);   // rho_L/m
+}
+
+TEST(MultiSim, WorkConservationAcrossPartitions) {
+  // Under CS-CQ the donor partition absorbs overflow shorts, so per-
+  // partition utilization mixes classes; total busy work must still equal
+  // the offered load (rho_S + rho_L) spread over k + m servers.
+  const MultiConfig c = make(1, 2, 1.5, 1.2);
+  const MultiResult r = simulate_multi(MultiPolicy::kCsCq, c, opts());
+  const double total =
+      (1.0 * r.short_partition_utilization + 2.0 * r.long_partition_utilization) / 3.0;
+  EXPECT_NEAR(total, (1.5 + 1.2) / 3.0, 0.02);
+}
+
+TEST(MultiSim, InvalidConfigsThrow) {
+  MultiConfig c = make(1, 1, 0.5, 0.5);
+  c.short_hosts = 0;
+  EXPECT_THROW((void)simulate_multi(MultiPolicy::kCsCq, c, opts()), std::invalid_argument);
+  EXPECT_STREQ(multi_policy_name(MultiPolicy::kCsCq), "CS-CQ");
+}
+
+}  // namespace
+}  // namespace csq::msim

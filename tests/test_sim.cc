@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mg1/mg1.h"
+#include "mg1/mmc.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace csq::sim {
+namespace {
+
+SimOptions fast_opts(std::size_t completions = 400000) {
+  SimOptions o;
+  o.total_completions = completions;
+  return o;
+}
+
+TEST(Sim, DedicatedShortsAreMM1) {
+  const SystemConfig c = SystemConfig::paper_setup(0.7, 0.5, 1.0, 1.0);
+  const SimResult r = simulate(PolicyKind::kDedicated, c, fast_opts());
+  const double expected = mg1::mm1_response(c.lambda_short, 1.0);
+  EXPECT_NEAR(r.shorts.mean_response, expected, 0.03 * expected);
+}
+
+TEST(Sim, DedicatedLongsAreMG1WithHighVariability) {
+  const SystemConfig c = SystemConfig::paper_setup(0.3, 0.6, 1.0, 1.0, 8.0);
+  const SimResult r = simulate(PolicyKind::kDedicated, c, fast_opts(1500000));
+  const double expected = mg1::pk_response(c.lambda_long, c.long_size->moments());
+  EXPECT_NEAR(r.longs.mean_response, expected, 0.05 * expected);
+}
+
+TEST(Sim, Mg2FcfsWithOneClassIsMM2) {
+  // Only shorts arriving: the central FCFS queue is an M/M/2.
+  const SystemConfig c = SystemConfig::paper_setup(1.4, 1e-12, 1.0, 1.0);
+  const SimResult r = simulate(PolicyKind::kMg2Fcfs, c, fast_opts(600000));
+  const double expected = mg1::mmc_response(2, c.lambda_short, 1.0);
+  EXPECT_NEAR(r.shorts.mean_response, expected, 0.03 * expected);
+}
+
+TEST(Sim, CsCqWithOneClassIsAlsoMM2) {
+  // CS-CQ degenerates to M/M/2 when no longs ever arrive.
+  const SystemConfig c = SystemConfig::paper_setup(1.4, 1e-12, 1.0, 1.0);
+  const SimResult r = simulate(PolicyKind::kCsCq, c, fast_opts(600000));
+  const double expected = mg1::mmc_response(2, c.lambda_short, 1.0);
+  EXPECT_NEAR(r.shorts.mean_response, expected, 0.03 * expected);
+}
+
+TEST(Sim, UtilizationMatchesOfferedLoad) {
+  const SystemConfig c = SystemConfig::paper_setup(0.6, 0.4, 1.0, 10.0);
+  const SimResult r = simulate(PolicyKind::kDedicated, c, fast_opts());
+  EXPECT_NEAR(r.utilization[0], 0.6, 0.02);
+  EXPECT_NEAR(r.utilization[1], 0.4, 0.03);
+}
+
+TEST(Sim, CsCqKeepsAtMostOneServerOnLongs) {
+  // Long utilization under CS-CQ equals rho_L (longs are never parallel),
+  // so server utilizations sum to rho_S + rho_L when stable.
+  const SystemConfig c = SystemConfig::paper_setup(0.9, 0.5, 1.0, 1.0);
+  const SimResult r = simulate(PolicyKind::kCsCq, c, fast_opts(800000));
+  EXPECT_NEAR(r.utilization[0] + r.utilization[1], 1.4, 0.02);
+}
+
+TEST(Sim, DeterministicUnderSeed) {
+  const SystemConfig c = SystemConfig::paper_setup(1.0, 0.5, 1.0, 1.0);
+  SimOptions o = fast_opts(100000);
+  const SimResult a = simulate(PolicyKind::kCsCq, c, o);
+  const SimResult b = simulate(PolicyKind::kCsCq, c, o);
+  EXPECT_DOUBLE_EQ(a.shorts.mean_response, b.shorts.mean_response);
+  o.seed += 1;
+  const SimResult d = simulate(PolicyKind::kCsCq, c, o);
+  EXPECT_NE(a.shorts.mean_response, d.shorts.mean_response);
+}
+
+TEST(Sim, ConfidenceIntervalCoversAnalyticMM1) {
+  const SystemConfig c = SystemConfig::paper_setup(0.8, 0.2, 1.0, 1.0);
+  const SimResult r = simulate(PolicyKind::kDedicated, c, fast_opts(800000));
+  const double expected = mg1::mm1_response(c.lambda_short, 1.0);
+  EXPECT_GT(r.shorts.ci95, 0.0);
+  EXPECT_NEAR(r.shorts.mean_response, expected, 3.0 * r.shorts.ci95);
+}
+
+TEST(Sim, SjfPrioritizesSmallJobs) {
+  const SystemConfig c = SystemConfig::paper_setup(0.8, 0.6, 1.0, 10.0);
+  const SimResult sjf = simulate(PolicyKind::kMg2Sjf, c, fast_opts());
+  const SimResult fcfs = simulate(PolicyKind::kMg2Fcfs, c, fast_opts());
+  EXPECT_LT(sjf.shorts.mean_response, fcfs.shorts.mean_response);
+}
+
+TEST(Sim, InvalidOptionsThrow) {
+  const SystemConfig c = SystemConfig::paper_setup(0.5, 0.5, 1.0, 1.0);
+  SimOptions o;
+  o.total_completions = 10;
+  EXPECT_THROW((void)simulate(PolicyKind::kCsCq, c, o), std::invalid_argument);
+  SystemConfig bad = c;
+  bad.short_size = nullptr;
+  EXPECT_THROW((void)simulate(PolicyKind::kCsCq, bad, fast_opts()), std::invalid_argument);
+}
+
+TEST(Sim, PolicyNames) {
+  EXPECT_STREQ(policy_name(PolicyKind::kCsCq), "CS-CQ");
+  EXPECT_STREQ(policy_name(PolicyKind::kMg2Sjf), "M/G/2-SJF");
+}
+
+TEST(Stats, WelfordMatchesDirectComputation) {
+  Welford w;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) w.add(x);
+  EXPECT_DOUBLE_EQ(w.mean(), 2.5);
+  EXPECT_NEAR(w.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_EQ(w.count(), 4u);
+}
+
+TEST(Stats, BatchMeansCiShrinksWithSamples) {
+  dist::Rng rng = dist::Rng(1234);
+  std::exponential_distribution<double> exp_dist(1.0);
+  BatchMeans small(10), large(10);
+  for (int i = 0; i < 1000; ++i) small.add(exp_dist(rng));
+  for (int i = 0; i < 100000; ++i) large.add(exp_dist(rng));
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  EXPECT_NEAR(large.mean(), 1.0, 3.0 * large.ci95_halfwidth() + 0.02);
+}
+
+TEST(Stats, TooFewSamplesGiveZeroCi) {
+  BatchMeans b(20);
+  for (int i = 0; i < 10; ++i) b.add(1.0);
+  EXPECT_DOUBLE_EQ(b.ci95_halfwidth(), 0.0);
+  EXPECT_THROW(BatchMeans{1}, std::invalid_argument);
+}
+
+TEST(Stats, StudentTQuantiles) {
+  EXPECT_NEAR(student_t_975(1), 12.71, 1e-9);
+  EXPECT_NEAR(student_t_975(19), 2.09, 1e-9);
+  EXPECT_NEAR(student_t_975(1000), 1.96, 1e-9);
+}
+
+}  // namespace
+}  // namespace csq::sim

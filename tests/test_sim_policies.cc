@@ -1,0 +1,88 @@
+// Tests for the extended simulator policies: LWR equivalence with
+// central-queue FCFS, the renaming ablation, and heterogeneous host speeds.
+#include <gtest/gtest.h>
+
+#include "mg1/mg1.h"
+#include "mg1/mmc.h"
+#include "sim/simulator.h"
+
+namespace csq::sim {
+namespace {
+
+SimOptions opts(std::size_t n = 500000) {
+  SimOptions o;
+  o.total_completions = n;
+  return o;
+}
+
+TEST(LwrPolicy, EquivalentToCentralQueueFcfs) {
+  // Least-Work-Remaining immediate dispatch == M/G/k central FCFS
+  // (Harchol-Balter, JACM 2002). Check mean response agreement within
+  // simulation noise on a mixed workload.
+  const SystemConfig c = SystemConfig::paper_setup(0.8, 0.6, 1.0, 10.0, 8.0);
+  const SimResult lwr = simulate(PolicyKind::kLwr, c, opts(800000));
+  const SimResult fcfs = simulate(PolicyKind::kMg2Fcfs, c, opts(800000));
+  EXPECT_NEAR(lwr.shorts.mean_response, fcfs.shorts.mean_response,
+              0.04 * fcfs.shorts.mean_response + 2.0 * fcfs.shorts.ci95);
+  EXPECT_NEAR(lwr.longs.mean_response, fcfs.longs.mean_response,
+              0.04 * fcfs.longs.mean_response + 2.0 * fcfs.longs.ci95);
+}
+
+TEST(LwrPolicy, SingleClassMatchesMM2) {
+  const SystemConfig c = SystemConfig::paper_setup(1.2, 1e-12, 1.0, 1.0);
+  const SimResult r = simulate(PolicyKind::kLwr, c, opts());
+  const double expected = mg1::mmc_response(2, c.lambda_short, 1.0);
+  EXPECT_NEAR(r.shorts.mean_response, expected, 0.04 * expected);
+}
+
+TEST(Renaming, NoRenameLongsPayMore) {
+  // The paper's explanation of CS-CQ's low long penalty is renaming; with a
+  // fixed long host, longs can get stuck behind a short on *their* host
+  // while the other host idles.
+  const SystemConfig c = SystemConfig::paper_setup(1.1, 0.5, 1.0, 1.0);
+  const SimResult cq = simulate(PolicyKind::kCsCq, c, opts(1000000));
+  const SimResult nr = simulate(PolicyKind::kCsCqNoRename, c, opts(1000000));
+  EXPECT_GT(nr.longs.mean_response, cq.longs.mean_response);
+}
+
+TEST(Renaming, NoRenameStillBeatsDedicatedForShorts) {
+  const SystemConfig c = SystemConfig::paper_setup(0.9, 0.5, 1.0, 1.0);
+  const SimResult nr = simulate(PolicyKind::kCsCqNoRename, c, opts());
+  const SimResult ded = simulate(PolicyKind::kDedicated, c, opts());
+  EXPECT_LT(nr.shorts.mean_response, ded.shorts.mean_response);
+}
+
+TEST(Speeds, FastDedicatedShortHostIsScaledMM1) {
+  // Server 0 twice as fast: Dedicated shorts see M/M/1 with service rate 2.
+  const SystemConfig c = SystemConfig::paper_setup(0.8, 0.3, 1.0, 1.0);
+  SimOptions o = opts();
+  o.server_speeds = {2.0, 1.0};
+  const SimResult r = simulate(PolicyKind::kDedicated, c, o);
+  const double expected = mg1::mm1_response(c.lambda_short, 2.0);
+  EXPECT_NEAR(r.shorts.mean_response, expected, 0.03 * expected);
+}
+
+TEST(Speeds, FasterDonorHelpsShortsUnderCsCq) {
+  const SystemConfig c = SystemConfig::paper_setup(1.0, 0.5, 1.0, 1.0);
+  SimOptions slow = opts();
+  SimOptions fast = opts();
+  fast.server_speeds = {1.0, 2.0};  // faster long host: more idle to donate
+  const double t_slow = simulate(PolicyKind::kCsCq, c, slow).shorts.mean_response;
+  const double t_fast = simulate(PolicyKind::kCsCq, c, fast).shorts.mean_response;
+  EXPECT_LT(t_fast, t_slow);
+}
+
+TEST(Speeds, InvalidSpeedThrows) {
+  const SystemConfig c = SystemConfig::paper_setup(0.5, 0.5, 1.0, 1.0);
+  SimOptions o = opts();
+  o.server_speeds = {0.0, 1.0};
+  EXPECT_THROW((void)simulate(PolicyKind::kCsCq, c, o), std::invalid_argument);
+}
+
+TEST(PolicyNames, NewPolicies) {
+  EXPECT_STREQ(policy_name(PolicyKind::kLwr), "LWR");
+  EXPECT_STREQ(policy_name(PolicyKind::kCsCqNoRename), "CS-CQ-norename");
+}
+
+}  // namespace
+}  // namespace csq::sim

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/stability.h"
+
+namespace csq::analysis {
+namespace {
+
+TEST(Stability, DedicatedIsUnitSquare) {
+  EXPECT_TRUE(dedicated_stable(0.99, 0.99));
+  EXPECT_FALSE(dedicated_stable(1.0, 0.5));
+  EXPECT_FALSE(dedicated_stable(0.5, 1.0));
+  EXPECT_DOUBLE_EQ(dedicated_max_rho_short(0.3), 1.0);
+}
+
+TEST(Stability, CsCqFrontierIsTwoMinusRhoL) {
+  EXPECT_DOUBLE_EQ(cscq_max_rho_short(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(cscq_max_rho_short(0.5), 1.5);
+  EXPECT_TRUE(cscq_stable(1.49, 0.5));
+  EXPECT_FALSE(cscq_stable(1.5, 0.5));
+}
+
+TEST(Stability, CsIdFrontierHitsGoldenRatioAtZeroLoad) {
+  EXPECT_NEAR(csid_max_rho_short(0.0), (1.0 + std::sqrt(5.0)) / 2.0, 1e-12);
+}
+
+TEST(Stability, CsIdFrontierAtPaperOperatingPoints) {
+  // rho_L = 0.5 (Figures 4-5): frontier ~ 1.28.
+  EXPECT_NEAR(csid_max_rho_short(0.5), 0.5 * (0.5 + std::sqrt(0.25 + 4.0)), 1e-12);
+  EXPECT_GT(csid_max_rho_short(0.5), 1.25);
+  EXPECT_LT(csid_max_rho_short(0.5), 1.31);
+  // Figure 6 runs rho_S = 1.5: CS-ID diverges at rho_L = 1/6, CS-CQ at 0.5.
+  EXPECT_TRUE(csid_stable(1.5, 1.0 / 6.0 - 1e-6));
+  EXPECT_FALSE(csid_stable(1.5, 1.0 / 6.0 + 1e-6));
+  EXPECT_TRUE(cscq_stable(1.5, 0.499));
+  EXPECT_FALSE(cscq_stable(1.5, 0.501));
+}
+
+TEST(Stability, OrderingDedicatedCsIdCsCq) {
+  for (double rho_l = 0.0; rho_l < 1.0; rho_l += 0.05) {
+    const double d = dedicated_max_rho_short(rho_l);
+    const double i = csid_max_rho_short(rho_l);
+    const double c = cscq_max_rho_short(rho_l);
+    EXPECT_LE(d, i + 1e-12) << rho_l;
+    EXPECT_LE(i, c + 1e-12) << rho_l;
+  }
+}
+
+TEST(Stability, CsIdFrontierMonotoneDecreasing) {
+  double prev = csid_max_rho_short(0.0);
+  for (double rho_l = 0.05; rho_l < 1.0; rho_l += 0.05) {
+    const double cur = csid_max_rho_short(rho_l);
+    EXPECT_LT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Stability, IdleProbabilityClosedForm) {
+  EXPECT_NEAR(csid_long_host_idle_probability(0.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(csid_long_host_idle_probability(1.0, 0.5), 0.25, 1e-12);
+  EXPECT_THROW((void)csid_long_host_idle_probability(0.5, 1.0), std::domain_error);
+  EXPECT_THROW((void)csid_long_host_idle_probability(-0.1, 0.5), std::invalid_argument);
+}
+
+TEST(Stability, InvalidRhoLongThrows) {
+  EXPECT_THROW((void)csid_max_rho_short(1.0), std::domain_error);
+  EXPECT_THROW((void)cscq_max_rho_short(-0.1), std::domain_error);
+}
+
+}  // namespace
+}  // namespace csq::analysis

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "analysis/truncated_cscq.h"
+#include "mg1/mmc.h"
+
+namespace csq::analysis {
+namespace {
+
+TEST(TruncatedCscq, NoLongsIsExactMM2) {
+  const SystemConfig c = SystemConfig::paper_setup(1.2, 0.0, 1.0, 1.0);
+  TruncatedCscqOptions o;
+  o.max_shorts = 500;
+  o.max_longs = 2;
+  const TruncatedCscqResult r = analyze_cscq_truncated(c, o);
+  ASSERT_TRUE(r.converged);
+  const double expected = mg1::mmc_response(2, c.lambda_short, 1.0);
+  EXPECT_NEAR(r.metrics.shorts.mean_response, expected, 1e-6 * expected);
+}
+
+TEST(TruncatedCscq, ConvergesMonotonicallyInCaps) {
+  const SystemConfig c = SystemConfig::paper_setup(1.0, 0.5, 1.0, 1.0);
+  double prev_mass = 1.0;
+  double prev_resp = 0.0;
+  for (const int cap : {25, 50, 100, 200}) {
+    TruncatedCscqOptions o;
+    o.max_shorts = cap;
+    o.max_longs = cap;
+    const TruncatedCscqResult r = analyze_cscq_truncated(c, o);
+    ASSERT_TRUE(r.converged);
+    // Mass trapped at the caps decays; the response estimate grows toward
+    // the true value (truncation cuts off the congested tail).
+    EXPECT_LT(r.mass_at_short_cap, prev_mass);
+    EXPECT_GT(r.metrics.shorts.mean_response, prev_resp);
+    prev_mass = r.mass_at_short_cap;
+    prev_resp = r.metrics.shorts.mean_response;
+  }
+  EXPECT_LT(prev_mass, 1e-8);
+}
+
+TEST(TruncatedCscq, RegionProbabilitiesSumToNoLongProbability) {
+  const SystemConfig c = SystemConfig::paper_setup(0.8, 0.4, 1.0, 1.0);
+  const TruncatedCscqResult r = analyze_cscq_truncated(c);
+  // P(region1) + P(region2) = P(n_L = 0) >= 1 - rho_L lower bound sanity.
+  EXPECT_GT(r.p_region1 + r.p_region2, 0.3);
+  EXPECT_LT(r.p_region1 + r.p_region2, 1.0);
+}
+
+TEST(TruncatedCscq, LittleLawConsistencyForLongs) {
+  // Longs form a single-server system inside CS-CQ: utilization rho_L, so
+  // E[N_L] >= rho_L; response = E[N_L]/lambda_L must exceed service mean.
+  const SystemConfig c = SystemConfig::paper_setup(0.8, 0.6, 1.0, 1.0);
+  const TruncatedCscqResult r = analyze_cscq_truncated(c);
+  EXPECT_GT(r.metrics.longs.mean_response, 1.0);
+}
+
+TEST(TruncatedCscq, RejectsNonExponential) {
+  SystemConfig c = SystemConfig::paper_setup(0.5, 0.5, 1.0, 1.0, 8.0);
+  EXPECT_THROW((void)analyze_cscq_truncated(c), std::invalid_argument);
+  SystemConfig c2 = SystemConfig::paper_setup(0.5, 0.5, 1.0, 1.0);
+  TruncatedCscqOptions o;
+  o.max_shorts = 1;
+  EXPECT_THROW((void)analyze_cscq_truncated(c2, o), std::invalid_argument);
+  EXPECT_THROW((void)analyze_cscq_truncated(SystemConfig::paper_setup(1.8, 0.5, 1, 1)),
+               std::domain_error);
+}
+
+}  // namespace
+}  // namespace csq::analysis

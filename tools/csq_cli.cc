@@ -1,0 +1,188 @@
+// csq_cli — command-line front end for the cyclesteal library.
+//
+//   csq_cli analyze   --policy cscq|csid|dedicated [workload flags]
+//   csq_cli simulate  --policy cscq|csid|dedicated|cscq-norename|mg2-fcfs|
+//                              mg2-sjf|lwr|tags|round-robin
+//                     [workload flags] [--completions N] [--seed N]
+//                     [--tags-cutoff X]
+//   csq_cli sweep     --x rho_s|rho_l --from A --to B --points N
+//                     [workload flags] [--csv]
+//   csq_cli stability [--points N]
+//
+// Workload flags: --rho-s X --rho-l X --mean-s X --mean-l X --scv-l X
+// (defaults 0.9, 0.5, 1, 1, 1; shorts exponential as in the paper).
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "csq.h"
+
+namespace {
+
+using namespace csq;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] double number(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+  [[nodiscard]] std::string text(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc < 2) return a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) throw std::invalid_argument("expected --flag, got " + key);
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      a.flags[key] = argv[++i];
+    } else {
+      a.flags[key] = "1";  // boolean flag
+    }
+  }
+  return a;
+}
+
+SystemConfig workload(const Args& a) {
+  return SystemConfig::paper_setup(a.number("rho-s", 0.9), a.number("rho-l", 0.5),
+                                   a.number("mean-s", 1.0), a.number("mean-l", 1.0),
+                                   a.number("scv-l", 1.0));
+}
+
+int cmd_analyze(const Args& a) {
+  const SystemConfig c = workload(a);
+  const std::string p = a.text("policy", "cscq");
+  PolicyMetrics m;
+  if (p == "cscq") {
+    m = analysis::analyze_cscq(c).metrics;
+  } else if (p == "csid") {
+    m = analysis::analyze_csid(c).metrics;
+  } else if (p == "dedicated") {
+    m = analysis::analyze_dedicated(c);
+  } else {
+    std::cerr << "unknown analytic policy: " << p << "\n";
+    return 2;
+  }
+  Table t({"class", "E[T]", "E[W]", "E[N]"});
+  t.add_row({"short", format_cell(m.shorts.mean_response), format_cell(m.shorts.mean_wait),
+             format_cell(m.shorts.mean_number)});
+  t.add_row({"long", format_cell(m.longs.mean_response), format_cell(m.longs.mean_wait),
+             format_cell(m.longs.mean_number)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_simulate(const Args& a) {
+  static const std::map<std::string, sim::PolicyKind> kKinds = {
+      {"dedicated", sim::PolicyKind::kDedicated},
+      {"csid", sim::PolicyKind::kCsId},
+      {"cscq", sim::PolicyKind::kCsCq},
+      {"cscq-norename", sim::PolicyKind::kCsCqNoRename},
+      {"mg2-fcfs", sim::PolicyKind::kMg2Fcfs},
+      {"mg2-sjf", sim::PolicyKind::kMg2Sjf},
+      {"lwr", sim::PolicyKind::kLwr},
+      {"tags", sim::PolicyKind::kTags},
+      {"round-robin", sim::PolicyKind::kRoundRobin},
+  };
+  const std::string p = a.text("policy", "cscq");
+  const auto it = kKinds.find(p);
+  if (it == kKinds.end()) {
+    std::cerr << "unknown simulated policy: " << p << "\n";
+    return 2;
+  }
+  sim::SimOptions o;
+  o.total_completions = static_cast<std::size_t>(a.number("completions", 500000));
+  o.seed = static_cast<std::uint64_t>(a.number("seed", o.seed));
+  o.tags_cutoff = a.number("tags-cutoff", o.tags_cutoff);
+  const sim::SimResult r = sim::simulate(it->second, workload(a), o);
+  Table t({"class", "E[T]", "ci95", "completions"});
+  t.add_row({"short", format_cell(r.shorts.mean_response), format_cell(r.shorts.ci95),
+             std::to_string(r.shorts.completions)});
+  t.add_row({"long", format_cell(r.longs.mean_response), format_cell(r.longs.ci95),
+             std::to_string(r.longs.completions)});
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const Args& a) {
+  const std::string axis = a.text("x", "rho_s");
+  const auto grid =
+      linspace(a.number("from", 0.05), a.number("to", 1.45),
+               static_cast<int>(a.number("points", 15)));
+  std::vector<SweepRow> rows;
+  if (axis == "rho_s") {
+    rows = sweep_rho_short(a.number("rho-l", 0.5), a.number("mean-s", 1.0),
+                           a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid);
+  } else if (axis == "rho_l") {
+    rows = sweep_rho_long(a.number("rho-s", 0.9), a.number("mean-s", 1.0),
+                          a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid);
+  } else {
+    std::cerr << "unknown sweep axis: " << axis << "\n";
+    return 2;
+  }
+  Table t({axis, "ded_short", "csid_short", "cscq_short", "ded_long", "csid_long",
+           "cscq_long"});
+  for (const SweepRow& r : rows)
+    t.add_row({r.x, r.dedicated_short, r.csid_short, r.cscq_short, r.dedicated_long,
+               r.csid_long, r.cscq_long});
+  if (a.has("csv"))
+    t.write_csv(std::cout);
+  else
+    t.print(std::cout);
+  return 0;
+}
+
+int cmd_stability(const Args& a) {
+  const int points = static_cast<int>(a.number("points", 20));
+  Table t({"rho_l", "dedicated", "csid", "cscq"});
+  for (const double rho_l : linspace(0.0, 0.95, points))
+    t.add_row({rho_l, analysis::dedicated_max_rho_short(rho_l),
+               analysis::csid_max_rho_short(rho_l), analysis::cscq_max_rho_short(rho_l)});
+  if (a.has("csv"))
+    t.write_csv(std::cout);
+  else
+    t.print(std::cout);
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "csq_cli — cycle-stealing task assignment (ICDCS'03 reproduction)\n"
+      "usage: csq_cli <analyze|simulate|sweep|stability> [--flags]\n"
+      "  workload: --rho-s X --rho-l X --mean-s X --mean-l X --scv-l X\n"
+      "  analyze:  --policy cscq|csid|dedicated\n"
+      "  simulate: --policy cscq|csid|dedicated|cscq-norename|mg2-fcfs|mg2-sjf|\n"
+      "                     lwr|tags|round-robin  [--completions N] [--seed N]\n"
+      "                     [--tags-cutoff X]\n"
+      "  sweep:    --x rho_s|rho_l --from A --to B --points N [--csv]\n"
+      "  stability: [--points N] [--csv]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.command == "analyze") return cmd_analyze(a);
+    if (a.command == "simulate") return cmd_simulate(a);
+    if (a.command == "sweep") return cmd_sweep(a);
+    if (a.command == "stability") return cmd_stability(a);
+    usage();
+    return a.command.empty() ? 1 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
