@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_moments.dir/ablation_moments.cc.o"
+  "CMakeFiles/ablation_moments.dir/ablation_moments.cc.o.d"
+  "ablation_moments"
+  "ablation_moments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_moments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_renaming.dir/ablation_renaming.cc.o"
+  "CMakeFiles/ablation_renaming.dir/ablation_renaming.cc.o.d"
+  "ablation_renaming"
+  "ablation_renaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

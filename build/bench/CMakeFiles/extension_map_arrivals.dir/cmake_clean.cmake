@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_map_arrivals.dir/extension_map_arrivals.cc.o"
+  "CMakeFiles/extension_map_arrivals.dir/extension_map_arrivals.cc.o.d"
+  "extension_map_arrivals"
+  "extension_map_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_map_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_multihost.dir/extension_multihost.cc.o"
+  "CMakeFiles/extension_multihost.dir/extension_multihost.cc.o.d"
+  "extension_multihost"
+  "extension_multihost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_multihost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

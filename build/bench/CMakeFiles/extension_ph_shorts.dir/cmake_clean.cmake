@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_ph_shorts.dir/extension_ph_shorts.cc.o"
+  "CMakeFiles/extension_ph_shorts.dir/extension_ph_shorts.cc.o.d"
+  "extension_ph_shorts"
+  "extension_ph_shorts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_ph_shorts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_tags.dir/extension_tags.cc.o"
+  "CMakeFiles/extension_tags.dir/extension_tags.cc.o.d"
+  "extension_tags"
+  "extension_tags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_tags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

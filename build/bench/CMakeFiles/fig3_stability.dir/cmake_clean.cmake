@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_stability.dir/fig3_stability.cc.o"
+  "CMakeFiles/fig3_stability.dir/fig3_stability.cc.o.d"
+  "fig3_stability"
+  "fig3_stability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

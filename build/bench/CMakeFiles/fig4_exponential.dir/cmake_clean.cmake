@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_exponential.dir/fig4_exponential.cc.o"
+  "CMakeFiles/fig4_exponential.dir/fig4_exponential.cc.o.d"
+  "fig4_exponential"
+  "fig4_exponential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_exponential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

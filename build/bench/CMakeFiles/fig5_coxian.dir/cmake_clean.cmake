@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_coxian.dir/fig5_coxian.cc.o"
+  "CMakeFiles/fig5_coxian.dir/fig5_coxian.cc.o.d"
+  "fig5_coxian"
+  "fig5_coxian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_coxian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

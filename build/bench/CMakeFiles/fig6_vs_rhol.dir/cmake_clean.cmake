@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_vs_rhol.dir/fig6_vs_rhol.cc.o"
+  "CMakeFiles/fig6_vs_rhol.dir/fig6_vs_rhol.cc.o.d"
+  "fig6_vs_rhol"
+  "fig6_vs_rhol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_vs_rhol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mg2sjf_comparison.dir/mg2sjf_comparison.cc.o"
+  "CMakeFiles/mg2sjf_comparison.dir/mg2sjf_comparison.cc.o.d"
+  "mg2sjf_comparison"
+  "mg2sjf_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mg2sjf_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

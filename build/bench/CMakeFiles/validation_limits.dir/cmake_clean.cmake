@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_limits.dir/validation_limits.cc.o"
+  "CMakeFiles/validation_limits.dir/validation_limits.cc.o.d"
+  "validation_limits"
+  "validation_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_sim.dir/validation_sim.cc.o"
+  "CMakeFiles/validation_sim.dir/validation_sim.cc.o.d"
+  "validation_sim"
+  "validation_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supercomputing_center.dir/supercomputing_center.cpp.o"
+  "CMakeFiles/supercomputing_center.dir/supercomputing_center.cpp.o.d"
+  "supercomputing_center"
+  "supercomputing_center.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supercomputing_center.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webfarm_highvar.dir/webfarm_highvar.cpp.o"
+  "CMakeFiles/webfarm_highvar.dir/webfarm_highvar.cpp.o.d"
+  "webfarm_highvar"
+  "webfarm_highvar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webfarm_highvar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

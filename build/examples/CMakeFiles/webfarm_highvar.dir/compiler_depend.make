@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for webfarm_highvar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for webfarm_highvar.
+# This may be replaced when dependencies are built.

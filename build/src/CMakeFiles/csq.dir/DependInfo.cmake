@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cscq.cc" "src/CMakeFiles/csq.dir/analysis/cscq.cc.o" "gcc" "src/CMakeFiles/csq.dir/analysis/cscq.cc.o.d"
+  "/root/repo/src/analysis/cscq_map.cc" "src/CMakeFiles/csq.dir/analysis/cscq_map.cc.o" "gcc" "src/CMakeFiles/csq.dir/analysis/cscq_map.cc.o.d"
+  "/root/repo/src/analysis/cscq_ph.cc" "src/CMakeFiles/csq.dir/analysis/cscq_ph.cc.o" "gcc" "src/CMakeFiles/csq.dir/analysis/cscq_ph.cc.o.d"
+  "/root/repo/src/analysis/csid.cc" "src/CMakeFiles/csq.dir/analysis/csid.cc.o" "gcc" "src/CMakeFiles/csq.dir/analysis/csid.cc.o.d"
+  "/root/repo/src/analysis/dedicated.cc" "src/CMakeFiles/csq.dir/analysis/dedicated.cc.o" "gcc" "src/CMakeFiles/csq.dir/analysis/dedicated.cc.o.d"
+  "/root/repo/src/analysis/stability.cc" "src/CMakeFiles/csq.dir/analysis/stability.cc.o" "gcc" "src/CMakeFiles/csq.dir/analysis/stability.cc.o.d"
+  "/root/repo/src/analysis/truncated_cscq.cc" "src/CMakeFiles/csq.dir/analysis/truncated_cscq.cc.o" "gcc" "src/CMakeFiles/csq.dir/analysis/truncated_cscq.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/csq.dir/core/config.cc.o" "gcc" "src/CMakeFiles/csq.dir/core/config.cc.o.d"
+  "/root/repo/src/core/solver.cc" "src/CMakeFiles/csq.dir/core/solver.cc.o" "gcc" "src/CMakeFiles/csq.dir/core/solver.cc.o.d"
+  "/root/repo/src/core/sweep.cc" "src/CMakeFiles/csq.dir/core/sweep.cc.o" "gcc" "src/CMakeFiles/csq.dir/core/sweep.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/CMakeFiles/csq.dir/core/table.cc.o" "gcc" "src/CMakeFiles/csq.dir/core/table.cc.o.d"
+  "/root/repo/src/ctmc/sparse.cc" "src/CMakeFiles/csq.dir/ctmc/sparse.cc.o" "gcc" "src/CMakeFiles/csq.dir/ctmc/sparse.cc.o.d"
+  "/root/repo/src/ctmc/stationary.cc" "src/CMakeFiles/csq.dir/ctmc/stationary.cc.o" "gcc" "src/CMakeFiles/csq.dir/ctmc/stationary.cc.o.d"
+  "/root/repo/src/dist/distribution.cc" "src/CMakeFiles/csq.dir/dist/distribution.cc.o" "gcc" "src/CMakeFiles/csq.dir/dist/distribution.cc.o.d"
+  "/root/repo/src/dist/map_process.cc" "src/CMakeFiles/csq.dir/dist/map_process.cc.o" "gcc" "src/CMakeFiles/csq.dir/dist/map_process.cc.o.d"
+  "/root/repo/src/dist/moment_match.cc" "src/CMakeFiles/csq.dir/dist/moment_match.cc.o" "gcc" "src/CMakeFiles/csq.dir/dist/moment_match.cc.o.d"
+  "/root/repo/src/dist/phase_type.cc" "src/CMakeFiles/csq.dir/dist/phase_type.cc.o" "gcc" "src/CMakeFiles/csq.dir/dist/phase_type.cc.o.d"
+  "/root/repo/src/linalg/lu.cc" "src/CMakeFiles/csq.dir/linalg/lu.cc.o" "gcc" "src/CMakeFiles/csq.dir/linalg/lu.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/csq.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/csq.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/mg1/mg1.cc" "src/CMakeFiles/csq.dir/mg1/mg1.cc.o" "gcc" "src/CMakeFiles/csq.dir/mg1/mg1.cc.o.d"
+  "/root/repo/src/mg1/mmc.cc" "src/CMakeFiles/csq.dir/mg1/mmc.cc.o" "gcc" "src/CMakeFiles/csq.dir/mg1/mmc.cc.o.d"
+  "/root/repo/src/msim/multi_sim.cc" "src/CMakeFiles/csq.dir/msim/multi_sim.cc.o" "gcc" "src/CMakeFiles/csq.dir/msim/multi_sim.cc.o.d"
+  "/root/repo/src/qbd/qbd.cc" "src/CMakeFiles/csq.dir/qbd/qbd.cc.o" "gcc" "src/CMakeFiles/csq.dir/qbd/qbd.cc.o.d"
+  "/root/repo/src/sim/policies.cc" "src/CMakeFiles/csq.dir/sim/policies.cc.o" "gcc" "src/CMakeFiles/csq.dir/sim/policies.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/csq.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/csq.dir/sim/rng.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/csq.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/csq.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/csq.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/csq.dir/sim/stats.cc.o.d"
+  "/root/repo/src/transforms/busy_period.cc" "src/CMakeFiles/csq.dir/transforms/busy_period.cc.o" "gcc" "src/CMakeFiles/csq.dir/transforms/busy_period.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

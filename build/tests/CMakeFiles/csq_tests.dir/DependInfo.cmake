@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/csq_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_cscq.cc" "tests/CMakeFiles/csq_tests.dir/test_cscq.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_cscq.cc.o.d"
+  "/root/repo/tests/test_cscq_map.cc" "tests/CMakeFiles/csq_tests.dir/test_cscq_map.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_cscq_map.cc.o.d"
+  "/root/repo/tests/test_cscq_ph.cc" "tests/CMakeFiles/csq_tests.dir/test_cscq_ph.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_cscq_ph.cc.o.d"
+  "/root/repo/tests/test_csid.cc" "tests/CMakeFiles/csq_tests.dir/test_csid.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_csid.cc.o.d"
+  "/root/repo/tests/test_ctmc.cc" "tests/CMakeFiles/csq_tests.dir/test_ctmc.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_ctmc.cc.o.d"
+  "/root/repo/tests/test_dist.cc" "tests/CMakeFiles/csq_tests.dir/test_dist.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_dist.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/csq_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_jets.cc" "tests/CMakeFiles/csq_tests.dir/test_jets.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_jets.cc.o.d"
+  "/root/repo/tests/test_linalg.cc" "tests/CMakeFiles/csq_tests.dir/test_linalg.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_linalg.cc.o.d"
+  "/root/repo/tests/test_mg1.cc" "tests/CMakeFiles/csq_tests.dir/test_mg1.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_mg1.cc.o.d"
+  "/root/repo/tests/test_moment_match.cc" "tests/CMakeFiles/csq_tests.dir/test_moment_match.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_moment_match.cc.o.d"
+  "/root/repo/tests/test_multi_sim.cc" "tests/CMakeFiles/csq_tests.dir/test_multi_sim.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_multi_sim.cc.o.d"
+  "/root/repo/tests/test_qbd.cc" "tests/CMakeFiles/csq_tests.dir/test_qbd.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_qbd.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/csq_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_sim_policies.cc" "tests/CMakeFiles/csq_tests.dir/test_sim_policies.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_sim_policies.cc.o.d"
+  "/root/repo/tests/test_stability.cc" "tests/CMakeFiles/csq_tests.dir/test_stability.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_stability.cc.o.d"
+  "/root/repo/tests/test_tags.cc" "tests/CMakeFiles/csq_tests.dir/test_tags.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_tags.cc.o.d"
+  "/root/repo/tests/test_transforms.cc" "tests/CMakeFiles/csq_tests.dir/test_transforms.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_transforms.cc.o.d"
+  "/root/repo/tests/test_truncated.cc" "tests/CMakeFiles/csq_tests.dir/test_truncated.cc.o" "gcc" "tests/CMakeFiles/csq_tests.dir/test_truncated.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/csq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

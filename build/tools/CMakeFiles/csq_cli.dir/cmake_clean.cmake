@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csq_cli.dir/csq_cli.cc.o"
+  "CMakeFiles/csq_cli.dir/csq_cli.cc.o.d"
+  "csq_cli"
+  "csq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

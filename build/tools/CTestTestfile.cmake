@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_stability "/root/repo/build/tools/csq_cli" "stability" "--points" "5")
+set_tests_properties(cli_stability PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/csq_cli" "analyze" "--policy" "cscq" "--rho-s" "1.1" "--rho-l" "0.5")
+set_tests_properties(cli_analyze PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep_csv "/root/repo/build/tools/csq_cli" "sweep" "--x" "rho_s" "--from" "0.2" "--to" "1.0" "--points" "3" "--csv")
+set_tests_properties(cli_sweep_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_policy "/root/repo/build/tools/csq_cli" "analyze" "--policy" "nope")
+set_tests_properties(cli_bad_policy PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
