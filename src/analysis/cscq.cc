@@ -1,7 +1,6 @@
 #include "analysis/cscq.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "analysis/stability.h"
 #include "mg1/mg1.h"
@@ -14,7 +13,7 @@ namespace {
 const dist::PhaseType& require_exponential_shorts(const SystemConfig& config) {
   const auto* ph = dynamic_cast<const dist::PhaseType*>(config.short_size.get());
   if (ph == nullptr || !ph->is_exponential())
-    throw std::invalid_argument(
+    throw InvalidInputError(
         "analyze_cscq: the analytic chain requires exponential short sizes "
         "(use the simulator for general shorts)");
   return *ph;
@@ -31,7 +30,10 @@ CscqResult analyze_cscq(const SystemConfig& config, const CscqOptions& opts) {
   const double rho_l = ll * xl.m1;
   const double rho_s = ls / mu_s;
   if (rho_l >= 1.0 || !cscq_stable(rho_s, rho_l))
-    throw std::domain_error("analyze_cscq: outside CS-CQ stability region");
+    throw UnstableError("analyze_cscq: outside CS-CQ stability region (rho_S = " +
+                            std::to_string(rho_s) + " must be < 2 - rho_L = " +
+                            std::to_string(2.0 - rho_l) + ")",
+                        Diagnostics::loads(rho_s, rho_l));
 
   CscqResult res;
 
@@ -124,6 +126,7 @@ CscqResult analyze_cscq(const SystemConfig& config, const CscqOptions& opts) {
   }
 
   const qbd::Solution sol = qbd::solve(model, opts.qbd);
+  res.solve_stats = sol.stats;
   res.qbd_mass_error = std::abs(sol.total_mass() - 1.0);
   res.short_count_decay = sol.tail_decay_rate();
   res.short_count_p99 = sol.level_quantile(0.99);
@@ -161,7 +164,8 @@ double cscq_long_response_saturated(const SystemConfig& config) {
   const double ll = config.lambda_long;
   const dist::Moments xl = config.long_size->moments();
   if (ll * xl.m1 >= 1.0)
-    throw std::domain_error("cscq_long_response_saturated: rho_L >= 1");
+    throw UnstableError("cscq_long_response_saturated: rho_L >= 1",
+                        Diagnostics::loads(Diagnostics::kUnset, ll * xl.m1));
   if (ll == 0.0) return xl.m1;
   const double delta = 2.0 * mu_s;
   const dist::Moments setup{1.0 / delta, 2.0 / (delta * delta), 6.0 / (delta * delta * delta)};

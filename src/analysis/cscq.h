@@ -50,6 +50,7 @@ struct CscqResult {
   dist::FitReport fit_single;
   dist::FitReport fit_batch;
   double qbd_mass_error = 0.0;  // |total stationary mass - 1|
+  qbd::SolveStats solve_stats;  // R-solver stage, residual, condition estimate
 
   // Short-job queue-length distribution (the chain tracks it exactly):
   // P(N_S = n) ~ c * decay^n asymptotically, and the 99th percentile of the
@@ -58,9 +59,11 @@ struct CscqResult {
   std::size_t short_count_p99 = 0;
 };
 
-// Throws std::domain_error outside the stability region
-// (rho_L < 1 and rho_S < 2 - rho_L) and std::invalid_argument when the short
-// size distribution is not exponential.
+// Throws csq::UnstableError (a std::domain_error) outside the stability
+// region (rho_L < 1 and rho_S < 2 - rho_L) and csq::InvalidInputError (a
+// std::invalid_argument) when the short size distribution is not
+// exponential; QBD solver failures surface as csq::NotConvergedError /
+// csq::VerificationFailedError with diagnostics attached.
 [[nodiscard]] CscqResult analyze_cscq(const SystemConfig& config, const CscqOptions& opts = {});
 
 // Long-job mean response when the SHORT class is overloaded

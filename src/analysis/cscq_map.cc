@@ -1,7 +1,6 @@
 #include "analysis/cscq_map.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "analysis/stability.h"
 #include "mg1/mg1.h"
@@ -14,7 +13,7 @@ namespace {
 const dist::PhaseType& require_exponential_shorts(const SystemConfig& config) {
   const auto* ph = dynamic_cast<const dist::PhaseType*>(config.short_size.get());
   if (ph == nullptr || !ph->is_exponential())
-    throw std::invalid_argument("analyze_cscq_map: short sizes must be exponential");
+    throw InvalidInputError("analyze_cscq_map: short sizes must be exponential");
   return *ph;
 }
 
@@ -23,7 +22,7 @@ const dist::PhaseType& require_exponential_shorts(const SystemConfig& config) {
 CscqMapResult analyze_cscq_map(const SystemConfig& config, const CscqMapOptions& opts) {
   config.validate();
   if (!config.short_arrivals)
-    throw std::invalid_argument("analyze_cscq_map: config.short_arrivals must be set");
+    throw InvalidInputError("analyze_cscq_map: config.short_arrivals must be set");
   const dist::MapProcess& map = *config.short_arrivals;
   const double mu_s = require_exponential_shorts(config).rate();
   const double ll = config.lambda_long;
@@ -31,7 +30,11 @@ CscqMapResult analyze_cscq_map(const SystemConfig& config, const CscqMapOptions&
   const double rho_l = ll * xl.m1;
   const double rho_s = map.mean_rate() / mu_s;
   if (rho_l >= 1.0 || !cscq_stable(rho_s, rho_l))
-    throw std::domain_error("analyze_cscq_map: outside CS-CQ stability region (mean rate)");
+    throw UnstableError(
+        "analyze_cscq_map: outside CS-CQ stability region (mean-rate rho_S = " +
+            std::to_string(rho_s) + " must be < 2 - rho_L = " +
+            std::to_string(2.0 - rho_l) + ")",
+        Diagnostics::loads(rho_s, rho_l));
 
   const dist::PhaseType bl =
       dist::fit_ph(transforms::mg1_busy_period(xl, ll), opts.busy_period_moments);
@@ -165,6 +168,7 @@ CscqMapResult analyze_cscq_map(const SystemConfig& config, const CscqMapOptions&
   }
 
   const qbd::Solution sol = qbd::solve(model, opts.qbd);
+  res.solve_stats = sol.stats;
   res.qbd_mass_error = std::abs(sol.total_mass() - 1.0);
 
   const double lambda_eff = map.mean_rate();

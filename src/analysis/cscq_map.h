@@ -27,6 +27,7 @@ struct CscqMapResult {
   double p_region2 = 0.0;
   double qbd_mass_error = 0.0;
   std::size_t num_phases = 0;
+  qbd::SolveStats solve_stats;  // R-solver stage, residual, condition estimate
 };
 
 // Requires exponential short sizes and config.short_arrivals set (use

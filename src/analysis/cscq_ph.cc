@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -85,7 +84,7 @@ struct PairSpace {
 const dist::PhaseType& require_ph_shorts(const SystemConfig& config) {
   const auto* ph = dynamic_cast<const dist::PhaseType*>(config.short_size.get());
   if (ph == nullptr)
-    throw std::invalid_argument("analyze_cscq_ph: short sizes must be phase-type");
+    throw InvalidInputError("analyze_cscq_ph: short sizes must be phase-type");
   return *ph;
 }
 
@@ -100,7 +99,10 @@ CscqPhResult analyze_cscq_ph(const SystemConfig& config, const CscqPhOptions& op
   const double rho_l = ll * xl.m1;
   const double rho_s = ls * xs.mean();
   if (rho_l >= 1.0 || !cscq_stable(rho_s, rho_l))
-    throw std::domain_error("analyze_cscq_ph: outside CS-CQ stability region");
+    throw UnstableError("analyze_cscq_ph: outside CS-CQ stability region (rho_S = " +
+                            std::to_string(rho_s) + " must be < 2 - rho_L = " +
+                            std::to_string(2.0 - rho_l) + ")",
+                        Diagnostics::loads(rho_s, rho_l));
 
   const PairSpace pair(xs);
   const std::size_t k = pair.k;
@@ -266,6 +268,7 @@ CscqPhResult analyze_cscq_ph(const SystemConfig& config, const CscqPhOptions& op
     }
 
     const qbd::Solution sol = qbd::solve(model, opts.qbd);
+    res.solve_stats = sol.stats;
     res.qbd_mass_error = std::abs(sol.total_mass() - 1.0);
 
     // --- short jobs ----------------------------------------------------------

@@ -57,6 +57,7 @@ struct CscqPhResult {
   double qbd_mass_error = 0.0;
   std::size_t num_phases = 0;   // repeating-level phase count
   int window_iterations = 0;    // fixed-point iterations actually performed
+  qbd::SolveStats solve_stats;  // R-solver stage, residual, condition estimate
 };
 
 // Requires the short size distribution to be a dist::PhaseType (any number

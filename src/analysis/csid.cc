@@ -1,7 +1,6 @@
 #include "analysis/csid.h"
 
 #include <cmath>
-#include <stdexcept>
 
 #include "analysis/stability.h"
 #include "mg1/mg1.h"
@@ -14,7 +13,7 @@ namespace {
 const dist::PhaseType& require_exponential_shorts(const SystemConfig& config) {
   const auto* ph = dynamic_cast<const dist::PhaseType*>(config.short_size.get());
   if (ph == nullptr || !ph->is_exponential())
-    throw std::invalid_argument(
+    throw InvalidInputError(
         "analyze_csid: the analytic model requires exponential short sizes "
         "(use the simulator for general shorts)");
   return *ph;
@@ -32,7 +31,11 @@ CsidResult analyze_csid(const SystemConfig& config, const CsidOptions& opts) {
   const double rho_s = ls * xs.m1;
   const double rho_l = ll * xl.m1;
   if (rho_l >= 1.0 || !csid_stable(rho_s, rho_l))
-    throw std::domain_error("analyze_csid: outside CS-ID stability region");
+    throw UnstableError("analyze_csid: outside CS-ID stability region (rho_S = " +
+                            std::to_string(rho_s) + " must be < " +
+                            std::to_string(rho_l < 1.0 ? csid_max_rho_short(rho_l) : 0.0) +
+                            ")",
+                        Diagnostics::loads(rho_s, rho_l));
 
   CsidResult res;
   res.p_long_host_idle = csid_long_host_idle_probability(rho_s, rho_l);
@@ -96,6 +99,7 @@ CsidResult analyze_csid(const SystemConfig& config, const CsidOptions& opts) {
   model.boundary[0].up = arrivals;
 
   const qbd::Solution sol = qbd::solve(model, opts.qbd);
+  res.solve_stats = sol.stats;
 
   // Diagnostic: modulator idle probability vs the closed form.
   double idle_mass = sol.boundary_pi[0][ph_i] + sol.repeating_mass_by_phase()[ph_i];
@@ -125,7 +129,8 @@ double csid_long_response(const SystemConfig& config) {
   const double ll = config.lambda_long;
   const dist::Moments xl = config.long_size->moments();
   if (ll * xl.m1 >= 1.0)
-    throw std::domain_error("csid_long_response: rho_L >= 1 (long host unstable)");
+    throw UnstableError("csid_long_response: rho_L >= 1 (long host unstable)",
+                        Diagnostics::loads(Diagnostics::kUnset, ll * xl.m1));
   if (ll == 0.0) return xl.m1;
   // Probability the first long of a long-busy-cycle finds a (stolen) short in
   // service: race from the idle long host between long arrivals and

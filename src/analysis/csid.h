@@ -46,10 +46,12 @@ struct CsidResult {
   double modulator_idle_error = 0.0;
   dist::FitReport fit_single;
   dist::FitReport fit_batch;
+  qbd::SolveStats solve_stats;     // R-solver stage, residual, condition estimate
 };
 
-// Throws std::domain_error outside the CS-ID stability region and
-// std::invalid_argument when short sizes are not exponential.
+// Throws csq::UnstableError (a std::domain_error) outside the CS-ID
+// stability region and csq::InvalidInputError (a std::invalid_argument) when
+// short sizes are not exponential.
 [[nodiscard]] CsidResult analyze_csid(const SystemConfig& config, const CsidOptions& opts = {});
 
 // Long-job mean response only. The long host's behaviour depends only on the

@@ -1,14 +1,18 @@
 #include "analysis/stability.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/status.h"
 
 namespace csq::analysis {
 
 namespace {
 void require_rho_long(double rho_long) {
-  if (rho_long < 0.0 || rho_long >= 1.0)
-    throw std::domain_error("stability: need 0 <= rho_long < 1");
+  if (rho_long < 0.0 || rho_long >= 1.0) {
+    Diagnostics d;
+    d.rho_long = rho_long;
+    throw UnstableError("stability: need 0 <= rho_long < 1", std::move(d));
+  }
 }
 }  // namespace
 
@@ -43,7 +47,7 @@ double cscq_max_rho_short(double rho_long) {
 
 double csid_long_host_idle_probability(double rho_short, double rho_long) {
   require_rho_long(rho_long);
-  if (rho_short < 0.0) throw std::invalid_argument("csid idle: rho_short < 0");
+  if (rho_short < 0.0) throw InvalidInputError("csid idle: rho_short < 0");
   return (1.0 - rho_long) / (1.0 + rho_short);
 }
 

@@ -1,8 +1,7 @@
 #include "analysis/truncated_cscq.h"
 
-#include <stdexcept>
-
 #include "analysis/stability.h"
+#include "core/status.h"
 #include "ctmc/sparse.h"
 #include "ctmc/stationary.h"
 #include "dist/phase_type.h"
@@ -14,8 +13,8 @@ namespace {
 double exponential_rate(const dist::DistPtr& d, const char* what) {
   const auto* ph = dynamic_cast<const dist::PhaseType*>(d.get());
   if (ph == nullptr || !ph->is_exponential())
-    throw std::invalid_argument(std::string("analyze_cscq_truncated: ") + what +
-                                " size must be exponential");
+    throw InvalidInputError(std::string("analyze_cscq_truncated: ") + what +
+                            " size must be exponential");
   return ph->rate();
 }
 
@@ -31,9 +30,10 @@ TruncatedCscqResult analyze_cscq_truncated(const SystemConfig& config,
   const double rho_s = ls / mu_s;
   const double rho_l = ll / mu_l;
   if (!cscq_stable(rho_s, rho_l))
-    throw std::domain_error("analyze_cscq_truncated: outside CS-CQ stability region");
+    throw UnstableError("analyze_cscq_truncated: outside CS-CQ stability region",
+                        Diagnostics::loads(rho_s, rho_l));
   if (opts.max_shorts < 3 || opts.max_longs < 2)
-    throw std::invalid_argument("analyze_cscq_truncated: caps too small");
+    throw InvalidInputError("analyze_cscq_truncated: caps too small");
 
   const int ns_max = opts.max_shorts;
   const int nl_max = opts.max_longs;

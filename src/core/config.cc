@@ -2,21 +2,28 @@
 
 #include <memory>
 
+#include "core/status.h"
+
 namespace csq {
 
 void SystemConfig::validate() const {
   if (!short_size || !long_size)
-    throw std::invalid_argument("SystemConfig: size distributions must be set");
+    throw InvalidInputError("SystemConfig: size distributions must be set");
   if (lambda_short < 0.0 || lambda_long < 0.0)
-    throw std::invalid_argument("SystemConfig: arrival rates must be nonnegative");
+    throw InvalidInputError("SystemConfig: arrival rates must be nonnegative");
 }
 
 SystemConfig SystemConfig::from_loads(double rho_short, double rho_long,
                                       dist::DistPtr short_size, dist::DistPtr long_size) {
   if (!short_size || !long_size)
-    throw std::invalid_argument("SystemConfig::from_loads: distributions must be set");
+    throw InvalidInputError("SystemConfig::from_loads: distributions must be set");
   if (rho_short < 0.0 || rho_long < 0.0)
-    throw std::invalid_argument("SystemConfig::from_loads: loads must be nonnegative");
+    // Name the values in the message: a negative load collides with the
+    // Diagnostics "unset" sentinel, so the payload alone can't show it.
+    throw InvalidInputError("SystemConfig::from_loads: loads must be nonnegative (rho_short = " +
+                                std::to_string(rho_short) + ", rho_long = " +
+                                std::to_string(rho_long) + ")",
+                            Diagnostics::loads(rho_short, rho_long));
   SystemConfig c;
   c.short_size = std::move(short_size);
   c.long_size = std::move(long_size);

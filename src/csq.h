@@ -11,6 +11,7 @@
 #include "analysis/truncated_cscq.h"  // IWYU pragma: export
 #include "core/config.h"           // IWYU pragma: export
 #include "core/solver.h"           // IWYU pragma: export
+#include "core/status.h"           // IWYU pragma: export
 #include "core/sweep.h"            // IWYU pragma: export
 #include "core/table.h"            // IWYU pragma: export
 #include "dist/distribution.h"     // IWYU pragma: export

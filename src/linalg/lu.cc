@@ -1,13 +1,28 @@
 #include "linalg/lu.h"
 
 #include <cmath>
-#include <stdexcept>
 #include <utility>
+
+#include "core/status.h"
 
 namespace csq::linalg {
 
-Lu::Lu(Matrix a) : lu_(std::move(a)) {
-  if (lu_.rows() != lu_.cols()) throw std::invalid_argument("Lu: matrix not square");
+namespace {
+
+double norm1(const Matrix& a) {
+  double best = 0.0;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < a.rows(); ++r) s += std::abs(a(r, c));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+}  // namespace
+
+Lu::Lu(Matrix a) : a_(std::move(a)), lu_(a_) {
+  if (lu_.rows() != lu_.cols()) throw InvalidInputError("Lu: matrix not square");
   const std::size_t n = lu_.rows();
   perm_.resize(n);
   for (std::size_t i = 0; i < n; ++i) perm_[i] = static_cast<int>(i);
@@ -23,7 +38,14 @@ Lu::Lu(Matrix a) : lu_(std::move(a)) {
         piv = r;
       }
     }
-    if (best < 1e-300) throw std::domain_error("Lu: singular matrix");
+    if (best < 1e-300) {
+      Diagnostics d;
+      d.stage = "lu_factorization";
+      d.iterations = static_cast<long>(k);
+      throw IllConditionedError("Lu: singular matrix (zero pivot at column " +
+                                    std::to_string(k) + ")",
+                                std::move(d));
+    }
     if (piv != k) {
       for (std::size_t c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(piv, c));
       std::swap(perm_[k], perm_[piv]);
@@ -40,7 +62,7 @@ Lu::Lu(Matrix a) : lu_(std::move(a)) {
 
 std::vector<double> Lu::solve(std::vector<double> b) const {
   const std::size_t n = lu_.rows();
-  if (b.size() != n) throw std::invalid_argument("Lu::solve: size mismatch");
+  if (b.size() != n) throw InvalidInputError("Lu::solve: size mismatch");
   std::vector<double> x(n);
   for (std::size_t i = 0; i < n; ++i) x[i] = b[static_cast<std::size_t>(perm_[i])];
   // Forward substitution (L has unit diagonal).
@@ -56,7 +78,7 @@ std::vector<double> Lu::solve(std::vector<double> b) const {
 
 Matrix Lu::solve(const Matrix& b) const {
   const std::size_t n = lu_.rows();
-  if (b.rows() != n) throw std::invalid_argument("Lu::solve: shape mismatch");
+  if (b.rows() != n) throw InvalidInputError("Lu::solve: shape mismatch");
   Matrix x(n, b.cols());
   std::vector<double> col(n);
   for (std::size_t c = 0; c < b.cols(); ++c) {
@@ -67,10 +89,47 @@ Matrix Lu::solve(const Matrix& b) const {
   return x;
 }
 
+std::vector<double> Lu::solve_refined(const std::vector<double>& b) const {
+  std::vector<double> x = solve(b);
+  const std::size_t n = lu_.rows();
+  // Residual r = b - A x, then the correction solve A dx = r.
+  std::vector<double> r(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < n; ++j) s -= a_(i, j) * x[j];
+    r[i] = s;
+  }
+  const std::vector<double> dx = solve(std::move(r));
+  for (std::size_t i = 0; i < n; ++i) x[i] += dx[i];
+  return x;
+}
+
 double Lu::determinant() const {
   double d = sign_;
   for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
   return d;
+}
+
+double Lu::condition_estimate() const {
+  if (cond_ >= 0.0) return cond_;
+  // The matrices here are small, so the exact ||A^{-1}||_1 via n solves is
+  // affordable and beats a Hager-style estimate in reliability.
+  const Matrix inv = solve(Matrix::identity(lu_.rows()));
+  cond_ = norm1(a_) * norm1(inv);
+  return cond_;
+}
+
+double Lu::residual_max(const std::vector<double>& x, const std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  if (x.size() != n || b.size() != n)
+    throw InvalidInputError("Lu::residual_max: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < n; ++j) s -= a_(i, j) * x[j];
+    worst = std::max(worst, std::abs(s));
+  }
+  return worst;
 }
 
 std::vector<double> solve_left(const Matrix& a, const std::vector<double>& b) {

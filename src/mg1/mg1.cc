@@ -1,14 +1,21 @@
 #include "mg1/mg1.h"
 
-#include <stdexcept>
+#include <string>
+
+#include "core/status.h"
 
 namespace csq::mg1 {
 
 namespace {
 double check_rho(double lambda, const dist::Moments& job) {
-  if (lambda < 0.0) throw std::invalid_argument("mg1: lambda < 0");
+  if (lambda < 0.0) throw InvalidInputError("mg1: lambda < 0");
   const double rho = lambda * job.m1;
-  if (rho >= 1.0) throw std::domain_error("mg1: rho >= 1 (unstable)");
+  if (rho >= 1.0) {
+    Diagnostics d;
+    d.rho_long = rho;  // the M/G/1 queues here model the long (donor) class
+    throw UnstableError("mg1: rho = " + std::to_string(rho) + " >= 1 (unstable)",
+                        std::move(d));
+  }
   return rho;
 }
 }  // namespace
@@ -33,7 +40,11 @@ double setup_response(double lambda, const dist::Moments& job, const dist::Momen
 }
 
 double mm1_response(double lambda, double mu) {
-  if (lambda >= mu) throw std::domain_error("mm1: lambda >= mu (unstable)");
+  if (lambda >= mu) {
+    Diagnostics d;
+    d.rho_long = lambda / mu;
+    throw UnstableError("mm1: lambda >= mu (unstable)", std::move(d));
+  }
   return 1.0 / (mu - lambda);
 }
 

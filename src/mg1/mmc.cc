@@ -1,13 +1,14 @@
 #include "mg1/mmc.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/status.h"
 
 namespace csq::mg1 {
 
 double erlang_c(int c, double a) {
-  if (c < 1 || a < 0.0) throw std::invalid_argument("erlang_c: bad params");
-  if (a >= c) throw std::domain_error("erlang_c: offered load >= c (unstable)");
+  if (c < 1 || a < 0.0) throw InvalidInputError("erlang_c: bad params");
+  if (a >= c) throw UnstableError("erlang_c: offered load >= c (unstable)");
   // Iteratively compute the Erlang-B blocking probability, then convert.
   double b = 1.0;
   for (int k = 1; k <= c; ++k) b = a * b / (k + a * b);
@@ -15,7 +16,7 @@ double erlang_c(int c, double a) {
 }
 
 double mmc_wait(int c, double lambda, double mu) {
-  if (mu <= 0.0) throw std::invalid_argument("mmc_wait: mu <= 0");
+  if (mu <= 0.0) throw InvalidInputError("mmc_wait: mu <= 0");
   const double a = lambda / mu;
   const double pw = erlang_c(c, a);
   return pw / (c * mu - lambda);

@@ -1,7 +1,8 @@
 #include "qbd/qbd.h"
 
 #include <cmath>
-#include <stdexcept>
+#include <sstream>
+#include <utility>
 
 #include "linalg/lu.h"
 
@@ -24,10 +25,93 @@ void fill_diagonal(Matrix& local, const std::vector<const Matrix*>& others) {
 }
 
 void require(bool cond, const char* msg) {
-  if (!cond) throw std::invalid_argument(msg);
+  if (!cond) throw InvalidInputError(msg);
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+// ‖A0 + R A1 + R² A2‖_max — how well R solves its defining equation.
+double r_residual(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Matrix& r) {
+  return (a0 + r * a1 + r * r * a2).max_abs();
+}
+
+struct IterationOutcome {
+  Matrix r;
+  bool converged = false;
+  bool diverged = false;
+  int iterations = 0;
+  double last_diff = -1.0;
+};
+
+// R <- -(A0 + R² A2) A1^{-1} from R = 0 until the update falls below tol.
+IterationOutcome functional_iteration(const Matrix& a0, const Matrix& a1_inv,
+                                      const Matrix& a2, double tolerance,
+                                      int max_iterations) {
+  IterationOutcome out;
+  const std::size_t m = a0.rows();
+  out.r = Matrix(m, m);
+  for (int it = 0; it < max_iterations; ++it) {
+    Matrix next = (-1.0) * ((a0 + out.r * out.r * a2) * a1_inv);
+    const double diff = (next - out.r).max_abs();
+    out.r = std::move(next);
+    out.iterations = it + 1;
+    out.last_diff = diff;
+    if (out.r.max_abs() > 1e6) {
+      out.diverged = true;
+      return out;
+    }
+    if (diff < tolerance) {
+      out.converged = true;
+      return out;
+    }
+  }
+  return out;
 }
 
 }  // namespace
+
+const char* r_method_name(RMethod method) {
+  switch (method) {
+    case RMethod::kFunctionalIteration: return "functional_iteration";
+    case RMethod::kLogReduction: return "logarithmic_reduction";
+    case RMethod::kRelaxedIteration: return "relaxed_iteration";
+  }
+  return "?";
+}
+
+Diagnostics SolveStats::to_diagnostics() const {
+  Diagnostics d;
+  d.iterations = iterations;
+  d.residual = residual;
+  d.spectral_radius = spectral_radius;
+  d.condition_estimate = boundary_condition;
+  d.stage = r_method_name(method);
+  d.notes = trail;
+  return d;
+}
+
+double spectral_radius_estimate(const Matrix& m, int max_iterations, double tolerance) {
+  const std::size_t n = m.rows();
+  if (n == 0) return 0.0;
+  std::vector<double> v(n, 1.0);
+  double norm = 0.0;
+  double prev = -1.0;
+  for (int it = 0; it < max_iterations; ++it) {
+    v = m * v;
+    norm = 0.0;
+    for (double x : v) norm = std::max(norm, std::abs(x));
+    if (norm == 0.0) return 0.0;  // nilpotent within n steps
+    for (double& x : v) x /= norm;
+    if (std::abs(norm - prev) < tolerance * std::max(norm, 1.0)) break;
+    prev = norm;
+  }
+  return norm;
+}
 
 double Solution::r_row_sum_max() const {
   double best = 0.0;
@@ -70,22 +154,11 @@ double Solution::level_tail(std::size_t n) const {
   return linalg::sum(v * i_minus_r_inv);
 }
 
-double Solution::tail_decay_rate() const {
-  const std::size_t m = r.rows();
-  std::vector<double> v(m, 1.0);
-  double norm = 0.0;
-  for (int it = 0; it < 500; ++it) {
-    v = r * v;
-    norm = 0.0;
-    for (double x : v) norm = std::max(norm, std::abs(x));
-    if (norm == 0.0) return 0.0;
-    for (double& x : v) x /= norm;
-  }
-  return norm;
-}
+double Solution::tail_decay_rate() const { return spectral_radius_estimate(r); }
 
 std::size_t Solution::level_quantile(double q) const {
-  if (q <= 0.0 || q >= 1.0) throw std::invalid_argument("level_quantile: q must be in (0,1)");
+  if (q <= 0.0 || q >= 1.0)
+    throw InvalidInputError("level_quantile: q must be in (0,1)");
   double cdf = 0.0;
   const std::size_t k = boundary_pi.size();
   for (std::size_t i = 0; i < k; ++i) {
@@ -107,40 +180,170 @@ double Solution::total_mass() const {
   return s + linalg::sum(repeating_mass_by_phase());
 }
 
-Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Options& opts) {
+SolverStatus Solution::verify(VerifyLevel level) const {
+  SolverStatus status;
+  if (level == VerifyLevel::kNone) return status;
+  std::vector<std::string> failures;
+  constexpr double kNegTol = 1e-9;
+
+  double min_entry = 0.0;
+  bool all_finite = true;
+  const auto scan = [&](const std::vector<double>& v) {
+    for (const double x : v) {
+      if (!std::isfinite(x)) all_finite = false;
+      min_entry = std::min(min_entry, x);
+    }
+  };
+  for (const auto& b : boundary_pi) scan(b);
+  scan(pi_k);
+  if (!all_finite) failures.push_back("non-finite stationary probabilities");
+  if (min_entry < -kNegTol)
+    failures.push_back("negative stationary probability (min " + fmt(min_entry) + ")");
+
+  for (const double x : r.data())
+    if (!std::isfinite(x)) {
+      failures.push_back("non-finite entry in R");
+      break;
+    }
+
+  const double mass = total_mass();
+  if (!std::isfinite(mass) || std::abs(mass - 1.0) > 1e-6)
+    failures.push_back("total mass " + fmt(mass) + " not within 1e-6 of 1");
+
+  const double sp =
+      stats.spectral_radius >= 0.0 ? stats.spectral_radius : spectral_radius_estimate(r);
+  if (!(sp < 1.0))
+    failures.push_back("spectral radius of R " + fmt(sp) + " not < 1");
+
+  if (level == VerifyLevel::kFull) {
+    if (stats.residual >= 0.0 && stats.residual > 1e-6)
+      failures.push_back("R-equation residual " + fmt(stats.residual) + " above 1e-6");
+    const double mean = mean_level();
+    if (!std::isfinite(mean) || mean < -kNegTol)
+      failures.push_back("mean level " + fmt(mean) + " not finite/nonnegative");
+  }
+
+  if (!failures.empty()) {
+    status.code = ErrorCode::kVerificationFailed;
+    status.message = "qbd::Solution::verify: " + failures.front() +
+                     (failures.size() > 1
+                          ? " (+" + std::to_string(failures.size() - 1) + " more)"
+                          : "");
+    status.diagnostics = stats.to_diagnostics();
+    status.diagnostics.notes.insert(status.diagnostics.notes.end(), failures.begin(),
+                                    failures.end());
+  }
+  return status;
+}
+
+Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Options& opts,
+               SolveStats* stats_out) {
   const std::size_t m = a0.rows();
   require(a0.cols() == m && a1.rows() == m && a1.cols() == m && a2.rows() == m &&
               a2.cols() == m,
           "solve_r: blocks must be square and same size");
-  const Matrix a1_inv = linalg::inverse(a1);
-  Matrix r(m, m);
-  for (int it = 0; it < opts.max_iterations; ++it) {
-    // R <- -(A0 + R^2 A2) A1^{-1}
-    Matrix next = (-1.0) * ((a0 + r * r * a2) * a1_inv);
-    const double diff = (next - r).max_abs();
-    r = std::move(next);
-    if (r.max_abs() > 1e6) throw std::domain_error("solve_r: iteration diverged (unstable QBD?)");
-    if (diff < opts.tolerance) {
-      // Positive recurrence check: sp(R) < 1. Power-iterate a few steps.
-      std::vector<double> v(m, 1.0);
-      double norm = 1.0;
-      for (int p = 0; p < 200; ++p) {
-        v = r * v;
-        norm = 0.0;
-        for (double x : v) norm = std::max(norm, std::abs(x));
-        if (norm == 0.0) break;
-        for (double& x : v) x /= norm;
-      }
-      if (norm >= 1.0 - 1e-10)
-        throw std::domain_error("solve_r: spectral radius >= 1 (QBD not positive recurrent)");
-      return r;
+  SolveStats stats;
+
+  // Accept R when it solves its equation to near the rate scale's precision.
+  const double scale =
+      std::max(1.0, std::max(a0.max_abs(), std::max(a1.max_abs(), a2.max_abs())));
+  const double accept_residual = std::max(1e-10, opts.tolerance * 1e3) * scale;
+
+  // Successful exit: record residual + spectral radius, reject sp(R) >= 1.
+  const auto finish = [&](Matrix r, RMethod method, int iterations) -> Matrix {
+    stats.method = method;
+    stats.iterations = iterations;
+    stats.residual = r_residual(a0, a1, a2, r);
+    stats.spectral_radius = spectral_radius_estimate(r);
+    if (stats.spectral_radius >= 1.0 - 1e-10) {
+      Diagnostics d = stats.to_diagnostics();
+      d.tolerance = opts.tolerance;
+      if (stats_out) *stats_out = stats;
+      throw UnstableError(
+          "solve_r: spectral radius " + fmt(stats.spectral_radius) +
+              " >= 1 (QBD not positive recurrent)",
+          std::move(d));
     }
+    if (stats_out) *stats_out = stats;
+    return r;
+  };
+
+  const Matrix a1_inv = linalg::inverse(a1);
+
+  // Stage 1: functional iteration (linear convergence; stalls near the
+  // stability boundary where sp(R) -> 1).
+  const IterationOutcome fi =
+      functional_iteration(a0, a1_inv, a2, opts.tolerance, opts.max_iterations);
+  stats.trail.push_back(std::string("functional_iteration: ") +
+                        (fi.converged ? "converged"
+                         : fi.diverged ? "diverged"
+                                       : "iteration budget exhausted") +
+                        " after " + std::to_string(fi.iterations) +
+                        " iterations (last update " + fmt(fi.last_diff) + ")");
+  if (fi.converged) return finish(fi.r, RMethod::kFunctionalIteration, fi.iterations);
+
+  if (!opts.allow_fallback) {
+    stats.residual = r_residual(a0, a1, a2, fi.r);
+    Diagnostics d = stats.to_diagnostics();
+    d.iterations = fi.iterations;
+    d.tolerance = opts.tolerance;
+    d.stage = "functional_iteration";
+    if (stats_out) *stats_out = stats;
+    if (fi.diverged)
+      throw UnstableError("solve_r: iteration diverged (unstable QBD?)", std::move(d));
+    throw NotConvergedError("solve_r: functional iteration did not converge",
+                            std::move(d));
   }
-  throw std::domain_error("solve_r: functional iteration did not converge");
+
+  // Stage 2: logarithmic reduction (quadratically convergent; also the
+  // arbiter of genuine instability — sp(R from G) >= 1 means the chain is
+  // not positive recurrent, not that the iteration was unlucky).
+  int lr_steps = 0;
+  double lr_last = -1.0;
+  const Matrix g = solve_g_logred(a0, a1, a2, opts, &lr_steps, &lr_last);
+  const Matrix r_lr = r_from_g(a0, a1, g);
+  const double lr_residual = r_residual(a0, a1, a2, r_lr);
+  stats.trail.push_back("logarithmic_reduction: " + std::to_string(lr_steps) +
+                        " doubling steps, residual " + fmt(lr_residual));
+  const double lr_sp = spectral_radius_estimate(r_lr);
+  if (lr_sp >= 1.0 - 1e-10) {
+    stats.residual = lr_residual;
+    stats.spectral_radius = lr_sp;
+    Diagnostics d = stats.to_diagnostics();
+    d.stage = "logarithmic_reduction";
+    d.tolerance = opts.tolerance;
+    if (stats_out) *stats_out = stats;
+    throw UnstableError("solve_r: spectral radius " + fmt(lr_sp) +
+                            " >= 1 (QBD not positive recurrent)",
+                        std::move(d));
+  }
+  if (lr_residual <= accept_residual) return finish(r_lr, RMethod::kLogReduction, lr_steps);
+
+  // Stage 3: relaxed-tolerance functional iteration — rescues configs where
+  // the update plateaus just above the requested tolerance from rounding.
+  const double relaxed_tol = opts.tolerance * opts.fallback_tolerance_factor;
+  const IterationOutcome relaxed =
+      functional_iteration(a0, a1_inv, a2, relaxed_tol, opts.max_iterations);
+  stats.trail.push_back(std::string("relaxed_iteration (tol ") + fmt(relaxed_tol) +
+                        "): " + (relaxed.converged ? "converged" : "failed") + " after " +
+                        std::to_string(relaxed.iterations) + " iterations");
+  if (relaxed.converged) return finish(relaxed.r, RMethod::kRelaxedIteration, relaxed.iterations);
+
+  stats.residual = std::min(lr_residual, r_residual(a0, a1, a2, relaxed.r));
+  stats.spectral_radius = lr_sp;
+  Diagnostics d = stats.to_diagnostics();
+  d.iterations = fi.iterations + relaxed.iterations;
+  d.tolerance = opts.tolerance;
+  d.stage = "fallback_chain";
+  if (stats_out) *stats_out = stats;
+  throw NotConvergedError(
+      "solve_r: fallback chain exhausted (functional iteration, logarithmic "
+      "reduction, relaxed retry) without an acceptable R",
+      std::move(d));
 }
 
 Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
-                      const Options& opts) {
+                      const Options& opts, int* steps_out, double* last_update_out) {
   // Logarithmic reduction (Latouche & Ramaswami 1999, Ch. 8).
   const std::size_t m = a0.rows();
   const Matrix neg_a1_inv = linalg::inverse((-1.0) * a1);
@@ -148,6 +351,7 @@ Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
   Matrix l = neg_a1_inv * a2;  // "down" probability block
   Matrix g = l;
   Matrix t = h;
+  int steps = 0;
   for (int it = 0; it < 64; ++it) {
     const Matrix u = h * l + l * h;
     const Matrix m2 = linalg::inverse(Matrix::identity(m) - u);
@@ -157,8 +361,11 @@ Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
     t = t * h2;
     h = h2;
     l = l2;
+    steps = it + 1;
     if (t.max_abs() < opts.tolerance) break;
   }
+  if (steps_out) *steps_out = steps;
+  if (last_update_out) *last_update_out = t.max_abs();
   return g;
 }
 
@@ -209,7 +416,8 @@ Solution solve(const Model& model, const Options& opts) {
     fill_diagonal(a1, others);
   }
 
-  const Matrix r = solve_r(model.a0, a1, model.a2, opts);
+  SolveStats stats;
+  const Matrix r = solve_r(model.a0, a1, model.a2, opts, &stats);
   const Matrix i_minus_r_inv = linalg::inverse(Matrix::identity(m) - r);
 
   // Assemble boundary balance equations. Unknowns x = (pi_0,...,pi_{k-1},pi_K).
@@ -251,16 +459,27 @@ Solution solve(const Model& model, const Options& opts) {
 
   std::vector<double> rhs(n, 0.0);
   rhs[0] = 1.0;
-  const std::vector<double> x = linalg::Lu(e.transpose()).solve(rhs);
+  const linalg::Lu lu(e.transpose());
+  stats.boundary_condition = lu.condition_estimate();
+  if (stats.boundary_condition > 1e12)
+    stats.trail.push_back("boundary system ill-conditioned (cond ~ " +
+                          fmt(stats.boundary_condition) + "); iterative refinement applied");
+  const std::vector<double> x = lu.solve_refined(rhs);
 
   Solution sol;
   sol.r = r;
   sol.i_minus_r_inv = i_minus_r_inv;
+  sol.stats = std::move(stats);
   sol.boundary_pi.resize(k);
   for (std::size_t i = 0; i < k; ++i)
     sol.boundary_pi[i].assign(x.begin() + static_cast<std::ptrdiff_t>(offset[i]),
                               x.begin() + static_cast<std::ptrdiff_t>(offset[i + 1]));
   sol.pi_k.assign(x.begin() + static_cast<std::ptrdiff_t>(offset[k]), x.end());
+
+  if (opts.verify != VerifyLevel::kNone) {
+    const SolverStatus v = sol.verify(opts.verify);
+    if (!v.ok()) throw VerificationFailedError(v.message, v.diagnostics);
+  }
   return sol;
 }
 

@@ -6,11 +6,19 @@
 // of the repeating portion is matrix-geometric: pi_{K+j} = pi_K R^j, where R
 // is the minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0
 // (Neuts 1981; Latouche & Ramaswami 1999).
+//
+// Robustness: solve_r runs a fallback chain — functional iteration, then
+// logarithmic reduction (quadratically convergent, so it survives the
+// near-boundary configs where the linear iteration stalls), then a
+// relaxed-tolerance retry — and records per-stage diagnostics in SolveStats.
+// Failures throw the structured taxonomy of core/status.h; solutions can be
+// self-verified via Solution::verify().
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "core/status.h"
 #include "linalg/matrix.h"
 
 namespace csq::qbd {
@@ -41,6 +49,31 @@ struct Model {
 struct Options {
   double tolerance = 1e-13;
   int max_iterations = 200000;
+  // Enable the solve_r fallback chain (logarithmic reduction, then a
+  // relaxed-tolerance retry) when functional iteration fails. Off = the
+  // pre-fallback behaviour: functional iteration or bust.
+  bool allow_fallback = true;
+  // Tolerance multiplier for the last-resort relaxed retry.
+  double fallback_tolerance_factor = 1e3;
+  // Self-verification level applied by solve() to its Solution.
+  VerifyLevel verify = VerifyLevel::kBasic;
+};
+
+// Which stage of the fallback chain produced R.
+enum class RMethod { kFunctionalIteration, kLogReduction, kRelaxedIteration };
+[[nodiscard]] const char* r_method_name(RMethod method);
+
+// Diagnostics recorded by solve_r / solve.
+struct SolveStats {
+  RMethod method = RMethod::kFunctionalIteration;
+  int iterations = 0;                 // iterations spent by the winning stage
+  double residual = -1.0;             // ‖A0 + R A1 + R² A2‖_max at acceptance
+  double spectral_radius = -1.0;      // sp(R) power-iteration estimate
+  double boundary_condition = -1.0;   // condition estimate of the boundary solve
+  std::vector<std::string> trail;     // human-readable per-stage notes
+
+  // Fold these stats into a Diagnostics payload.
+  [[nodiscard]] Diagnostics to_diagnostics() const;
 };
 
 struct Solution {
@@ -48,6 +81,7 @@ struct Solution {
   std::vector<double> pi_k;                      // level K (first repeating)
   Matrix r;                                      // rate matrix R
   Matrix i_minus_r_inv;                          // (I - R)^{-1}
+  SolveStats stats;                              // how R was obtained, residuals
 
   // Spectral-radius proxy: max row sum of R (< 1 for positive recurrence).
   [[nodiscard]] double r_row_sum_max() const;
@@ -63,7 +97,8 @@ struct Solution {
   [[nodiscard]] double level_tail(std::size_t n) const;
 
   // Asymptotic decay rate of the level distribution: the spectral radius of
-  // R, so P(level = n) ~ c * rate^n for large n. Power iteration.
+  // R, so P(level = n) ~ c * rate^n for large n. Power iteration with early
+  // exit on convergence.
   [[nodiscard]] double tail_decay_rate() const;
 
   // Smallest n with P(level <= n) >= q (q in (0,1)); e.g. q = 0.99 bounds
@@ -76,25 +111,42 @@ struct Solution {
 
   // Total stationary mass (== 1 up to numerical error; used by tests).
   [[nodiscard]] double total_mass() const;
+
+  // Self-verification: total mass ≈ 1, no negative probabilities, sp(R) < 1,
+  // finite values; kFull adds the R-equation residual and E[level] sanity.
+  // Returns kOk or kVerificationFailed with the failing checks in the notes.
+  [[nodiscard]] SolverStatus verify(VerifyLevel level = VerifyLevel::kFull) const;
 };
 
-// Solve the QBD. Throws std::domain_error if the process is not positive
-// recurrent (R iteration diverges / spectral radius >= 1) and
-// std::invalid_argument for malformed models.
+// Solve the QBD. Throws csq::UnstableError if the process is not positive
+// recurrent (sp(R) >= 1), csq::NotConvergedError when the whole fallback
+// chain fails, csq::InvalidInputError for malformed models, and
+// csq::VerificationFailedError when opts.verify rejects the solution (all
+// derive from the std exceptions historically thrown here).
 [[nodiscard]] Solution solve(const Model& model, const Options& opts = {});
 
-// Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0 by functional
-// iteration R <- -(A0 + R^2 A2) A1^{-1}. a1 must carry its diagonal.
+// Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0. a1 must carry its
+// diagonal. Runs the fallback chain described above (unless
+// opts.allow_fallback is false); per-stage diagnostics are written to
+// *stats_out when given.
 [[nodiscard]] Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
-                             const Options& opts = {});
+                             const Options& opts = {}, SolveStats* stats_out = nullptr);
 
-// G matrix by logarithmic reduction (Latouche-Ramaswami); used as an
-// independent cross-check of solve_r in the test-suite.
-// G solves A2 + A1 G + A0 G^2 = 0 (first-passage probabilities down a level).
+// G matrix by logarithmic reduction (Latouche-Ramaswami); the second stage
+// of the solve_r fallback chain and an independent cross-check in the
+// test-suite. G solves A2 + A1 G + A0 G^2 = 0 (first-passage probabilities
+// down a level). Reports the doubling-step count / final update size via the
+// optional out-params.
 [[nodiscard]] Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
-                                    const Options& opts = {});
+                                    const Options& opts = {}, int* steps_out = nullptr,
+                                    double* last_update_out = nullptr);
 
 // R from G: R = A0 (-A1 - A0 G)^{-1}.
 [[nodiscard]] Matrix r_from_g(const Matrix& a0, const Matrix& a1, const Matrix& g);
+
+// Spectral-radius estimate by power iteration with early exit once the
+// Rayleigh-style norm estimate stops moving.
+[[nodiscard]] double spectral_radius_estimate(const Matrix& m, int max_iterations = 500,
+                                              double tolerance = 1e-12);
 
 }  // namespace csq::qbd

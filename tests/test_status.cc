@@ -1,0 +1,307 @@
+// Failure-path coverage for the structured error taxonomy (core/status.h):
+// every numerical failure must surface as the right ErrorCode with useful
+// diagnostics attached, not a generic exception, and the solve_r fallback
+// chain must rescue near-boundary configs that the plain functional
+// iteration cannot.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "analysis/cscq.h"
+#include "analysis/stability.h"
+#include "core/solver.h"
+#include "core/status.h"
+#include "linalg/lu.h"
+#include "mg1/mg1.h"
+#include "qbd/qbd.h"
+
+namespace csq {
+namespace {
+
+using linalg::Lu;
+using linalg::Matrix;
+
+// M/M/1 as a one-phase QBD (same shape as test_qbd.cc).
+qbd::Model mm1_model(double lambda, double mu) {
+  qbd::Model m;
+  m.a0 = Matrix{{lambda}};
+  m.a1 = Matrix{{0.0}};
+  m.a2 = Matrix{{mu}};
+  m.first_down = Matrix{{mu}};
+  m.boundary.resize(1);
+  m.boundary[0].local = Matrix{{0.0}};
+  m.boundary[0].up = Matrix{{lambda}};
+  return m;
+}
+
+TEST(Status, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(error_code_name(ErrorCode::kOk), "Ok");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInvalidInput), "InvalidInput");
+  EXPECT_STREQ(error_code_name(ErrorCode::kUnstable), "Unstable");
+  EXPECT_STREQ(error_code_name(ErrorCode::kNotConverged), "NotConverged");
+  EXPECT_STREQ(error_code_name(ErrorCode::kIllConditioned), "IllConditioned");
+  EXPECT_STREQ(error_code_name(ErrorCode::kVerificationFailed), "VerificationFailed");
+}
+
+TEST(Status, StructuredErrorsRemainStdExceptions) {
+  // The taxonomy types must be catchable both as csq::Error (new code) and
+  // as the std exception each call site historically threw (old code).
+  EXPECT_THROW(throw InvalidInputError("x"), std::invalid_argument);
+  EXPECT_THROW(throw UnstableError("x"), std::domain_error);
+  EXPECT_THROW(throw NotConvergedError("x"), std::domain_error);
+  EXPECT_THROW(throw IllConditionedError("x"), std::domain_error);
+  EXPECT_THROW(throw VerificationFailedError("x"), std::runtime_error);
+  try {
+    throw UnstableError("load too high", Diagnostics::loads(1.7, 0.5));
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnstable);
+    EXPECT_DOUBLE_EQ(e.diagnostics().rho_short, 1.7);
+    EXPECT_DOUBLE_EQ(e.diagnostics().rho_long, 0.5);
+  }
+}
+
+TEST(Status, StatusFromExceptionClassifies) {
+  Diagnostics gave_up;
+  gave_up.iterations = 42;
+  const SolverStatus s1 = status_from_exception(NotConvergedError("gave up", gave_up));
+  EXPECT_EQ(s1.code, ErrorCode::kNotConverged);
+  EXPECT_EQ(s1.diagnostics.iterations, 42);
+  EXPECT_EQ(status_from_exception(std::invalid_argument("x")).code,
+            ErrorCode::kInvalidInput);
+  EXPECT_EQ(status_from_exception(std::domain_error("x")).code, ErrorCode::kUnstable);
+  EXPECT_EQ(status_from_exception(std::runtime_error("x")).code, ErrorCode::kInternal);
+}
+
+TEST(Status, JsonCarriesCodeAndDiagnostics) {
+  SolverStatus s;
+  s.code = ErrorCode::kUnstable;
+  s.message = "rho too high";
+  s.diagnostics = Diagnostics::loads(1.9, 0.5);
+  s.diagnostics.iterations = 7;
+  const std::string j = s.to_json();
+  EXPECT_NE(j.find("\"code\":\"Unstable\""), std::string::npos);
+  EXPECT_NE(j.find("\"rho_short\":1.9"), std::string::npos);
+  EXPECT_NE(j.find("\"iterations\":7"), std::string::npos);
+  EXPECT_EQ(SolverStatus{}.to_json(), "{\"ok\":true}");
+}
+
+TEST(StatusTaxonomy, UnstableLoadsCarryRho) {
+  // rho_L >= 1: no policy is stable; the error must say which load is at
+  // fault rather than a bare "domain_error".
+  const SystemConfig c = SystemConfig::paper_setup(0.5, 1.2, 1.0, 1.0, 1.0);
+  try {
+    (void)analysis::analyze_cscq(c);
+    FAIL() << "expected UnstableError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnstable);
+    EXPECT_NEAR(e.diagnostics().rho_long, 1.2, 1e-12);
+  }
+}
+
+TEST(StatusTaxonomy, CscqBoundaryViolationIsUnstable) {
+  // Just outside rho_S < 2 - rho_L.
+  const SystemConfig c = SystemConfig::paper_setup(1.52, 0.5, 1.0, 1.0, 1.0);
+  try {
+    (void)analysis::analyze_cscq(c);
+    FAIL() << "expected UnstableError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnstable);
+    EXPECT_NEAR(e.diagnostics().rho_short, 1.52, 1e-12);
+  }
+}
+
+TEST(StatusTaxonomy, InvalidConfigIsInvalidInput) {
+  try {
+    (void)SystemConfig::paper_setup(-0.5, 0.5, 1.0, 1.0, 1.0);
+    FAIL() << "expected InvalidInputError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+}
+
+TEST(StatusTaxonomy, SingularLuIsIllConditioned) {
+  const Matrix singular{{1.0, 2.0}, {2.0, 4.0}};
+  try {
+    const Lu lu(singular);
+    FAIL() << "expected IllConditionedError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIllConditioned);
+  }
+  // Well-conditioned input: condition estimate is sane and cheap.
+  const Lu ok(Matrix{{4.0, 1.0}, {1.0, 3.0}});
+  EXPECT_GE(ok.condition_estimate(), 1.0);
+  EXPECT_LT(ok.condition_estimate(), 100.0);
+}
+
+TEST(StatusTaxonomy, UnstableQbdIsUnstableWithSpectralRadius) {
+  // rho = 1.5: R exists but sp(R) >= 1. The fallback chain must classify
+  // this as genuinely unstable, not "did not converge".
+  try {
+    (void)qbd::solve(mm1_model(1.5, 1.0));
+    FAIL() << "expected UnstableError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnstable);
+    EXPECT_GE(e.diagnostics().spectral_radius, 1.0 - 1e-9);
+  }
+  // Null-recurrent boundary case rho = 1 classifies the same way.
+  try {
+    (void)qbd::solve(mm1_model(1.0, 1.0));
+    FAIL() << "expected UnstableError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnstable);
+  }
+}
+
+TEST(StatusTaxonomy, ExhaustedIterationBudgetIsNotConverged) {
+  // A stable but slowly-mixing chain with a tiny budget and the fallback
+  // chain disabled: the pre-fallback behaviour, now with a structured code
+  // carrying the iteration count and tolerance.
+  qbd::Options o;
+  o.max_iterations = 3;
+  o.allow_fallback = false;
+  const Matrix a0{{0.9}}, a1{{-1.9}}, a2{{1.0}};
+  try {
+    (void)qbd::solve_r(a0, a1, a2, o);
+    FAIL() << "expected NotConvergedError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotConverged);
+    EXPECT_EQ(e.diagnostics().iterations, 3);
+    EXPECT_GT(e.diagnostics().residual, 0.0);
+  }
+}
+
+TEST(FallbackChain, LogReductionRescuesExhaustedIteration) {
+  // Same starved budget, fallback enabled: logarithmic reduction converges
+  // quadratically and must rescue the solve, recording which stage won.
+  qbd::Options o;
+  o.max_iterations = 3;
+  const Matrix a0{{0.9}}, a1{{-1.9}}, a2{{1.0}};
+  qbd::SolveStats stats;
+  const Matrix r = qbd::solve_r(a0, a1, a2, o, &stats);
+  EXPECT_NEAR(r(0, 0), 0.9, 1e-10);
+  EXPECT_EQ(stats.method, qbd::RMethod::kLogReduction);
+  EXPECT_GE(stats.residual, 0.0);
+  EXPECT_LE(stats.residual, 1e-9);
+  EXPECT_FALSE(stats.trail.empty());
+}
+
+TEST(FallbackChain, NearBoundaryCscqSolvesViaLogReduction) {
+  // Acceptance criterion: a CS-CQ config within 1% of the stability
+  // boundary rho_S = 2 - rho_L. At 0.01% from the boundary the functional
+  // iteration needs ~ 1/(1 - sp(R)) ≈ 1e4+ iterations per tolerance digit
+  // and exhausts the default budget — the seed solver threw "did not
+  // converge" here. The fallback chain must now solve it via logarithmic
+  // reduction (~20 doubling steps) with a tiny residual.
+  const double rho_l = 0.5;
+  const double rho_s = 0.9999 * analysis::cscq_max_rho_short(rho_l);
+  const SystemConfig c = SystemConfig::paper_setup(rho_s, rho_l, 1.0, 1.0, 1.0);
+
+  // The pre-fallback behaviour really does fail on this config.
+  analysis::CscqOptions legacy;
+  legacy.qbd.allow_fallback = false;
+  try {
+    (void)analysis::analyze_cscq(c, legacy);
+    FAIL() << "expected NotConvergedError without the fallback chain";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNotConverged);
+    EXPECT_GT(e.diagnostics().iterations, 0);
+    EXPECT_GT(e.diagnostics().residual, 0.0);
+  }
+
+  // With the chain: solved, verified, and attributed to the right stage.
+  const analysis::CscqResult res = analysis::analyze_cscq(c);
+  EXPECT_EQ(res.solve_stats.method, qbd::RMethod::kLogReduction);
+  EXPECT_LT(res.solve_stats.residual, 1e-8);
+  EXPECT_GT(res.solve_stats.spectral_radius, 0.999);
+  EXPECT_LT(res.solve_stats.spectral_radius, 1.0);
+  EXPECT_TRUE(std::isfinite(res.metrics.shorts.mean_response));
+  EXPECT_GT(res.metrics.shorts.mean_response, 100.0);  // near-saturation
+  EXPECT_TRUE(std::isfinite(res.metrics.longs.mean_response));
+}
+
+TEST(FallbackChain, WellInsideRegionStillUsesFunctionalIteration) {
+  // The fallback must not steal work from the fast path.
+  const SystemConfig c = SystemConfig::paper_setup(1.1, 0.5, 1.0, 1.0, 1.0);
+  const analysis::CscqResult res = analysis::analyze_cscq(c);
+  EXPECT_EQ(res.solve_stats.method, qbd::RMethod::kFunctionalIteration);
+  EXPECT_LT(res.solve_stats.residual, 1e-10);
+  EXPECT_GT(res.solve_stats.boundary_condition, 1.0);
+}
+
+TEST(Verification, QbdSolutionVerifyPasses) {
+  const qbd::Solution sol = qbd::solve(mm1_model(0.7, 1.0));
+  EXPECT_TRUE(sol.verify(VerifyLevel::kNone).ok());
+  EXPECT_TRUE(sol.verify(VerifyLevel::kBasic).ok());
+  EXPECT_TRUE(sol.verify(VerifyLevel::kFull).ok());
+}
+
+TEST(Verification, CorruptedSolutionFailsVerify) {
+  qbd::Solution sol = qbd::solve(mm1_model(0.7, 1.0));
+  sol.pi_k[0] = -0.2;  // negative probability and broken mass
+  const SolverStatus bad = sol.verify(VerifyLevel::kBasic);
+  EXPECT_EQ(bad.code, ErrorCode::kVerificationFailed);
+  EXPECT_FALSE(bad.diagnostics.notes.empty());
+  EXPECT_TRUE(sol.verify(VerifyLevel::kNone).ok());  // kNone skips the checks
+}
+
+TEST(Verification, AnalyzeAtFullLevelPassesForAllPolicies) {
+  const SystemConfig c = SystemConfig::paper_setup(0.9, 0.5, 1.0, 1.0, 1.0);
+  for (const Policy p : {Policy::kDedicated, Policy::kCsId, Policy::kCsCq}) {
+    const PolicyMetrics m = analyze(p, c, 3, VerifyLevel::kFull);
+    EXPECT_TRUE(verify_metrics(m, c, VerifyLevel::kFull).ok()) << policy_label(p);
+  }
+}
+
+TEST(Verification, VerifyMetricsRejectsNonsense) {
+  const SystemConfig c = SystemConfig::paper_setup(0.9, 0.5, 1.0, 1.0, 1.0);
+  PolicyMetrics m = analyze(Policy::kCsCq, c);
+  m.shorts.mean_response = -3.0;
+  EXPECT_EQ(verify_metrics(m, c).code, ErrorCode::kVerificationFailed);
+  PolicyMetrics m2 = analyze(Policy::kCsCq, c);
+  m2.longs.mean_number = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(verify_metrics(m2, c).code, ErrorCode::kVerificationFailed);
+  // Little's-law breakage only trips at kFull.
+  PolicyMetrics m3 = analyze(Policy::kCsCq, c);
+  m3.shorts.mean_number += 0.5;
+  EXPECT_TRUE(verify_metrics(m3, c, VerifyLevel::kBasic).ok());
+  EXPECT_EQ(verify_metrics(m3, c, VerifyLevel::kFull).code,
+            ErrorCode::kVerificationFailed);
+}
+
+TEST(TryAnalyze, ClassifiesWithoutThrowing) {
+  const SystemConfig stable = SystemConfig::paper_setup(0.9, 0.5, 1.0, 1.0, 1.0);
+  const AnalyzeOutcome good = try_analyze(Policy::kCsCq, stable);
+  ASSERT_TRUE(good.ok());
+  EXPECT_GT(good.metrics.shorts.mean_response, 0.0);
+
+  const SystemConfig unstable = SystemConfig::paper_setup(1.9, 0.5, 1.0, 1.0, 1.0);
+  const AnalyzeOutcome bad = try_analyze(Policy::kCsCq, unstable);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status.code, ErrorCode::kUnstable);
+  EXPECT_NEAR(bad.status.diagnostics.rho_short, 1.9, 1e-12);
+  EXPECT_NE(bad.status.to_json().find("\"code\":\"Unstable\""), std::string::npos);
+}
+
+TEST(StatusTaxonomy, Mg1OverloadIsUnstable) {
+  try {
+    (void)mg1::mm1_response(1.3, 1.0);
+    FAIL() << "expected UnstableError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kUnstable);
+    EXPECT_NEAR(e.diagnostics().rho_long, 1.3, 1e-12);
+  }
+}
+
+TEST(Tails, DecayRateMatchesSpectralRadiusEstimate) {
+  // tail_decay_rate delegates to the shared power iteration; for M/M/1 both
+  // must equal rho exactly (up to the early-exit tolerance).
+  const double rho = 0.85;
+  const qbd::Solution sol = qbd::solve(mm1_model(rho, 1.0));
+  EXPECT_NEAR(sol.tail_decay_rate(), rho, 1e-9);
+  EXPECT_NEAR(qbd::spectral_radius_estimate(sol.r), rho, 1e-9);
+}
+
+}  // namespace
+}  // namespace csq

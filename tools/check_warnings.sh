@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Build the whole tree with -Wall -Wextra -Werror in a scratch build dir so
+# warning regressions fail fast (CI gate; also handy locally before a PR).
+#
+# usage: tools/check_warnings.sh [build-dir]   (default: build-werror)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-werror"}
+
+cmake -B "$build_dir" -S "$repo_root" -DCSQ_WERROR=ON >/dev/null
+cmake --build "$build_dir" -j
+echo "check_warnings: OK (no warnings under -Wall -Wextra -Werror)"

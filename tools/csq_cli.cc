@@ -11,6 +11,13 @@
 //
 // Workload flags: --rho-s X --rho-l X --mean-s X --mean-l X --scv-l X
 // (defaults 0.9, 0.5, 1, 1, 1; shorts exponential as in the paper).
+//
+// Global flags: --json-errors (emit structured diagnostics as JSON on
+// stdout), --verify none|basic|full (self-check level for analytic results).
+//
+// Exit codes follow the error taxonomy: 0 ok, 1 internal error, 2 invalid
+// input, 3 unstable (outside the stability region), 4 solver not converged,
+// 5 ill-conditioned system, 6 result failed self-verification.
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -29,7 +36,12 @@ struct Args {
 
   [[nodiscard]] double number(const std::string& key, double fallback) const {
     const auto it = flags.find(key);
-    return it == flags.end() ? fallback : std::stod(it->second);
+    if (it == flags.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw InvalidInputError("invalid number for --" + key + ": '" + it->second + "'");
+    }
   }
   [[nodiscard]] std::string text(const std::string& key, const std::string& fallback) const {
     const auto it = flags.find(key);
@@ -61,16 +73,25 @@ SystemConfig workload(const Args& a) {
                                    a.number("scv-l", 1.0));
 }
 
+VerifyLevel verify_level(const Args& a) {
+  const std::string v = a.text("verify", "basic");
+  if (v == "none") return VerifyLevel::kNone;
+  if (v == "basic") return VerifyLevel::kBasic;
+  if (v == "full") return VerifyLevel::kFull;
+  throw InvalidInputError("unknown --verify level: " + v + " (want none|basic|full)");
+}
+
 int cmd_analyze(const Args& a) {
   const SystemConfig c = workload(a);
   const std::string p = a.text("policy", "cscq");
+  const VerifyLevel verify = verify_level(a);
   PolicyMetrics m;
   if (p == "cscq") {
-    m = analysis::analyze_cscq(c).metrics;
+    m = analyze(Policy::kCsCq, c, /*busy_period_moments=*/3, verify);
   } else if (p == "csid") {
-    m = analysis::analyze_csid(c).metrics;
+    m = analyze(Policy::kCsId, c, /*busy_period_moments=*/3, verify);
   } else if (p == "dedicated") {
-    m = analysis::analyze_dedicated(c);
+    m = analyze(Policy::kDedicated, c, /*busy_period_moments=*/3, verify);
   } else {
     std::cerr << "unknown analytic policy: " << p << "\n";
     return 2;
@@ -162,27 +183,64 @@ void usage() {
       "csq_cli — cycle-stealing task assignment (ICDCS'03 reproduction)\n"
       "usage: csq_cli <analyze|simulate|sweep|stability> [--flags]\n"
       "  workload: --rho-s X --rho-l X --mean-s X --mean-l X --scv-l X\n"
-      "  analyze:  --policy cscq|csid|dedicated\n"
+      "  analyze:  --policy cscq|csid|dedicated [--verify none|basic|full]\n"
       "  simulate: --policy cscq|csid|dedicated|cscq-norename|mg2-fcfs|mg2-sjf|\n"
       "                     lwr|tags|round-robin  [--completions N] [--seed N]\n"
       "                     [--tags-cutoff X]\n"
       "  sweep:    --x rho_s|rho_l --from A --to B --points N [--csv]\n"
-      "  stability: [--points N] [--csv]\n";
+      "  stability: [--points N] [--csv]\n"
+      "  global:   --json-errors (structured error JSON on stdout)\n"
+      "exit codes: 0 ok, 1 internal, 2 invalid input, 3 unstable,\n"
+      "            4 not converged, 5 ill-conditioned, 6 verification failed\n";
+}
+
+// Exit code per taxonomy code (documented in usage()).
+int exit_code(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return 0;
+    case ErrorCode::kInvalidInput: return 2;
+    case ErrorCode::kUnstable: return 3;
+    case ErrorCode::kNotConverged: return 4;
+    case ErrorCode::kIllConditioned: return 5;
+    case ErrorCode::kVerificationFailed: return 6;
+    case ErrorCode::kInternal: return 1;
+  }
+  return 1;
+}
+
+int report_error(const SolverStatus& status, bool json) {
+  if (json) {
+    std::cout << status.to_json() << "\n";
+  } else {
+    std::cerr << "error [" << error_code_name(status.code) << "]: " << status.message
+              << "\n";
+    const std::string diag = status.diagnostics.to_json();
+    if (diag != "{}") std::cerr << "diagnostics: " << diag << "\n";
+  }
+  return exit_code(status.code);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  Args a;
   try {
-    const Args a = parse(argc, argv);
+    a = parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const bool json_errors = a.has("json-errors");
+  try {
     if (a.command == "analyze") return cmd_analyze(a);
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "sweep") return cmd_sweep(a);
     if (a.command == "stability") return cmd_stability(a);
     usage();
     return a.command.empty() ? 1 : 2;
+  } catch (const Error& e) {
+    return report_error(e.status(), json_errors);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return report_error(status_from_exception(e), json_errors);
   }
 }
