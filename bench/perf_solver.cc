@@ -2,17 +2,68 @@
 // portion required close to an hour to generate [per results graph], whereas
 // the analysis portion required less than a second" (Matlab 6 on a Pentium
 // III). One figure panel is ~30 sweep points; compare per-point costs.
+//
+// Emit a machine-readable baseline with tools/bench_json.sh (the committed
+// snapshots live at BENCH_*.json; see docs/performance.md).
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 
 #include "analysis/cscq.h"
 #include "analysis/stability.h"
 #include "analysis/csid.h"
 #include "analysis/truncated_cscq.h"
+#include "core/sweep.h"
 #include "sim/simulator.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting: a global operator new override feeding an atomic
+// counter, so benchmarks can report allocs_per_iter. This measures the QBD
+// workspace optimisation directly (heap traffic per solve), which is robust
+// on any host — unlike wall-clock speedups on a loaded CI machine.
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+// GCC inlines the replaced operator new into callers and then flags the
+// malloc/free pairing as a new/free mismatch; the pairing here is
+// intentional and consistent across all six replaceable functions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 
 using namespace csq;
+
+// Attach "allocations per benchmark iteration" to the reported counters.
+class AllocScope {
+ public:
+  explicit AllocScope(benchmark::State& state)
+      : state_(state), start_(g_alloc_count.load(std::memory_order_relaxed)) {}
+  ~AllocScope() {
+    const std::uint64_t delta = g_alloc_count.load(std::memory_order_relaxed) - start_;
+    state_.counters["allocs_per_iter"] =
+        benchmark::Counter(static_cast<double>(delta), benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t start_;
+};
 
 const SystemConfig& config() {
   static const SystemConfig cfg = SystemConfig::paper_setup(1.2, 0.5, 1.0, 1.0, 8.0);
@@ -20,29 +71,36 @@ const SystemConfig& config() {
 }
 
 void BM_AnalyzeCscq(benchmark::State& state) {
+  AllocScope allocs(state);
   for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_cscq(config()));
 }
 BENCHMARK(BM_AnalyzeCscq);
 
 void BM_AnalyzeCsid(benchmark::State& state) {
+  AllocScope allocs(state);
   for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_csid(config()));
 }
 BENCHMARK(BM_AnalyzeCsid);
 
 void BM_SweepPanel30Points(benchmark::State& state) {
-  // One figure panel: 30 sweep points, all three policies.
-  for (auto _ : state) {
-    for (int i = 1; i <= 30; ++i) {
-      const double rho_s = 1.45 * i / 30.0;
-      const SystemConfig cfg = SystemConfig::paper_setup(rho_s, 0.5, 1.0, 1.0, 8.0);
-      if (analysis::cscq_stable(rho_s, 0.5))
-        benchmark::DoNotOptimize(analysis::analyze_cscq(cfg));
-      if (analysis::csid_stable(rho_s, 0.5))
-        benchmark::DoNotOptimize(analysis::analyze_csid(cfg));
-    }
-  }
+  // One figure panel: 30 sweep points, all three policies, evaluated through
+  // the public sweep API on `threads` pool workers (threads:1 is the inline
+  // baseline). UseRealTime so the thread-count axis shows wall-clock scaling.
+  const std::vector<double> grid = linspace(1.45 / 30.0, 1.45, 30);
+  SweepOptions opts;
+  opts.threads = static_cast<int>(state.range(0));
+  AllocScope allocs(state);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sweep_rho_short(0.5, 1.0, 1.0, 8.0, grid, opts));
 }
-BENCHMARK(BM_SweepPanel30Points)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SweepPanel30Points)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SimulateOnePoint(benchmark::State& state) {
   // Simulation cost for ONE point at the accuracy used in validation
@@ -53,6 +111,24 @@ void BM_SimulateOnePoint(benchmark::State& state) {
     benchmark::DoNotOptimize(sim::simulate(sim::PolicyKind::kCsCq, config(), opts));
 }
 BENCHMARK(BM_SimulateOnePoint)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_SimulateReplications(benchmark::State& state) {
+  // Eight deterministic replications of one point, fanned out over the pool.
+  sim::SimOptions opts;
+  opts.total_completions = 100000;
+  sim::ReplicationOptions ropts;
+  ropts.replications = 8;
+  ropts.threads = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        sim::simulate_replications(sim::PolicyKind::kCsCq, config(), opts, ropts));
+}
+BENCHMARK(BM_SimulateReplications)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_TruncatedChain(benchmark::State& state) {
   analysis::TruncatedCscqOptions topts;

@@ -1,20 +1,40 @@
 #include "core/sweep.h"
 
 #include <cmath>
-#include <stdexcept>
+#include <functional>
 
 #include "analysis/cscq.h"
 #include "analysis/csid.h"
 #include "core/solver.h"
+#include "core/status.h"
 #include "mg1/mg1.h"
+#include "parallel/task_pool.h"
 
 namespace csq {
 
 std::vector<double> linspace(double lo, double hi, int n) {
-  if (n < 2) throw std::invalid_argument("linspace: need n >= 2");
+  if (n <= 0) throw InvalidInputError("linspace: need n >= 1");
+  if (!std::isfinite(lo) || !std::isfinite(hi))
+    throw InvalidInputError("linspace: bounds must be finite");
+  if (n == 1) return {lo};
   std::vector<double> v(static_cast<std::size_t>(n));
+  if (lo == hi) {
+    for (double& x : v) x = lo;
+    return v;
+  }
   for (int i = 0; i < n; ++i)
     v[static_cast<std::size_t>(i)] = lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+  v.back() = hi;  // exact endpoint, no rounding drift
+  return v;
+}
+
+std::vector<double> linspace_open(double lo, double hi, int n) {
+  if (n <= 0) throw InvalidInputError("linspace_open: need n >= 1");
+  if (!std::isfinite(lo) || !std::isfinite(hi) || !(lo < hi))
+    throw InvalidInputError("linspace_open: need finite lo < hi");
+  std::vector<double> v(static_cast<std::size_t>(n));
+  const double step = (hi - lo) / (n + 1);
+  for (int i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = lo + step * (i + 1);
   return v;
 }
 
@@ -28,7 +48,13 @@ SweepRow evaluate_point(double rho_short, double rho_long, double mean_short,
       SystemConfig::paper_setup(rho_short, rho_long, mean_short, mean_long, long_scv);
   for (const Policy p : {Policy::kDedicated, Policy::kCsId, Policy::kCsCq}) {
     if (!is_stable(p, config)) continue;
-    const PolicyMetrics m = analyze(p, config);
+    // Per-point isolation: a point just inside the stability region can
+    // still fail to solve (UnstableError from sp(R) rounding to 1,
+    // NotConvergedError, ...). Such a point keeps its NaN columns; the rest
+    // of the sweep is unaffected.
+    const AnalyzeOutcome out = try_analyze(p, config);
+    if (!out.ok()) continue;
+    const PolicyMetrics& m = out.metrics;
     switch (p) {
       case Policy::kDedicated:
         row.dedicated_short = m.shorts.mean_response;
@@ -57,24 +83,31 @@ SweepRow evaluate_point(double rho_short, double rho_long, double mean_short,
   return row;
 }
 
+// Evaluate grid[i] -> rows[i] on `opts.threads` workers. Each worker writes
+// only its own rows, and evaluate_point confines failures to NaN columns, so
+// the result is identical for every thread count.
+std::vector<SweepRow> run_sweep(const std::vector<double>& grid, const SweepOptions& opts,
+                                const std::function<SweepRow(double)>& point) {
+  return par::parallel_map(grid.size(), opts.threads,
+                           [&](std::size_t i) { return point(grid[i]); });
+}
+
 }  // namespace
 
 std::vector<SweepRow> sweep_rho_short(double rho_long, double mean_short, double mean_long,
-                                      double long_scv, const std::vector<double>& rho_shorts) {
-  std::vector<SweepRow> rows;
-  rows.reserve(rho_shorts.size());
-  for (const double rs : rho_shorts)
-    rows.push_back(evaluate_point(rs, rho_long, mean_short, mean_long, long_scv, rs));
-  return rows;
+                                      double long_scv, const std::vector<double>& rho_shorts,
+                                      const SweepOptions& opts) {
+  return run_sweep(rho_shorts, opts, [&](double rs) {
+    return evaluate_point(rs, rho_long, mean_short, mean_long, long_scv, rs);
+  });
 }
 
 std::vector<SweepRow> sweep_rho_long(double rho_short, double mean_short, double mean_long,
-                                     double long_scv, const std::vector<double>& rho_longs) {
-  std::vector<SweepRow> rows;
-  rows.reserve(rho_longs.size());
-  for (const double rl : rho_longs)
-    rows.push_back(evaluate_point(rho_short, rl, mean_short, mean_long, long_scv, rl));
-  return rows;
+                                     double long_scv, const std::vector<double>& rho_longs,
+                                     const SweepOptions& opts) {
+  return run_sweep(rho_longs, opts, [&](double rl) {
+    return evaluate_point(rho_short, rl, mean_short, mean_long, long_scv, rl);
+  });
 }
 
 }  // namespace csq

@@ -1,4 +1,12 @@
 // Parameter sweeps that regenerate the paper's figure series.
+//
+// Sweep points are independent, so they evaluate concurrently on the
+// work-stealing pool (src/parallel/) when SweepOptions::threads > 1. Row i
+// of the result is always grid point i, and each point is written only by
+// the worker that computed it, so sweep output is bit-identical for every
+// thread count. A point whose analysis throws the csq error taxonomy
+// (UnstableError near the stability boundary, NotConvergedError, ...)
+// yields NaN columns instead of aborting the sweep.
 #pragma once
 
 #include <limits>
@@ -9,7 +17,8 @@
 namespace csq {
 
 // One x-point of a figure: per-policy mean response times for both classes.
-// NaN marks "unstable at this point" (the paper's curves diverge there).
+// NaN marks "unstable (or unsolvable) at this point" (the paper's curves
+// diverge there).
 struct SweepRow {
   double x = 0.0;
   double dedicated_short = std::numeric_limits<double>::quiet_NaN();
@@ -20,16 +29,37 @@ struct SweepRow {
   double cscq_long = std::numeric_limits<double>::quiet_NaN();
 };
 
+struct SweepOptions {
+  // Worker threads evaluating sweep points: 1 = inline on the caller
+  // (default), 0 = all hardware threads, n >= 2 = pool of n workers.
+  int threads = 1;
+  // Keep row i == grid point i (always honored today; reserved so future
+  // non-deterministic reductions have an explicit opt-out).
+  bool deterministic_order = true;
+};
+
+// n evenly spaced points over [lo, hi] inclusive. Edge cases: n == 1 yields
+// {lo}; lo == hi yields n copies of lo; the last point is exactly hi (no
+// rounding drift). Throws csq::InvalidInputError for n <= 0 or non-finite
+// bounds.
 [[nodiscard]] std::vector<double> linspace(double lo, double hi, int n);
+
+// n evenly spaced points strictly inside (lo, hi): lo + k (hi-lo)/(n+1) for
+// k = 1..n. Use for sweep grids over a stability region so no point lands
+// exactly on the boundary, where the analysis is degenerate. Requires
+// lo < hi and n >= 1.
+[[nodiscard]] std::vector<double> linspace_open(double lo, double hi, int n);
 
 // Figures 4 and 5: response time vs rho_S at fixed rho_L.
 [[nodiscard]] std::vector<SweepRow> sweep_rho_short(double rho_long, double mean_short,
                                                     double mean_long, double long_scv,
-                                                    const std::vector<double>& rho_shorts);
+                                                    const std::vector<double>& rho_shorts,
+                                                    const SweepOptions& opts = {});
 
 // Figure 6: response time vs rho_L at fixed rho_S.
 [[nodiscard]] std::vector<SweepRow> sweep_rho_long(double rho_short, double mean_short,
                                                    double mean_long, double long_scv,
-                                                   const std::vector<double>& rho_longs);
+                                                   const std::vector<double>& rho_longs,
+                                                   const SweepOptions& opts = {});
 
 }  // namespace csq

@@ -42,6 +42,19 @@ Matrix& Matrix::operator*=(double s) {
   return *this;
 }
 
+Matrix& Matrix::add_scaled(const Matrix& rhs, double s) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+    throw std::invalid_argument("Matrix::add_scaled: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * rhs.data_[i];
+  return *this;
+}
+
+void Matrix::reshape_zero(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);  // keeps capacity; reallocates only to grow
+}
+
 Matrix Matrix::transpose() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r)
@@ -79,6 +92,37 @@ Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
 
 Matrix operator*(double s, Matrix m) { return m *= s; }
 Matrix operator*(Matrix m, double s) { return m *= s; }
+
+void multiply_into(Matrix& dst, const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) throw std::invalid_argument("multiply_into: shape mismatch");
+  if (&dst == &a || &dst == &b)
+    throw std::invalid_argument("multiply_into: dst must not alias an operand");
+  dst.reshape_zero(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double x = a(i, k);
+      if (x == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) dst(i, j) += x * b(k, j);
+    }
+}
+
+void multiply_into(std::vector<double>& dst, const Matrix& m, const std::vector<double>& v) {
+  if (v.size() != m.cols()) throw std::invalid_argument("multiply_into: shape mismatch");
+  if (&dst == &v) throw std::invalid_argument("multiply_into: dst must not alias v");
+  dst.assign(m.rows(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c) dst[r] += m(r, c) * v[c];
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols())
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  double m = 0.0;
+  const std::vector<double>& da = a.data();
+  const std::vector<double>& db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) m = std::max(m, std::abs(da[i] - db[i]));
+  return m;
+}
 
 std::vector<double> operator*(const std::vector<double>& v, const Matrix& m) {
   if (v.size() != m.rows()) throw std::invalid_argument("vec*Matrix: shape mismatch");

@@ -36,6 +36,13 @@ class Matrix {
   Matrix& operator-=(const Matrix& rhs);
   Matrix& operator*=(double s);
 
+  // *this += s * rhs, elementwise, no temporaries.
+  Matrix& add_scaled(const Matrix& rhs, double s);
+
+  // Reshape to rows x cols and zero-fill, reusing existing capacity — the
+  // building block of the allocation-free workspace kernels below.
+  void reshape_zero(std::size_t rows, std::size_t cols);
+
   [[nodiscard]] Matrix transpose() const;
 
   // Sum of each row (useful for generator diagonals and mass checks).
@@ -60,6 +67,18 @@ class Matrix {
 [[nodiscard]] std::vector<double> operator*(const std::vector<double>& v, const Matrix& m);
 // Matrix times column vector.
 [[nodiscard]] std::vector<double> operator*(const Matrix& m, const std::vector<double>& v);
+
+// dst = a * b without allocating when dst already has the right shape (its
+// storage is reshaped and reused). dst must not alias a or b. The workspace
+// primitive of the QBD solver's hot loop (see qbd::Workspace).
+void multiply_into(Matrix& dst, const Matrix& a, const Matrix& b);
+
+// dst = m * v (column-vector product) reusing dst's storage; dst must not
+// alias v.
+void multiply_into(std::vector<double>& dst, const Matrix& m, const std::vector<double>& v);
+
+// max_ij |a_ij - b_ij| without forming a - b; shapes must match.
+[[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
 
 [[nodiscard]] double dot(const std::vector<double>& a, const std::vector<double>& b);
 [[nodiscard]] double sum(const std::vector<double>& v);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "parallel/task_pool.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 
@@ -271,6 +272,31 @@ MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
   for (int s = w.k; s < w.total(); ++s)
     res.long_partition_utilization += busy[static_cast<std::size_t>(s)] / (w.now * w.m);
   return res;
+}
+
+MultiReplicatedResult simulate_multi_replications(MultiPolicy policy,
+                                                  const MultiConfig& config,
+                                                  const sim::SimOptions& opts,
+                                                  const sim::ReplicationOptions& ropts) {
+  if (ropts.replications < 1)
+    throw std::invalid_argument("simulate_multi_replications: need >= 1 replication");
+  const std::size_t n = static_cast<std::size_t>(ropts.replications);
+  MultiReplicatedResult out;
+  out.replications = par::parallel_map(n, ropts.threads, [&](std::size_t r) {
+    sim::SimOptions rep_opts = opts;
+    rep_opts.seed = sim::split_seed(opts.seed, r);
+    return simulate_multi(policy, config, rep_opts);
+  });
+  std::vector<sim::ClassStats> shorts, longs;
+  shorts.reserve(n);
+  longs.reserve(n);
+  for (const MultiResult& r : out.replications) {
+    shorts.push_back(r.shorts);
+    longs.push_back(r.longs);
+  }
+  out.shorts = sim::aggregate_replications(shorts);
+  out.longs = sim::aggregate_replications(longs);
+  return out;
 }
 
 }  // namespace csq::msim

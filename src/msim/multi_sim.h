@@ -41,4 +41,20 @@ struct MultiResult {
 [[nodiscard]] MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
                                          const sim::SimOptions& opts = {});
 
+struct MultiReplicatedResult {
+  // Per-replication results; replication r always runs RNG substream
+  // split_seed(opts.seed, r), so the vector is identical for every thread
+  // count.
+  std::vector<MultiResult> replications;
+  sim::ClassStats shorts;  // across-replication mean ± 95% CI
+  sim::ClassStats longs;
+};
+
+// Run ropts.replications independent multi-host simulations in parallel on
+// ropts.threads workers (same determinism contract as
+// sim::simulate_replications).
+[[nodiscard]] MultiReplicatedResult simulate_multi_replications(
+    MultiPolicy policy, const MultiConfig& config, const sim::SimOptions& opts = {},
+    const sim::ReplicationOptions& ropts = {});
+
 }  // namespace csq::msim

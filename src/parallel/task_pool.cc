@@ -1,0 +1,248 @@
+#include "parallel/task_pool.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace csq::par {
+
+namespace {
+
+// Backoff ladder bounds (see worker_loop): spin -> yield -> suspend.
+constexpr int kSpinBound = 64;
+constexpr int kYieldBound = 16;
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+inline std::uint64_t xorshift64(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolve_threads(int threads) {
+  if (threads == 0) return hardware_threads();
+  return std::max(1, threads);
+}
+
+TaskPool::TaskPool(int threads) {
+  if (threads < 1) throw std::invalid_argument("TaskPool: need >= 1 thread");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->victim_state = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1) + 1;
+    workers_.push_back(std::move(w));
+  }
+  for (std::size_t i = 0; i < workers_.size(); ++i)
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+}
+
+TaskPool::~TaskPool() {
+  stop_.store(true, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(wake_m_);
+    wake_cv_.notify_all();
+  }
+  for (auto& w : workers_) w->thread.join();
+  // A pool is only destroyed after every parallel_for returned, so the
+  // queues are empty; drain defensively anyway.
+  for (auto& w : workers_)
+    while (RangeTask* t = w->deque.pop()) delete t;
+  for (RangeTask* t : injected_) delete t;
+}
+
+PoolStats TaskPool::stats() const {
+  PoolStats s;
+  for (const auto& w : workers_) {
+    s.tasks_executed += w->executed;
+    s.steals += w->steals;
+    s.suspensions += w->suspensions;
+  }
+  return s;
+}
+
+void TaskPool::notify_if_sleepers() {
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(wake_m_);
+    wake_cv_.notify_all();
+  }
+}
+
+void TaskPool::enqueue_external(RangeTask* task) {
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(inject_m_);
+    injected_.push_back(task);
+  }
+  notify_if_sleepers();
+}
+
+void TaskPool::push_local(std::size_t self, RangeTask* task) {
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  workers_[self]->deque.push(task);
+  notify_if_sleepers();
+}
+
+void TaskPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                            std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  Job job;
+  job.fn = fn;
+  job.grain = grain;
+  job.remaining.store(n, std::memory_order_relaxed);
+  enqueue_external(new RangeTask{&job, 0, n});
+  std::unique_lock<std::mutex> lk(job.m);
+  job.done_cv.wait(lk, [&] { return job.done; });
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+TaskPool::RangeTask* TaskPool::find_task(std::size_t self) {
+  Worker& me = *workers_[self];
+  if (RangeTask* t = me.deque.pop()) {
+    pending_.fetch_sub(1, std::memory_order_seq_cst);
+    return t;
+  }
+  {
+    std::lock_guard<std::mutex> lk(inject_m_);
+    if (!injected_.empty()) {
+      RangeTask* t = injected_.back();
+      injected_.pop_back();
+      pending_.fetch_sub(1, std::memory_order_seq_cst);
+      return t;
+    }
+  }
+  // Explore: one randomized pass over the other workers' deques.
+  const std::size_t k = workers_.size();
+  const std::size_t start = static_cast<std::size_t>(xorshift64(me.victim_state) % k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t victim = (start + i) % k;
+    if (victim == self) continue;
+    if (RangeTask* t = workers_[victim]->deque.steal()) {
+      pending_.fetch_sub(1, std::memory_order_seq_cst);
+      ++me.steals;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void TaskPool::execute(RangeTask* task, std::size_t self) {
+  Job* job = task->job;
+  std::size_t begin = task->begin;
+  std::size_t end = task->end;
+  delete task;
+
+  // Split: keep the lower half, expose the upper half to thieves.
+  while (end - begin > job->grain) {
+    const std::size_t mid = begin + (end - begin + 1) / 2;
+    push_local(self, new RangeTask{job, mid, end});
+    end = mid;
+  }
+
+  std::exception_ptr first_error;
+  for (std::size_t i = begin; i < end; ++i) {
+    try {
+      job->fn(i);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  ++workers_[self]->executed;
+
+  if (first_error) {
+    std::lock_guard<std::mutex> lk(job->m);
+    if (!job->error) job->error = first_error;
+  }
+  if (job->remaining.fetch_sub(end - begin, std::memory_order_acq_rel) == end - begin) {
+    std::lock_guard<std::mutex> lk(job->m);
+    job->done = true;
+    job->done_cv.notify_all();
+  }
+}
+
+void TaskPool::worker_loop(std::size_t self) {
+  Worker& me = *workers_[self];
+  int spins = 0;
+  int yields = 0;
+  while (!stop_.load(std::memory_order_seq_cst)) {
+    if (RangeTask* t = find_task(self)) {
+      execute(t, self);
+      spins = 0;
+      yields = 0;
+      continue;
+    }
+    if (++spins < kSpinBound) {
+      cpu_relax();
+      continue;
+    }
+    if (++yields < kYieldBound) {
+      std::this_thread::yield();
+      continue;
+    }
+    // Suspend. Registering as a sleeper (seq_cst) before re-checking
+    // pending_ closes the race with producers (see header).
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lk(wake_m_);
+      if (pending_.load(std::memory_order_seq_cst) == 0 &&
+          !stop_.load(std::memory_order_seq_cst)) {
+        ++me.suspensions;
+        wake_cv_.wait(lk, [&] {
+          return stop_.load(std::memory_order_seq_cst) ||
+                 pending_.load(std::memory_order_seq_cst) > 0;
+        });
+      }
+    }
+    sleepers_.fetch_sub(1, std::memory_order_seq_cst);
+    spins = 0;
+    yields = 0;
+  }
+}
+
+TaskPool& TaskPool::shared(int threads) {
+  if (threads < 2)
+    throw std::invalid_argument("TaskPool::shared: needs >= 2 threads (run inline otherwise)");
+  static std::mutex m;
+  static std::map<int, std::unique_ptr<TaskPool>> pools;
+  std::lock_guard<std::mutex> lk(m);
+  auto& slot = pools[threads];
+  if (!slot) slot = std::make_unique<TaskPool>(threads);
+  return *slot;
+}
+
+void parallel_for(std::size_t n, int threads, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  threads = resolve_threads(threads);
+  if (threads <= 1 || n <= 1) {
+    // Inline path: same every-index-attempted / first-exception contract as
+    // the pool, so switching thread counts never changes semantics.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
+  TaskPool::shared(threads).parallel_for(n, fn, grain);
+}
+
+}  // namespace csq::par

@@ -1,0 +1,145 @@
+// Dependency-free work-stealing thread pool.
+//
+// N workers, each owning a Chase–Lev deque (work_stealing_deque.h). External
+// callers submit index ranges through parallel_for(); a worker executing a
+// range repeatedly splits off its upper half into its own deque until the
+// range is at most `grain` wide, so idle workers pick up the large unsplit
+// halves by stealing from the top. Idle workers run a three-stage backoff —
+// spin, then std::this_thread::yield(), then suspend on a condition variable
+// — so an idle pool costs nothing (the SNIPPETS exemplar's
+// exploit/explore/suspend ladder).
+//
+// The pool never touches the caller's thread: parallel_for() blocks until
+// every index has been attempted. Exceptions thrown by the body are caught
+// per index; the first one is rethrown to the caller after the whole range
+// has been attempted (per-index isolation — one bad index does not stop the
+// others). Results written to out[i] by index are therefore bit-identical
+// regardless of worker count or steal schedule.
+//
+// Nested parallel_for calls from inside a worker are not supported (the
+// inner call would block a worker on work only workers can run); the
+// library's parallel entry points (core/sweep, sim, msim) are all top-level.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/work_stealing_deque.h"
+
+namespace csq::par {
+
+// Cumulative activity counters (monotone; read with stats()).
+struct PoolStats {
+  std::uint64_t tasks_executed = 0;  // range tasks run (leaves after splits)
+  std::uint64_t steals = 0;          // tasks obtained from another worker's deque
+  std::uint64_t suspensions = 0;     // times a worker fully backed off to the CV
+};
+
+class TaskPool {
+ public:
+  // Spawns `threads` workers (>= 1). The caller's thread is never used.
+  explicit TaskPool(int threads);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  [[nodiscard]] int threads() const { return static_cast<int>(workers_.size()); }
+
+  // Run fn(i) for every i in [0, n), splitting into subranges of at most
+  // `grain` indices. Blocks until all indices have been attempted; the first
+  // exception thrown by fn (if any) is rethrown here. Thread-safe: multiple
+  // threads may submit jobs concurrently.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 1);
+
+  [[nodiscard]] PoolStats stats() const;
+
+  // Process-wide pool of exactly `threads` workers, created on first use and
+  // cached per thread count (idle pools are suspended, so keeping a few
+  // sizes alive is free). threads must be >= 2 — single-threaded callers
+  // should run inline instead (see par::parallel_for).
+  static TaskPool& shared(int threads);
+
+ private:
+  struct Job {
+    std::function<void(std::size_t)> fn;
+    std::size_t grain = 1;
+    std::atomic<std::size_t> remaining{0};  // indices not yet attempted
+    std::mutex m;
+    std::condition_variable done_cv;
+    bool done = false;
+    std::exception_ptr error;  // first failure, guarded by m
+  };
+
+  struct RangeTask {
+    Job* job;
+    std::size_t begin, end;
+  };
+
+  struct Worker {
+    WorkStealingDeque<RangeTask*> deque;
+    std::thread thread;
+    std::uint64_t victim_state = 0;  // xorshift state for victim selection
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t suspensions = 0;
+  };
+
+  void worker_loop(std::size_t self);
+  RangeTask* find_task(std::size_t self);
+  void execute(RangeTask* task, std::size_t self);
+  void enqueue_external(RangeTask* task);
+  void push_local(std::size_t self, RangeTask* task);
+  void notify_if_sleepers();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_{false};
+
+  // External (non-worker) submissions; workers drain it when their own deque
+  // is empty. Mutex-protected: submissions are rare (one per parallel_for).
+  std::mutex inject_m_;
+  std::vector<RangeTask*> injected_;
+
+  // Suspend/wake machinery. pending_ counts tasks sitting in some queue (not
+  // yet claimed); its seq_cst pairing with sleepers_ makes the "new task vs
+  // worker going to sleep" race safe (Dekker-style: either the producer sees
+  // the sleeper and notifies, or the sleeper sees pending_ > 0 and stays up).
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<int> sleepers_{0};
+  std::mutex wake_m_;
+  std::condition_variable wake_cv_;
+};
+
+// Number of hardware threads (>= 1).
+[[nodiscard]] int hardware_threads();
+
+// Resolve a user-facing thread-count option: 0 means "all hardware threads",
+// anything else is clamped to >= 1.
+[[nodiscard]] int resolve_threads(int threads);
+
+// Facade: run fn(i) for i in [0, n). threads <= 1 runs inline on the calling
+// thread (no pool, no synchronization — the deterministic baseline);
+// threads >= 2 uses TaskPool::shared(threads). Both paths attempt every
+// index and rethrow the first exception afterwards, so error semantics and
+// by-index results do not depend on the thread count.
+void parallel_for(std::size_t n, int threads, const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+// Facade: out[i] = f(i) for i in [0, n); ordering of the result vector is by
+// index regardless of execution order. R must be default-constructible.
+template <typename F>
+[[nodiscard]] auto parallel_map(std::size_t n, int threads, F&& f, std::size_t grain = 1) {
+  using R = std::decay_t<decltype(f(std::size_t{0}))>;
+  std::vector<R> out(n);
+  parallel_for(n, threads, [&](std::size_t i) { out[i] = f(i); }, grain);
+  return out;
+}
+
+}  // namespace csq::par

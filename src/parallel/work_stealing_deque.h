@@ -1,0 +1,123 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005).
+//
+// One owner thread pushes and pops at the bottom (LIFO, maximizing locality
+// for recursively split ranges); any number of thief threads steal from the
+// top (FIFO, taking the largest unsplit ranges and minimizing contention
+// with the owner). Lock-free: the only synchronization is a CAS on `top_`
+// that at most one of {owner on the last element, one thief} can win.
+//
+// Memory ordering is deliberately the sequentially consistent variant of the
+// algorithm rather than the fence-based weak-memory formulation (Lê et al.,
+// PPoPP 2013): ThreadSanitizer does not model standalone
+// atomic_thread_fence, so the fence-based version reports false races, and
+// at this pool's task granularity (sweep points and simulation replications,
+// microseconds to seconds each) the cost of seq_cst on two uncontended
+// atomics is unmeasurable. Ring slots are relaxed atomics — they are racily
+// re-read by thieves and validated by the CAS on `top_`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace csq::par {
+
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_pointer_v<T>, "deque elements must be pointers");
+
+ public:
+  explicit WorkStealingDeque(std::int64_t capacity = 64) {
+    ring_.store(new Ring(capacity), std::memory_order_relaxed);
+  }
+  ~WorkStealingDeque() {
+    delete ring_.load(std::memory_order_relaxed);
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  // Owner only. Never fails; grows the ring when full.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    if (b - t >= r->capacity) r = grow(r, t, b);
+    r->slot(b).store(item, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  // Owner only. nullptr when empty.
+  T pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // already empty; restore
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T item = r->slot(b).load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race with thieves for it via the CAS on top_.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed))
+        item = nullptr;  // a thief got there first
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  // Any thread. nullptr when empty or when the steal race was lost.
+  T steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* r = ring_.load(std::memory_order_acquire);
+    T item = r->slot(t).load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;
+    return item;
+  }
+
+  // Racy size estimate (monitoring / victim selection only).
+  [[nodiscard]] std::int64_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+ private:
+  struct Ring {
+    explicit Ring(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[static_cast<std::size_t>(cap)]) {}
+    std::atomic<T>& slot(std::int64_t i) { return slots[static_cast<std::size_t>(i & mask)]; }
+
+    std::int64_t capacity;  // power of two
+    std::int64_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  // Owner only. Doubles capacity, copying live entries [t, b). The old ring
+  // is retired, not freed: a concurrent thief that loaded it before the
+  // swap may still read a slot from it, and keeping retired rings alive
+  // until destruction is the simplest safe reclamation.
+  Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
+    Ring* bigger = new Ring(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i)
+      bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
+    ring_.store(bigger, std::memory_order_release);
+    retired_.emplace_back(old);
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> retired_;  // owner-only
+};
+
+}  // namespace csq::par

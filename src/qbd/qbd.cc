@@ -49,16 +49,22 @@ struct IterationOutcome {
 };
 
 // R <- -(A0 + R² A2) A1^{-1} from R = 0 until the update falls below tol.
+// Each step is assembled in the workspace's scratch buffers, so the loop
+// performs no heap allocation after the first iteration.
 IterationOutcome functional_iteration(const Matrix& a0, const Matrix& a1_inv,
                                       const Matrix& a2, double tolerance,
-                                      int max_iterations) {
+                                      int max_iterations, Workspace& ws) {
   IterationOutcome out;
   const std::size_t m = a0.rows();
   out.r = Matrix(m, m);
   for (int it = 0; it < max_iterations; ++it) {
-    Matrix next = (-1.0) * ((a0 + out.r * out.r * a2) * a1_inv);
-    const double diff = (next - out.r).max_abs();
-    out.r = std::move(next);
+    linalg::multiply_into(ws.r2, out.r, out.r);
+    linalg::multiply_into(ws.acc, ws.r2, a2);
+    ws.acc += a0;
+    linalg::multiply_into(ws.next, ws.acc, a1_inv);
+    ws.next *= -1.0;
+    const double diff = linalg::max_abs_diff(ws.next, out.r);
+    std::swap(out.r, ws.next);
     out.iterations = it + 1;
     out.last_diff = diff;
     if (out.r.max_abs() > 1e6) {
@@ -99,10 +105,12 @@ double spectral_radius_estimate(const Matrix& m, int max_iterations, double tole
   const std::size_t n = m.rows();
   if (n == 0) return 0.0;
   std::vector<double> v(n, 1.0);
+  std::vector<double> mv;  // ping-pong buffer: no per-iteration allocation
   double norm = 0.0;
   double prev = -1.0;
   for (int it = 0; it < max_iterations; ++it) {
-    v = m * v;
+    linalg::multiply_into(mv, m, v);
+    std::swap(v, mv);
     norm = 0.0;
     for (double x : v) norm = std::max(norm, std::abs(x));
     if (norm == 0.0) return 0.0;  // nilpotent within n steps
@@ -237,11 +245,13 @@ SolverStatus Solution::verify(VerifyLevel level) const {
 }
 
 Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Options& opts,
-               SolveStats* stats_out) {
+               SolveStats* stats_out, Workspace* workspace) {
   const std::size_t m = a0.rows();
   require(a0.cols() == m && a1.rows() == m && a1.cols() == m && a2.rows() == m &&
               a2.cols() == m,
           "solve_r: blocks must be square and same size");
+  Workspace local_ws;
+  Workspace& ws = workspace ? *workspace : local_ws;
   SolveStats stats;
 
   // Accept R when it solves its equation to near the rate scale's precision.
@@ -273,7 +283,7 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   // Stage 1: functional iteration (linear convergence; stalls near the
   // stability boundary where sp(R) -> 1).
   const IterationOutcome fi =
-      functional_iteration(a0, a1_inv, a2, opts.tolerance, opts.max_iterations);
+      functional_iteration(a0, a1_inv, a2, opts.tolerance, opts.max_iterations, ws);
   stats.trail.push_back(std::string("functional_iteration: ") +
                         (fi.converged ? "converged"
                          : fi.diverged ? "diverged"
@@ -300,7 +310,7 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   // not positive recurrent, not that the iteration was unlucky).
   int lr_steps = 0;
   double lr_last = -1.0;
-  const Matrix g = solve_g_logred(a0, a1, a2, opts, &lr_steps, &lr_last);
+  const Matrix g = solve_g_logred(a0, a1, a2, opts, &lr_steps, &lr_last, &ws);
   const Matrix r_lr = r_from_g(a0, a1, g);
   const double lr_residual = r_residual(a0, a1, a2, r_lr);
   stats.trail.push_back("logarithmic_reduction: " + std::to_string(lr_steps) +
@@ -323,7 +333,7 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   // the update plateaus just above the requested tolerance from rounding.
   const double relaxed_tol = opts.tolerance * opts.fallback_tolerance_factor;
   const IterationOutcome relaxed =
-      functional_iteration(a0, a1_inv, a2, relaxed_tol, opts.max_iterations);
+      functional_iteration(a0, a1_inv, a2, relaxed_tol, opts.max_iterations, ws);
   stats.trail.push_back(std::string("relaxed_iteration (tol ") + fmt(relaxed_tol) +
                         "): " + (relaxed.converged ? "converged" : "failed") + " after " +
                         std::to_string(relaxed.iterations) + " iterations");
@@ -343,9 +353,14 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
 }
 
 Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
-                      const Options& opts, int* steps_out, double* last_update_out) {
-  // Logarithmic reduction (Latouche & Ramaswami 1999, Ch. 8).
+                      const Options& opts, int* steps_out, double* last_update_out,
+                      Workspace* workspace) {
+  // Logarithmic reduction (Latouche & Ramaswami 1999, Ch. 8). The doubling
+  // loop assembles its products in workspace scratch; the per-step inverse
+  // is the only remaining allocation.
   const std::size_t m = a0.rows();
+  Workspace local_ws;
+  Workspace& ws = workspace ? *workspace : local_ws;
   const Matrix neg_a1_inv = linalg::inverse((-1.0) * a1);
   Matrix h = neg_a1_inv * a0;  // "up" probability block
   Matrix l = neg_a1_inv * a2;  // "down" probability block
@@ -353,14 +368,22 @@ Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
   Matrix t = h;
   int steps = 0;
   for (int it = 0; it < 64; ++it) {
-    const Matrix u = h * l + l * h;
-    const Matrix m2 = linalg::inverse(Matrix::identity(m) - u);
-    const Matrix h2 = m2 * (h * h);
-    const Matrix l2 = m2 * (l * l);
-    g += t * l2;
-    t = t * h2;
-    h = h2;
-    l = l2;
+    linalg::multiply_into(ws.hl, h, l);
+    linalg::multiply_into(ws.lh, l, h);
+    ws.hl += ws.lh;  // U = HL + LH
+    // I - U, built in scratch without a fresh identity.
+    ws.lh.reshape_zero(m, m);
+    for (std::size_t i = 0; i < m; ++i) ws.lh(i, i) = 1.0;
+    ws.lh.add_scaled(ws.hl, -1.0);
+    const Matrix m2 = linalg::inverse(ws.lh);
+    linalg::multiply_into(ws.hh, h, h);
+    linalg::multiply_into(ws.ll, l, l);
+    linalg::multiply_into(h, m2, ws.hh);  // H <- M2 H²
+    linalg::multiply_into(l, m2, ws.ll);  // L <- M2 L²
+    linalg::multiply_into(ws.prod, t, l);
+    g += ws.prod;  // G += T L'
+    linalg::multiply_into(ws.prod, t, h);
+    std::swap(t, ws.prod);  // T <- T H'
     steps = it + 1;
     if (t.max_abs() < opts.tolerance) break;
   }

@@ -63,6 +63,18 @@ struct Options {
 enum class RMethod { kFunctionalIteration, kLogReduction, kRelaxedIteration };
 [[nodiscard]] const char* r_method_name(RMethod method);
 
+// Scratch buffers reused across solver iterations (and across solves, when
+// the caller keeps one alive). The functional iteration runs thousands of
+// steps of R <- -(A0 + R² A2) A1⁻¹; assembling each step into these buffers
+// with linalg::multiply_into/add_scaled instead of temporaries makes the
+// hot loop allocation-free after warm-up. Buffers size themselves lazily;
+// a Workspace is cheap to default-construct.
+struct Workspace {
+  linalg::Matrix r2, acc, next;       // functional iteration: R², A0 + R²A2, next R
+  linalg::Matrix hh, ll, hl, lh;      // logarithmic reduction squares/cross terms
+  linalg::Matrix prod;                // generic product scratch
+};
+
 // Diagnostics recorded by solve_r / solve.
 struct SolveStats {
   RMethod method = RMethod::kFunctionalIteration;
@@ -128,9 +140,11 @@ struct Solution {
 // Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0. a1 must carry its
 // diagonal. Runs the fallback chain described above (unless
 // opts.allow_fallback is false); per-stage diagnostics are written to
-// *stats_out when given.
+// *stats_out when given. Pass a Workspace to reuse scratch buffers across
+// repeated solves (a local one is used otherwise).
 [[nodiscard]] Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
-                             const Options& opts = {}, SolveStats* stats_out = nullptr);
+                             const Options& opts = {}, SolveStats* stats_out = nullptr,
+                             Workspace* workspace = nullptr);
 
 // G matrix by logarithmic reduction (Latouche-Ramaswami); the second stage
 // of the solve_r fallback chain and an independent cross-check in the
@@ -139,7 +153,8 @@ struct Solution {
 // optional out-params.
 [[nodiscard]] Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
                                     const Options& opts = {}, int* steps_out = nullptr,
-                                    double* last_update_out = nullptr);
+                                    double* last_update_out = nullptr,
+                                    Workspace* workspace = nullptr);
 
 // R from G: R = A0 (-A1 - A0 G)^{-1}.
 [[nodiscard]] Matrix r_from_g(const Matrix& a0, const Matrix& a1, const Matrix& g);

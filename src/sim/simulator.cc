@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "parallel/task_pool.h"
 #include "sim/rng.h"
 
 namespace csq::sim {
@@ -131,6 +132,54 @@ SimResult simulate(PolicyKind kind, const SystemConfig& config, const SimOptions
   Engine engine(config, opts);
   const std::unique_ptr<Policy> policy = make_policy(kind, opts);
   return engine.run(*policy);
+}
+
+ClassStats aggregate_replications(const std::vector<ClassStats>& reps) {
+  ClassStats agg;
+  if (reps.empty()) return agg;
+  double sum = 0.0;
+  for (const ClassStats& r : reps) {
+    agg.completions += r.completions;
+    sum += r.mean_response;
+  }
+  const double n = static_cast<double>(reps.size());
+  agg.mean_response = sum / n;
+  if (reps.size() >= 2) {
+    double ss = 0.0;
+    for (const ClassStats& r : reps) {
+      const double d = r.mean_response - agg.mean_response;
+      ss += d * d;
+    }
+    agg.ci95 = 1.96 * std::sqrt(ss / (n - 1.0) / n);
+  }
+  return agg;
+}
+
+ReplicatedResult simulate_replications(PolicyKind kind, const SystemConfig& config,
+                                       const SimOptions& opts,
+                                       const ReplicationOptions& ropts) {
+  if (ropts.replications < 1)
+    throw std::invalid_argument("simulate_replications: need >= 1 replication");
+  const std::size_t n = static_cast<std::size_t>(ropts.replications);
+  ReplicatedResult out;
+  // Replication r's stream depends only on (opts.seed, r) — which worker
+  // runs it is irrelevant — and each worker writes only its own slot, so
+  // the result is thread-count invariant.
+  out.replications = par::parallel_map(n, ropts.threads, [&](std::size_t r) {
+    SimOptions rep_opts = opts;
+    rep_opts.seed = split_seed(opts.seed, r);
+    return simulate(kind, config, rep_opts);
+  });
+  std::vector<ClassStats> shorts, longs;
+  shorts.reserve(n);
+  longs.reserve(n);
+  for (const SimResult& r : out.replications) {
+    shorts.push_back(r.shorts);
+    longs.push_back(r.longs);
+  }
+  out.shorts = aggregate_replications(shorts);
+  out.longs = aggregate_replications(longs);
+  return out;
 }
 
 }  // namespace csq::sim

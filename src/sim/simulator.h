@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <vector>
 
 #include "core/config.h"
 #include "sim/stats.h"
@@ -70,6 +71,26 @@ struct SimResult {
   double sim_time = 0.0;
   std::array<double, 2> utilization{};  // busy fraction per server
   double p_long_host_idle = 0.0;        // fraction of time server 1 is idle
+};
+
+// Multi-replication runs (see simulate_replications).
+struct ReplicationOptions {
+  int replications = 8;
+  // Worker threads running replications: 1 = inline on the caller
+  // (default), 0 = all hardware threads, n >= 2 = work-stealing pool of n.
+  int threads = 1;
+};
+
+struct ReplicatedResult {
+  // Per-replication results. Replication r always uses RNG substream
+  // split_seed(opts.seed, r), so element r — and therefore the aggregate —
+  // is bit-identical for every thread count.
+  std::vector<SimResult> replications;
+  // Across-replication aggregates: mean of the per-replication means, with
+  // a normal-approximation 95% CI over replications (the independent-
+  // replications estimator, tighter-tailed than single-run batch means).
+  ClassStats shorts;
+  ClassStats longs;
 };
 
 class Engine;
@@ -144,5 +165,20 @@ class Engine {
 
 // Factory used by simulate(); exposed for tests that drive Engine directly.
 [[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind, const SimOptions& opts);
+
+// Run ropts.replications independent simulations, replication r seeded with
+// the substream split_seed(opts.seed, r), in parallel on ropts.threads
+// workers. Results (per replication and aggregated) are bit-identical
+// regardless of thread count; see docs/performance.md for the determinism
+// contract.
+[[nodiscard]] ReplicatedResult simulate_replications(PolicyKind kind,
+                                                     const SystemConfig& config,
+                                                     const SimOptions& opts = {},
+                                                     const ReplicationOptions& ropts = {});
+
+// Across-replication aggregation used by simulate_replications: mean of
+// per-replication means plus a 95% normal CI over replications. Exposed for
+// the multi-host simulator and tests.
+[[nodiscard]] ClassStats aggregate_replications(const std::vector<ClassStats>& reps);
 
 }  // namespace csq::sim

@@ -62,7 +62,33 @@ TEST(Sweep, Linspace) {
   EXPECT_DOUBLE_EQ(v[0], 0.0);
   EXPECT_DOUBLE_EQ(v[2], 0.5);
   EXPECT_DOUBLE_EQ(v[4], 1.0);
-  EXPECT_THROW((void)linspace(0, 1, 1), std::invalid_argument);
+}
+
+TEST(Sweep, LinspaceEdgeCases) {
+  // n == 1 collapses to the lower bound instead of dividing by zero.
+  const auto single = linspace(0.3, 1.7, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_DOUBLE_EQ(single[0], 0.3);
+  // lo == hi fills with the exact bound.
+  for (const double x : linspace(0.7, 0.7, 4)) EXPECT_EQ(x, 0.7);
+  // The last point is exactly hi, no accumulated rounding.
+  EXPECT_EQ(linspace(0.1, 1.45, 29).back(), 1.45);
+  EXPECT_THROW((void)linspace(0, 1, 0), csq::InvalidInputError);
+  EXPECT_THROW((void)linspace(0, 1, -3), std::invalid_argument);
+}
+
+TEST(Sweep, LinspaceOpenStaysStrictlyInsideTheInterval) {
+  // Boundary-exclusive grid for sweeping a stability region: no point may
+  // land on lo or hi, where the analysis is degenerate.
+  const auto v = linspace_open(0.0, 2.0, 9);
+  ASSERT_EQ(v.size(), 9u);
+  for (const double x : v) {
+    EXPECT_GT(x, 0.0);
+    EXPECT_LT(x, 2.0);
+  }
+  EXPECT_DOUBLE_EQ(v[4], 1.0);  // midpoint of an odd-sized grid
+  EXPECT_THROW((void)linspace_open(1.0, 1.0, 3), csq::InvalidInputError);
+  EXPECT_THROW((void)linspace_open(0, 1, 0), csq::InvalidInputError);
 }
 
 TEST(Sweep, RhoShortMarksInstabilityWithNaN) {

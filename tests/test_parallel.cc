@@ -1,0 +1,174 @@
+// Work-stealing pool: lifecycle, stealing under contention, facade
+// ordering, and exception isolation. This file also builds as the dedicated
+// `csq_parallel_tests` binary so a ThreadSanitizer configuration
+// (-DCSQ_TSAN=ON) can gate just the concurrency layer via `ctest -L
+// parallel`.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "parallel/task_pool.h"
+#include "parallel/work_stealing_deque.h"
+
+namespace csq::par {
+namespace {
+
+TEST(WorkStealingDeque, OwnerPushPopIsLifo) {
+  WorkStealingDeque<int*> d(2);  // tiny ring: forces growth
+  int items[100];
+  for (int i = 0; i < 100; ++i) d.push(&items[i]);
+  for (int i = 99; i >= 0; --i) EXPECT_EQ(d.pop(), &items[i]);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(WorkStealingDeque, ThievesDrainFifoWhileOwnerPops) {
+  WorkStealingDeque<std::uint64_t*> d;
+  constexpr int kItems = 20000;
+  std::vector<std::uint64_t> items(kItems);
+  std::atomic<std::uint64_t> taken_sum{0};
+  std::atomic<int> taken_count{0};
+  for (int i = 0; i < kItems; ++i) {
+    items[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(i) + 1;
+    d.push(&items[static_cast<std::size_t>(i)]);
+  }
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 3; ++t)
+    thieves.emplace_back([&] {
+      while (taken_count.load() < kItems)
+        if (std::uint64_t* p = d.steal()) {
+          taken_sum.fetch_add(*p);
+          taken_count.fetch_add(1);
+        }
+    });
+  while (taken_count.load() < kItems)
+    if (std::uint64_t* p = d.pop()) {
+      taken_sum.fetch_add(*p);
+      taken_count.fetch_add(1);
+    }
+  for (auto& t : thieves) t.join();
+  // Every item taken exactly once: the CAS on top_ admits no duplicates.
+  const std::uint64_t want = static_cast<std::uint64_t>(kItems) * (kItems + 1) / 2;
+  EXPECT_EQ(taken_sum.load(), want);
+}
+
+TEST(TaskPool, StartStopRepeatedly) {
+  for (int round = 0; round < 3; ++round)
+    for (int threads : {1, 2, 4}) {
+      TaskPool pool(threads);
+      EXPECT_EQ(pool.threads(), threads);
+      std::atomic<int> hits{0};
+      pool.parallel_for(100, [&](std::size_t) { hits.fetch_add(1); });
+      EXPECT_EQ(hits.load(), 100);
+    }
+}
+
+TEST(TaskPool, EveryIndexRunsExactlyOnce) {
+  TaskPool pool(4);
+  constexpr std::size_t kN = 5000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(TaskPool, SurvivesConcurrentJobsUnderContention) {
+  // Several submitter threads race many jobs with skewed per-index costs
+  // through one pool: exercises inject, steal, suspend and wake paths.
+  TaskPool pool(4);
+  constexpr int kSubmitters = 4;
+  constexpr int kJobsEach = 8;
+  constexpr std::size_t kN = 400;
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s)
+    submitters.emplace_back([&] {
+      for (int j = 0; j < kJobsEach; ++j)
+        pool.parallel_for(kN, [&](std::size_t i) {
+          // Skew: index 0 busy-spins so other workers must steal the rest.
+          volatile std::uint64_t sink = 0;
+          const std::uint64_t spin = i == 0 ? 20000 : 20;
+          for (std::uint64_t k = 0; k < spin; ++k) sink = sink + k;
+          total.fetch_add(1);
+        });
+    });
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), static_cast<std::uint64_t>(kSubmitters) * kJobsEach * kN);
+  const PoolStats stats = pool.stats();
+  EXPECT_GT(stats.tasks_executed, 0u);
+}
+
+TEST(TaskPool, StatsCountWorkAndSometimesSteals) {
+  TaskPool pool(2);
+  pool.parallel_for(1000, [](std::size_t) {});
+  const PoolStats s = pool.stats();
+  EXPECT_GT(s.tasks_executed, 0u);
+  // steals is schedule-dependent (may be 0 on a loaded 1-core host); just
+  // assert the counter is readable and consistent with execution.
+  EXPECT_LE(s.steals, s.tasks_executed);
+}
+
+TEST(ParallelForFacade, InlineAndPooledAgree) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<int> out(257, -1);
+    parallel_for(out.size(), threads, [&](std::size_t i) { out[i] = static_cast<int>(i) * 3; });
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(ParallelMap, PreservesIndexOrderForEveryThreadCount) {
+  const auto square = [](std::size_t i) { return static_cast<double>(i * i); };
+  const auto seq = parallel_map(300, 1, square);
+  for (int threads : {2, 4, 8}) {
+    const auto par = parallel_map(300, threads, square);
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) EXPECT_EQ(par[i], seq[i]) << "i=" << i;
+  }
+}
+
+TEST(ParallelFor, FirstExceptionPropagatesAfterAllIndicesRan) {
+  for (int threads : {1, 4}) {
+    std::atomic<int> ran{0};
+    try {
+      parallel_for(100, threads, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (i == 17) throw std::runtime_error("index 17 failed");
+      });
+      FAIL() << "expected the index-17 exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "index 17 failed");
+    }
+    // Per-index isolation: the other 99 indices still ran.
+    EXPECT_EQ(ran.load(), 100);
+  }
+}
+
+TEST(ParallelFor, PoolRemainsUsableAfterAnException) {
+  TaskPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10, [](std::size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  std::atomic<int> hits{0};
+  pool.parallel_for(50, [&](std::size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 50);
+}
+
+TEST(ParallelFor, ZeroAndSingleIndexEdgeCases) {
+  int hits = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits, 0);
+  parallel_for(1, 4, [&](std::size_t) { ++hits; });
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(ThreadsResolution, ZeroMeansHardwareAndNegativeClamps) {
+  EXPECT_EQ(resolve_threads(0), hardware_threads());
+  EXPECT_EQ(resolve_threads(-5), 1);
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_GE(hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace csq::par

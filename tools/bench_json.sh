@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Emit a normalized JSON perf baseline from the Google Benchmark suite.
+#
+# Runs bench/perf_solver with --benchmark_format=json, then strips volatile
+# fields (dates, load average, library build metadata, per-run statistics)
+# so committed BENCH_*.json snapshots diff cleanly across runs. Host context
+# that DOES matter for interpreting numbers (cpu count, mhz, cache sizes) is
+# kept under "context".
+#
+# usage: tools/bench_json.sh [build-dir] [out.json] [extra benchmark args...]
+#        (defaults: build, stdout)
+# examples:
+#   tools/bench_json.sh build BENCH_pr2.json
+#   tools/bench_json.sh build - --benchmark_filter='BM_Sweep.*'
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+out=${2:--}
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+
+bench_bin="$build_dir/bench/perf_solver"
+if [ ! -x "$bench_bin" ]; then
+  echo "bench_json: $bench_bin not built; run: cmake --build $build_dir --target perf_solver" >&2
+  exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+"$bench_bin" --benchmark_format=json --benchmark_out_format=json "$@" >"$raw"
+
+normalize() {
+  python3 - "$raw" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+ctx = doc.get("context", {})
+keep_ctx = ("num_cpus", "mhz_per_cpu", "cpu_scaling_enabled", "caches",
+            "library_build_type")
+context = {k: ctx[k] for k in keep_ctx if k in ctx}
+
+keep_bench = ("name", "run_type", "iterations", "real_time", "cpu_time",
+              "time_unit")
+benchmarks = []
+for b in doc.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    row = {k: b[k] for k in keep_bench if k in b}
+    # Counters (e.g. allocs_per_iter) ride at the top level of each entry.
+    std = set(keep_bench) | {
+        "family_index", "per_family_instance_index", "repetitions",
+        "repetition_index", "threads", "aggregate_name", "label",
+        "error_occurred", "error_message",
+    }
+    for k, v in b.items():
+        if k not in std and isinstance(v, (int, float)):
+            row[k] = v
+    benchmarks.append(row)
+
+json.dump({"context": context, "benchmarks": benchmarks},
+          sys.stdout, indent=2, sort_keys=True)
+sys.stdout.write("\n")
+EOF
+}
+
+if [ "$out" = "-" ]; then
+  normalize
+else
+  normalize >"$out"
+  echo "bench_json: wrote $out"
+fi

@@ -1,13 +1,30 @@
 #!/usr/bin/env sh
-# Build the whole tree with -Wall -Wextra -Werror in a scratch build dir so
-# warning regressions fail fast (CI gate; also handy locally before a PR).
+# Strict-build gate (CI; also handy locally before a PR):
+#   1. Build the whole tree -Wall -Wextra -Werror in a scratch dir so
+#      warning regressions fail fast (covers src/parallel and the new
+#      test/bench binaries).
+#   2. Build the ThreadSanitizer configuration (-DCSQ_TSAN=ON) and run the
+#      concurrency suite (`ctest -L parallel`) under it: the work-stealing
+#      pool's race gate. Skip with CSQ_SKIP_TSAN=1 for a warnings-only pass.
 #
-# usage: tools/check_warnings.sh [build-dir]   (default: build-werror)
+# usage: tools/check_warnings.sh [build-dir] [tsan-build-dir]
+#        (defaults: build-werror, build-tsan)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-werror"}
+tsan_dir=${2:-"$repo_root/build-tsan"}
 
 cmake -B "$build_dir" -S "$repo_root" -DCSQ_WERROR=ON >/dev/null
 cmake --build "$build_dir" -j
 echo "check_warnings: OK (no warnings under -Wall -Wextra -Werror)"
+
+if [ "${CSQ_SKIP_TSAN:-0}" = "1" ]; then
+  echo "check_warnings: skipping ThreadSanitizer gate (CSQ_SKIP_TSAN=1)"
+  exit 0
+fi
+
+cmake -B "$tsan_dir" -S "$repo_root" -DCSQ_TSAN=ON -DCSQ_WERROR=ON >/dev/null
+cmake --build "$tsan_dir" -j --target csq_parallel_tests
+(cd "$tsan_dir" && ctest -L parallel --output-on-failure)
+echo "check_warnings: OK (parallel suite clean under ThreadSanitizer)"

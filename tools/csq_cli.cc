@@ -127,12 +127,26 @@ int cmd_simulate(const Args& a) {
   o.total_completions = static_cast<std::size_t>(a.number("completions", 500000));
   o.seed = static_cast<std::uint64_t>(a.number("seed", o.seed));
   o.tags_cutoff = a.number("tags-cutoff", o.tags_cutoff);
-  const sim::SimResult r = sim::simulate(it->second, workload(a), o);
   Table t({"class", "E[T]", "ci95", "completions"});
-  t.add_row({"short", format_cell(r.shorts.mean_response), format_cell(r.shorts.ci95),
-             std::to_string(r.shorts.completions)});
-  t.add_row({"long", format_cell(r.longs.mean_response), format_cell(r.longs.ci95),
-             std::to_string(r.longs.completions)});
+  const int reps = static_cast<int>(a.number("reps", 1));
+  if (reps > 1) {
+    // Independent replications with deterministic per-replication substreams:
+    // results are identical for any --threads value.
+    sim::ReplicationOptions ropts;
+    ropts.replications = reps;
+    ropts.threads = static_cast<int>(a.number("threads", 1));
+    const sim::ReplicatedResult r = sim::simulate_replications(it->second, workload(a), o, ropts);
+    t.add_row({"short", format_cell(r.shorts.mean_response), format_cell(r.shorts.ci95),
+               std::to_string(r.shorts.completions)});
+    t.add_row({"long", format_cell(r.longs.mean_response), format_cell(r.longs.ci95),
+               std::to_string(r.longs.completions)});
+  } else {
+    const sim::SimResult r = sim::simulate(it->second, workload(a), o);
+    t.add_row({"short", format_cell(r.shorts.mean_response), format_cell(r.shorts.ci95),
+               std::to_string(r.shorts.completions)});
+    t.add_row({"long", format_cell(r.longs.mean_response), format_cell(r.longs.ci95),
+               std::to_string(r.longs.completions)});
+  }
   t.print(std::cout);
   return 0;
 }
@@ -142,13 +156,17 @@ int cmd_sweep(const Args& a) {
   const auto grid =
       linspace(a.number("from", 0.05), a.number("to", 1.45),
                static_cast<int>(a.number("points", 15)));
+  // Points evaluate on the work-stealing pool; rows are bit-identical for
+  // any --threads value (0 = all hardware threads).
+  SweepOptions opts;
+  opts.threads = static_cast<int>(a.number("threads", 1));
   std::vector<SweepRow> rows;
   if (axis == "rho_s") {
     rows = sweep_rho_short(a.number("rho-l", 0.5), a.number("mean-s", 1.0),
-                           a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid);
+                           a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid, opts);
   } else if (axis == "rho_l") {
     rows = sweep_rho_long(a.number("rho-s", 0.9), a.number("mean-s", 1.0),
-                          a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid);
+                          a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid, opts);
   } else {
     std::cerr << "unknown sweep axis: " << axis << "\n";
     return 2;
