@@ -6,6 +6,8 @@
 #include "mg1/mg1.h"
 #include "transforms/busy_period.h"
 
+#include "core/numeric.h"
+
 namespace csq::analysis {
 
 namespace {
@@ -166,7 +168,7 @@ double cscq_long_response_saturated(const SystemConfig& config) {
   if (ll * xl.m1 >= 1.0)
     throw UnstableError("cscq_long_response_saturated: rho_L >= 1",
                         Diagnostics::loads(Diagnostics::kUnset, ll * xl.m1));
-  if (ll == 0.0) return xl.m1;
+  if (num::exactly_zero(ll)) return xl.m1;
   const double delta = 2.0 * mu_s;
   const dist::Moments setup{1.0 / delta, 2.0 / (delta * delta), 6.0 / (delta * delta * delta)};
   return mg1::setup_response(ll, xl, setup);

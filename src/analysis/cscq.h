@@ -26,6 +26,8 @@
 // shorts), general long sizes represented by their first three moments.
 #pragma once
 
+#include <cstddef>
+
 #include "core/config.h"
 #include "dist/moment_match.h"
 #include "qbd/qbd.h"

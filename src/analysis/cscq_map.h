@@ -8,7 +8,13 @@
 // while possibly switching the arrival phase; D0 off-diagonal transitions
 // switch the arrival phase in place. Short sizes are exponential, as in the
 // paper's numerical sections.
+//
+// Throws csq::InvalidInputError on malformed arguments and
+// csq::UnstableError when the offered load is outside the stability
+// region (core/status.h).
 #pragma once
+
+#include <cstddef>
 
 #include "core/config.h"
 #include "dist/moment_match.h"

@@ -28,7 +28,13 @@
 // state {i,j} it observes otherwise — the pair distribution is read off the
 // solved chain (PASTA), and the setup moments follow from the pair-process
 // absorption time started from that distribution.
+//
+// Throws csq::InvalidInputError on malformed arguments and
+// csq::UnstableError when the offered load is outside the stability
+// region (core/status.h).
 #pragma once
+
+#include <cstddef>
 
 #include "core/config.h"
 #include "dist/moment_match.h"

@@ -6,6 +6,8 @@
 #include "mg1/mg1.h"
 #include "transforms/busy_period.h"
 
+#include "core/numeric.h"
+
 namespace csq::analysis {
 
 namespace {
@@ -131,7 +133,7 @@ double csid_long_response(const SystemConfig& config) {
   if (ll * xl.m1 >= 1.0)
     throw UnstableError("csid_long_response: rho_L >= 1 (long host unstable)",
                         Diagnostics::loads(Diagnostics::kUnset, ll * xl.m1));
-  if (ll == 0.0) return xl.m1;
+  if (num::exactly_zero(ll)) return xl.m1;
   // Probability the first long of a long-busy-cycle finds a (stolen) short in
   // service: race from the idle long host between long arrivals and
   // short-steal-then-complete cycles.

@@ -10,6 +10,10 @@
 // shorts is stolen (PASTA), so the short host is stable iff
 // rho_S (1 - P(idle)) < 1. At rho_L = 0 the bound is the golden ratio
 // (1+sqrt(5))/2 ~ 1.618, matching the paper's "about 1.6".
+//
+// Throws csq::InvalidInputError on malformed arguments and
+// csq::UnstableError when the offered load is outside the stability
+// region (core/status.h).
 #pragma once
 
 namespace csq::analysis {

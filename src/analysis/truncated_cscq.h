@@ -12,6 +12,10 @@
 //   c = A — n_L == 0, shorts on min(n_S,2) servers;
 //   c = L — n_L >= 1, one server serving longs, the other serving shorts;
 //   c = W — n_L >= 1, both servers on shorts (n_S >= 2), longs all waiting.
+//
+// Throws csq::InvalidInputError on malformed arguments and
+// csq::UnstableError when the offered load is outside the stability
+// region (core/status.h).
 #pragma once
 
 #include "core/config.h"

@@ -4,6 +4,8 @@
 
 #include "core/status.h"
 
+#include "core/numeric.h"
+
 namespace csq {
 
 void SystemConfig::validate() const {
@@ -36,7 +38,7 @@ SystemConfig SystemConfig::paper_setup(double rho_short, double rho_long, double
                                        double mean_long, double long_scv) {
   auto shorts = std::make_shared<dist::PhaseType>(dist::PhaseType::exponential(1.0 / mean_short));
   auto longs = std::make_shared<dist::PhaseType>(
-      long_scv == 1.0 ? dist::PhaseType::exponential(1.0 / mean_long)
+      num::approx_eq(long_scv, 1.0) ? dist::PhaseType::exponential(1.0 / mean_long)
                       : dist::PhaseType::coxian_mean_scv(mean_long, long_scv));
   return from_loads(rho_short, rho_long, std::move(shorts), std::move(longs));
 }

@@ -1,4 +1,6 @@
 // Public configuration and result types for the cyclesteal library.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
 #include <stdexcept>

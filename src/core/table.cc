@@ -6,10 +6,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/status.h"
+
 namespace csq {
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
-  if (headers_.empty()) throw std::invalid_argument("Table: need headers");
+  if (headers_.empty()) throw InvalidInputError("Table: need headers");
 }
 
 void Table::add_row(const std::vector<double>& values) {
@@ -21,7 +23,7 @@ void Table::add_row(const std::vector<double>& values) {
 
 void Table::add_row(std::vector<std::string> cells) {
   if (cells.size() != headers_.size())
-    throw std::invalid_argument("Table::add_row: wrong number of cells");
+    throw InvalidInputError("Table::add_row: wrong number of cells");
   rows_.push_back(std::move(cells));
 }
 

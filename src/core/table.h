@@ -1,6 +1,9 @@
 // Minimal fixed-width ASCII table / CSV writer for bench and example output.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

@@ -3,20 +3,24 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/status.h"
+
+#include "core/numeric.h"
+
 namespace csq::ctmc {
 
 void Generator::add(std::size_t from, std::size_t to, double rate) {
-  if (finalized()) throw std::logic_error("Generator::add after finalize");
-  if (from >= n_ || to >= n_) throw std::out_of_range("Generator::add: state out of range");
-  if (from == to) throw std::invalid_argument("Generator::add: self-loop");
-  if (rate < 0.0) throw std::invalid_argument("Generator::add: negative rate");
-  if (rate == 0.0) return;
+  if (finalized()) throw InvalidInputError("Generator::add after finalize");
+  if (from >= n_ || to >= n_) throw InvalidInputError("Generator::add: state out of range");
+  if (from == to) throw InvalidInputError("Generator::add: self-loop");
+  if (rate < 0.0) throw InvalidInputError("Generator::add: negative rate");
+  if (num::exactly_zero(rate)) return;
   triplets_.push_back({from, to, rate});
   out_rate_[from] += rate;
 }
 
 void Generator::finalize() {
-  if (finalized()) throw std::logic_error("Generator::finalize called twice");
+  if (finalized()) throw InvalidInputError("Generator::finalize called twice");
   std::sort(triplets_.begin(), triplets_.end(), [](const Triplet& a, const Triplet& b) {
     return a.to != b.to ? a.to < b.to : a.from < b.from;
   });

@@ -5,6 +5,8 @@
 // an exactness oracle for the exponential/exponential case, so the ablation
 // bench can quantify both the truncation error and the busy-period-
 // approximation error.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
 #include <cstddef>

@@ -3,12 +3,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/status.h"
+
+#include "core/numeric.h"
+
 namespace csq::ctmc {
 
 StationaryResult stationary(const Generator& q, const StationaryOptions& opts) {
-  if (!q.finalized()) throw std::logic_error("ctmc::stationary: generator not finalized");
+  if (!q.finalized()) throw InvalidInputError("ctmc::stationary: generator not finalized");
   if (opts.omega <= 0.0 || opts.omega >= 2.0)
-    throw std::invalid_argument("ctmc::stationary: omega must be in (0, 2)");
+    throw InvalidInputError("ctmc::stationary: omega must be in (0, 2)");
   const std::size_t n = q.size();
   StationaryResult res;
   res.pi.assign(n, 1.0 / static_cast<double>(n));
@@ -16,7 +20,7 @@ StationaryResult stationary(const Generator& q, const StationaryOptions& opts) {
     double l1_change = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
       const double d = q.diagonal(j);
-      if (d == 0.0) {
+      if (num::exactly_zero(d)) {
         res.pi[j] = 0.0;  // absorbing or unreachable padding state
         continue;
       }
@@ -32,7 +36,11 @@ StationaryResult stationary(const Generator& q, const StationaryOptions& opts) {
     // Renormalize.
     double mass = 0.0;
     for (double x : res.pi) mass += x;
-    if (mass <= 0.0) throw std::domain_error("ctmc::stationary: zero mass");
+    if (mass <= 0.0) {
+      Diagnostics d;
+      d.iterations = sweep + 1;
+      throw IllConditionedError("ctmc::stationary: zero mass", std::move(d));
+    }
     for (double& x : res.pi) x /= mass;
     res.sweeps = sweep + 1;
     if (l1_change < opts.tolerance) {

@@ -1,5 +1,9 @@
 // Stationary distribution of a finite CTMC by Gauss-Seidel sweeps on
 // pi Q = 0 with renormalization.
+//
+// Throws csq::InvalidInputError on API misuse and
+// csq::IllConditionedError when the stationary system is numerically
+// singular (core/status.h).
 #pragma once
 
 #include <vector>

@@ -3,16 +3,18 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/status.h"
+
 namespace csq::dist {
 
 namespace {
 void check_moment_order(int k) {
-  if (k < 1 || k > 3) throw std::invalid_argument("Distribution::moment: k must be 1..3");
+  if (k < 1 || k > 3) throw InvalidInputError("Distribution::moment: k must be 1..3");
 }
 }  // namespace
 
 Deterministic::Deterministic(double value) : value_(value) {
-  if (value < 0.0) throw std::invalid_argument("Deterministic: negative value");
+  if (value < 0.0) throw InvalidInputError("Deterministic: negative value");
 }
 
 double Deterministic::moment(int k) const {
@@ -27,7 +29,7 @@ std::string Deterministic::name() const {
 }
 
 Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
-  if (lo < 0.0 || hi <= lo) throw std::invalid_argument("Uniform: need 0 <= lo < hi");
+  if (lo < 0.0 || hi <= lo) throw InvalidInputError("Uniform: need 0 <= lo < hi");
 }
 
 double Uniform::sample(Rng& rng) const {
@@ -49,7 +51,7 @@ std::string Uniform::name() const {
 BoundedPareto::BoundedPareto(double lo, double hi, double alpha)
     : lo_(lo), hi_(hi), alpha_(alpha) {
   if (lo <= 0.0 || hi <= lo || alpha <= 0.0)
-    throw std::invalid_argument("BoundedPareto: need 0 < lo < hi, alpha > 0");
+    throw InvalidInputError("BoundedPareto: need 0 < lo < hi, alpha > 0");
 }
 
 double BoundedPareto::sample(Rng& rng) const {
@@ -93,7 +95,7 @@ BoundedPareto BoundedPareto::with_mean(double mean, double hi, double alpha) {
 }
 
 LogNormal::LogNormal(double mean, double scv) {
-  if (mean <= 0.0 || scv <= 0.0) throw std::invalid_argument("LogNormal: need mean, scv > 0");
+  if (mean <= 0.0 || scv <= 0.0) throw InvalidInputError("LogNormal: need mean, scv > 0");
   sigma_ = std::sqrt(std::log(1.0 + scv));
   mu_ = std::log(mean) - 0.5 * sigma_ * sigma_;
 }

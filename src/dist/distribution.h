@@ -4,6 +4,8 @@
 // short jobs, the exponential rate); the discrete-event simulator consumes
 // samples. Both views live behind the Distribution interface so a single
 // SystemConfig drives analysis and simulation alike.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
 #include <memory>

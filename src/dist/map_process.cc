@@ -6,24 +6,28 @@
 
 #include "linalg/lu.h"
 
+#include "core/status.h"
+
+#include "core/numeric.h"
+
 namespace csq::dist {
 
 MapProcess::MapProcess(linalg::Matrix d0, linalg::Matrix d1)
     : d0_(std::move(d0)), d1_(std::move(d1)) {
   const std::size_t n = d0_.rows();
   if (n == 0 || d0_.cols() != n || d1_.rows() != n || d1_.cols() != n)
-    throw std::invalid_argument("MapProcess: D0/D1 must be square and same size");
+    throw InvalidInputError("MapProcess: D0/D1 must be square and same size");
   for (std::size_t i = 0; i < n; ++i) {
-    if (d0_(i, i) >= 0.0) throw std::invalid_argument("MapProcess: D0 diagonal must be < 0");
+    if (d0_(i, i) >= 0.0) throw InvalidInputError("MapProcess: D0 diagonal must be < 0");
     double row = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
       if (i != j && d0_(i, j) < 0.0)
-        throw std::invalid_argument("MapProcess: negative D0 off-diagonal");
-      if (d1_(i, j) < 0.0) throw std::invalid_argument("MapProcess: negative D1 entry");
+        throw InvalidInputError("MapProcess: negative D0 off-diagonal");
+      if (d1_(i, j) < 0.0) throw InvalidInputError("MapProcess: negative D1 entry");
       row += d0_(i, j) + d1_(i, j);
     }
     if (std::abs(row) > 1e-9)
-      throw std::invalid_argument("MapProcess: rows of D0 + D1 must sum to zero");
+      throw InvalidInputError("MapProcess: rows of D0 + D1 must sum to zero");
   }
   // Stationary phases: pi (D0 + D1) = 0, sum pi = 1. Replace one equation
   // with normalization and solve the transpose system.
@@ -37,15 +41,15 @@ MapProcess::MapProcess(linalg::Matrix d0, linalg::Matrix d1)
 }
 
 MapProcess MapProcess::poisson(double rate) {
-  if (rate <= 0.0) throw std::invalid_argument("MapProcess::poisson: rate <= 0");
+  if (rate <= 0.0) throw InvalidInputError("MapProcess::poisson: rate <= 0");
   return {linalg::Matrix{{-rate}}, linalg::Matrix{{rate}}};
 }
 
 MapProcess MapProcess::mmpp2(double rate0, double rate1, double switch_01, double switch_10) {
   if (rate0 < 0.0 || rate1 < 0.0 || switch_01 <= 0.0 || switch_10 <= 0.0)
-    throw std::invalid_argument("MapProcess::mmpp2: bad parameters");
-  if (rate0 == 0.0 && rate1 == 0.0)
-    throw std::invalid_argument("MapProcess::mmpp2: no arrivals at all");
+    throw InvalidInputError("MapProcess::mmpp2: bad parameters");
+  if (num::exactly_zero(rate0) && num::exactly_zero(rate1))
+    throw InvalidInputError("MapProcess::mmpp2: no arrivals at all");
   linalg::Matrix d0{{-(rate0 + switch_01), switch_01}, {switch_10, -(rate1 + switch_10)}};
   linalg::Matrix d1{{rate0, 0.0}, {0.0, rate1}};
   return {std::move(d0), std::move(d1)};
@@ -55,12 +59,12 @@ MapProcess MapProcess::bursty(double mean_rate, double peak_to_mean, double high
                               double high_sojourn) {
   if (mean_rate <= 0.0 || peak_to_mean <= 1.0 || high_fraction <= 0.0 ||
       high_fraction >= 1.0 || high_sojourn <= 0.0)
-    throw std::invalid_argument("MapProcess::bursty: bad parameters");
+    throw InvalidInputError("MapProcess::bursty: bad parameters");
   const double rate_high = peak_to_mean * mean_rate;
   // Mean rate = f * rate_high + (1 - f) * rate_low.
   const double rate_low = (mean_rate - high_fraction * rate_high) / (1.0 - high_fraction);
   if (rate_low < 0.0)
-    throw std::invalid_argument("MapProcess::bursty: peak_to_mean too large for fraction");
+    throw InvalidInputError("MapProcess::bursty: peak_to_mean too large for fraction");
   const double leave_high = 1.0 / high_sojourn;
   // Stationary high fraction f = s01/(s01 + s10).
   const double leave_low = leave_high * high_fraction / (1.0 - high_fraction);

@@ -2,8 +2,12 @@
 // transitions emit an arrival. Subsumes Poisson (1 phase) and MMPP. The
 // paper notes its Poisson-arrival assumption "can be generalized to a MAP";
 // analysis/cscq_map.* implements that generalization for the short class.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "dist/distribution.h"

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/status.h"
+
 namespace csq::dist {
 
 namespace {
@@ -69,7 +71,7 @@ bool fit_coxian2_3moments(const Moments& m, double* mu1, double* mu2, double* p_
 
 PhaseType fit_mixed_erlang(double mean, double scv) {
   if (mean <= 0.0 || scv <= 0.0 || scv > 1.0 + 1e-12)
-    throw std::invalid_argument("fit_mixed_erlang: need mean > 0, 0 < scv <= 1");
+    throw InvalidInputError("fit_mixed_erlang: need mean > 0, 0 < scv <= 1");
   if (scv > 1.0 - 1e-9) return PhaseType::exponential(1.0 / mean);
   // Tijms: pick k with 1/k <= scv <= 1/(k-1); mix Erlang(k-1) and Erlang(k).
   const int k = static_cast<int>(std::ceil(1.0 / scv));
@@ -93,9 +95,9 @@ PhaseType fit_mixed_erlang(double mean, double scv) {
 
 PhaseType fit_ph(const Moments& target, int max_moments, FitReport* report) {
   if (report) *report = FitReport{max_moments, 1, false};
-  if (target.m1 <= 0.0) throw std::invalid_argument("fit_ph: mean must be positive");
+  if (target.m1 <= 0.0) throw InvalidInputError("fit_ph: mean must be positive");
   if (max_moments < 1 || max_moments > 3)
-    throw std::invalid_argument("fit_ph: max_moments must be 1..3");
+    throw InvalidInputError("fit_ph: max_moments must be 1..3");
 
   if (max_moments == 1) {
     if (report) report->moments_matched = 1;
@@ -103,7 +105,7 @@ PhaseType fit_ph(const Moments& target, int max_moments, FitReport* report) {
   }
 
   const double scv = target.scv();
-  if (scv < -1e-9) throw std::invalid_argument("fit_ph: m2 < m1^2 is not realizable");
+  if (scv < -1e-9) throw InvalidInputError("fit_ph: m2 < m1^2 is not realizable");
 
   const auto two_moment = [&]() -> PhaseType {
     if (report) report->moments_matched = 2;

@@ -2,6 +2,8 @@
 // agree with a target. This is the approximation engine of the paper — the
 // busy-period transitions of the CS-CQ chain are represented by a 2-stage
 // Coxian matched to the busy period's first three moments.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
 #include "dist/distribution.h"

@@ -7,30 +7,32 @@
 
 #include "linalg/lu.h"
 
+#include "core/status.h"
+
 namespace csq::dist {
 
 PhaseType::PhaseType(std::vector<double> alpha, linalg::Matrix t)
     : alpha_(std::move(alpha)), t_(std::move(t)) {
   const std::size_t k = alpha_.size();
   if (k == 0 || t_.rows() != k || t_.cols() != k)
-    throw std::invalid_argument("PhaseType: alpha/T shape mismatch");
+    throw InvalidInputError("PhaseType: alpha/T shape mismatch");
   double mass = 0.0;
   for (double a : alpha_) {
-    if (a < -1e-12) throw std::invalid_argument("PhaseType: negative alpha entry");
+    if (a < -1e-12) throw InvalidInputError("PhaseType: negative alpha entry");
     mass += a;
   }
   if (std::abs(mass - 1.0) > 1e-9)
-    throw std::invalid_argument("PhaseType: alpha must sum to 1");
+    throw InvalidInputError("PhaseType: alpha must sum to 1");
   exit_.assign(k, 0.0);
   for (std::size_t i = 0; i < k; ++i) {
-    if (t_(i, i) >= 0.0) throw std::invalid_argument("PhaseType: diagonal must be negative");
+    if (t_(i, i) >= 0.0) throw InvalidInputError("PhaseType: diagonal must be negative");
     double row = 0.0;
     for (std::size_t j = 0; j < k; ++j) {
       if (i != j && t_(i, j) < -1e-12)
-        throw std::invalid_argument("PhaseType: negative off-diagonal");
+        throw InvalidInputError("PhaseType: negative off-diagonal");
       row += t_(i, j);
     }
-    if (row > 1e-9) throw std::invalid_argument("PhaseType: positive row sum in T");
+    if (row > 1e-9) throw InvalidInputError("PhaseType: positive row sum in T");
     exit_[i] = -row;
   }
   // Cache moments: E[X^k] = k! * alpha * M^k * 1 with M = (-T)^{-1}.
@@ -47,12 +49,12 @@ PhaseType::PhaseType(std::vector<double> alpha, linalg::Matrix t)
 }
 
 PhaseType PhaseType::exponential(double rate) {
-  if (rate <= 0.0) throw std::invalid_argument("PhaseType::exponential: rate <= 0");
+  if (rate <= 0.0) throw InvalidInputError("PhaseType::exponential: rate <= 0");
   return {{1.0}, linalg::Matrix{{-rate}}};
 }
 
 PhaseType PhaseType::erlang(int k, double rate) {
-  if (k < 1 || rate <= 0.0) throw std::invalid_argument("PhaseType::erlang: bad params");
+  if (k < 1 || rate <= 0.0) throw InvalidInputError("PhaseType::erlang: bad params");
   const auto n = static_cast<std::size_t>(k);
   std::vector<double> alpha(n, 0.0);
   alpha[0] = 1.0;
@@ -66,11 +68,11 @@ PhaseType PhaseType::erlang(int k, double rate) {
 
 PhaseType PhaseType::hyperexp(std::vector<double> probs, std::vector<double> rates) {
   if (probs.size() != rates.size() || probs.empty())
-    throw std::invalid_argument("PhaseType::hyperexp: bad params");
+    throw InvalidInputError("PhaseType::hyperexp: bad params");
   const std::size_t n = probs.size();
   linalg::Matrix t(n, n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (rates[i] <= 0.0) throw std::invalid_argument("PhaseType::hyperexp: rate <= 0");
+    if (rates[i] <= 0.0) throw InvalidInputError("PhaseType::hyperexp: rate <= 0");
     t(i, i) = -rates[i];
   }
   return {std::move(probs), std::move(t)};
@@ -79,16 +81,16 @@ PhaseType PhaseType::hyperexp(std::vector<double> probs, std::vector<double> rat
 PhaseType PhaseType::coxian(std::vector<double> rates, std::vector<double> cont) {
   const std::size_t n = rates.size();
   if (n == 0 || cont.size() != n - 1)
-    throw std::invalid_argument("PhaseType::coxian: need |cont| = |rates| - 1");
+    throw InvalidInputError("PhaseType::coxian: need |cont| = |rates| - 1");
   std::vector<double> alpha(n, 0.0);
   alpha[0] = 1.0;
   linalg::Matrix t(n, n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (rates[i] <= 0.0) throw std::invalid_argument("PhaseType::coxian: rate <= 0");
+    if (rates[i] <= 0.0) throw InvalidInputError("PhaseType::coxian: rate <= 0");
     t(i, i) = -rates[i];
     if (i + 1 < n) {
       if (cont[i] < 0.0 || cont[i] > 1.0)
-        throw std::invalid_argument("PhaseType::coxian: continuation prob outside [0,1]");
+        throw InvalidInputError("PhaseType::coxian: continuation prob outside [0,1]");
       t(i, i + 1) = rates[i] * cont[i];
     }
   }
@@ -96,10 +98,10 @@ PhaseType PhaseType::coxian(std::vector<double> rates, std::vector<double> cont)
 }
 
 PhaseType PhaseType::coxian_mean_scv(double mean, double scv) {
-  if (mean <= 0.0) throw std::invalid_argument("coxian_mean_scv: mean <= 0");
+  if (mean <= 0.0) throw InvalidInputError("coxian_mean_scv: mean <= 0");
   if (std::abs(scv - 1.0) < 1e-9) return exponential(1.0 / mean);
   if (scv < 1.0)
-    throw std::invalid_argument("coxian_mean_scv: scv < 1 (use moment_match::fit_ph)");
+    throw InvalidInputError("coxian_mean_scv: scv < 1 (use moment_match::fit_ph)");
   // Two-moment Coxian: mu1 = 2/m1; then m2 = (scv+1) m1^2 determines the
   // second phase. Derivation: with x = 1/mu1 = m1/2,
   //   y = 1/mu2 = m2/m1 - m1,  p = (m1 - x)/y.
@@ -111,7 +113,7 @@ PhaseType PhaseType::coxian_mean_scv(double mean, double scv) {
 }
 
 double PhaseType::rate() const {
-  if (!is_exponential()) throw std::logic_error("PhaseType::rate: not exponential");
+  if (!is_exponential()) throw InvalidInputError("PhaseType::rate: not exponential");
   return -t_(0, 0);
 }
 
@@ -147,7 +149,7 @@ double PhaseType::sample(Rng& rng) const {
 }
 
 double PhaseType::moment(int k) const {
-  if (k < 1 || k > 3) throw std::invalid_argument("PhaseType::moment: k must be 1..3");
+  if (k < 1 || k > 3) throw InvalidInputError("PhaseType::moment: k must be 1..3");
   return moments_[k - 1];
 }
 
@@ -162,7 +164,7 @@ jets::Jet PhaseType::lst_jet() const {
 }
 
 PhaseType PhaseType::scaled(double factor) const {
-  if (factor <= 0.0) throw std::invalid_argument("PhaseType::scaled: factor <= 0");
+  if (factor <= 0.0) throw InvalidInputError("PhaseType::scaled: factor <= 0");
   linalg::Matrix t = t_;
   t *= 1.0 / factor;
   return {alpha_, std::move(t)};

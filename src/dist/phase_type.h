@@ -2,8 +2,12 @@
 // initial vector alpha and subgenerator T. Covers exponential, Erlang,
 // hyperexponential and Coxian as named constructors; arbitrary (alpha, T)
 // accepted with validation.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "dist/distribution.h"

@@ -11,7 +11,11 @@
 
 #include <array>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
+
+#include "core/numeric.h"
+#include "core/status.h"
 
 namespace csq::jets {
 
@@ -73,7 +77,7 @@ constexpr Jet operator*(const Jet& a, const Jet& b) {
 
 // Series reciprocal; requires a nonzero constant term.
 inline Jet reciprocal(const Jet& a) {
-  if (a[0] == 0.0) throw std::domain_error("jets::reciprocal: zero constant term");
+  if (num::exactly_zero(a[0])) throw InvalidInputError("jets::reciprocal: zero constant term");
   Jet r;
   r[0] = 1.0 / a[0];
   for (int k = 1; k < kOrder; ++k) {
@@ -103,7 +107,8 @@ constexpr Jet compose(const std::array<double, kOrder>& outer_derivs_at_inner0,
 
 // Polynomial composition f(g(s)) where g has zero constant term.
 constexpr Jet compose0(const Jet& f, const Jet& g) {
-  if (g[0] != 0.0) throw std::domain_error("jets::compose0: inner constant term must be 0");
+  if (!num::exactly_zero(g[0]))
+    throw InvalidInputError("jets::compose0: inner constant term must be 0");
   const Jet g2 = g * g;
   const Jet g3 = g2 * g;
   return Jet::constant(f[0]) + f[1] * g + f[2] * g2 + f[3] * g3;

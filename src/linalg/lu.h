@@ -3,6 +3,8 @@
 // estimate and iterative refinement (one residual-correction pass), so
 // ill-conditioned systems are detected and mitigated rather than silently
 // wrong.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
 #include <vector>

@@ -1,9 +1,13 @@
 #include "linalg/matrix.h"
 
-#include <cassert>
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
+
+#include "core/status.h"
+
+#include "core/check.h"
+#include "core/numeric.h"
 
 namespace csq::linalg {
 
@@ -12,7 +16,7 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   cols_ = rows_ == 0 ? 0 : rows.begin()->size();
   data_.reserve(rows_ * cols_);
   for (const auto& r : rows) {
-    if (r.size() != cols_) throw std::invalid_argument("Matrix: ragged initializer");
+    if (r.size() != cols_) throw InvalidInputError("Matrix: ragged initializer");
     data_.insert(data_.end(), r.begin(), r.end());
   }
 }
@@ -25,14 +29,14 @@ Matrix Matrix::identity(std::size_t n) {
 
 Matrix& Matrix::operator+=(const Matrix& rhs) {
   if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
-    throw std::invalid_argument("Matrix+=: shape mismatch");
+    throw InvalidInputError("Matrix+=: shape mismatch");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& rhs) {
   if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
-    throw std::invalid_argument("Matrix-=: shape mismatch");
+    throw InvalidInputError("Matrix-=: shape mismatch");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
   return *this;
 }
@@ -44,7 +48,7 @@ Matrix& Matrix::operator*=(double s) {
 
 Matrix& Matrix::add_scaled(const Matrix& rhs, double s) {
   if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
-    throw std::invalid_argument("Matrix::add_scaled: shape mismatch");
+    throw InvalidInputError("Matrix::add_scaled: shape mismatch");
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * rhs.data_[i];
   return *this;
 }
@@ -79,12 +83,12 @@ Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
 Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
 
 Matrix operator*(const Matrix& lhs, const Matrix& rhs) {
-  if (lhs.cols() != rhs.rows()) throw std::invalid_argument("Matrix*: shape mismatch");
+  if (lhs.cols() != rhs.rows()) throw InvalidInputError("Matrix*: shape mismatch");
   Matrix out(lhs.rows(), rhs.cols());
   for (std::size_t i = 0; i < lhs.rows(); ++i)
     for (std::size_t k = 0; k < lhs.cols(); ++k) {
       const double a = lhs(i, k);
-      if (a == 0.0) continue;
+      if (num::exactly_zero(a)) continue;
       for (std::size_t j = 0; j < rhs.cols(); ++j) out(i, j) += a * rhs(k, j);
     }
   return out;
@@ -94,29 +98,40 @@ Matrix operator*(double s, Matrix m) { return m *= s; }
 Matrix operator*(Matrix m, double s) { return m *= s; }
 
 void multiply_into(Matrix& dst, const Matrix& a, const Matrix& b) {
-  if (a.cols() != b.rows()) throw std::invalid_argument("multiply_into: shape mismatch");
+  if (a.cols() != b.rows()) throw InvalidInputError("multiply_into: shape mismatch");
   if (&dst == &a || &dst == &b)
-    throw std::invalid_argument("multiply_into: dst must not alias an operand");
+    throw InvalidInputError("multiply_into: dst must not alias an operand");
   dst.reshape_zero(a.rows(), b.cols());
   for (std::size_t i = 0; i < a.rows(); ++i)
     for (std::size_t k = 0; k < a.cols(); ++k) {
       const double x = a(i, k);
-      if (x == 0.0) continue;
+      if (num::exactly_zero(x)) continue;
       for (std::size_t j = 0; j < b.cols(); ++j) dst(i, j) += x * b(k, j);
     }
 }
 
 void multiply_into(std::vector<double>& dst, const Matrix& m, const std::vector<double>& v) {
-  if (v.size() != m.cols()) throw std::invalid_argument("multiply_into: shape mismatch");
-  if (&dst == &v) throw std::invalid_argument("multiply_into: dst must not alias v");
+  if (v.size() != m.cols()) throw InvalidInputError("multiply_into: shape mismatch");
+  if (&dst == &v) throw InvalidInputError("multiply_into: dst must not alias v");
   dst.assign(m.rows(), 0.0);
   for (std::size_t r = 0; r < m.rows(); ++r)
     for (std::size_t c = 0; c < m.cols(); ++c) dst[r] += m(r, c) * v[c];
 }
 
+void multiply_into(std::vector<double>& dst, const std::vector<double>& v, const Matrix& m) {
+  if (v.size() != m.rows()) throw InvalidInputError("multiply_into: shape mismatch");
+  if (&dst == &v) throw InvalidInputError("multiply_into: dst must not alias v");
+  dst.assign(m.cols(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double a = v[r];
+    if (num::exactly_zero(a)) continue;
+    for (std::size_t c = 0; c < m.cols(); ++c) dst[c] += a * m(r, c);
+  }
+}
+
 double max_abs_diff(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows() || a.cols() != b.cols())
-    throw std::invalid_argument("max_abs_diff: shape mismatch");
+    throw InvalidInputError("max_abs_diff: shape mismatch");
   double m = 0.0;
   const std::vector<double>& da = a.data();
   const std::vector<double>& db = b.data();
@@ -125,18 +140,18 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
 }
 
 std::vector<double> operator*(const std::vector<double>& v, const Matrix& m) {
-  if (v.size() != m.rows()) throw std::invalid_argument("vec*Matrix: shape mismatch");
+  if (v.size() != m.rows()) throw InvalidInputError("vec*Matrix: shape mismatch");
   std::vector<double> out(m.cols(), 0.0);
   for (std::size_t r = 0; r < m.rows(); ++r) {
     const double a = v[r];
-    if (a == 0.0) continue;
+    if (num::exactly_zero(a)) continue;
     for (std::size_t c = 0; c < m.cols(); ++c) out[c] += a * m(r, c);
   }
   return out;
 }
 
 std::vector<double> operator*(const Matrix& m, const std::vector<double>& v) {
-  if (v.size() != m.cols()) throw std::invalid_argument("Matrix*vec: shape mismatch");
+  if (v.size() != m.cols()) throw InvalidInputError("Matrix*vec: shape mismatch");
   std::vector<double> out(m.rows(), 0.0);
   for (std::size_t r = 0; r < m.rows(); ++r)
     for (std::size_t c = 0; c < m.cols(); ++c) out[r] += m(r, c) * v[c];
@@ -144,7 +159,7 @@ std::vector<double> operator*(const Matrix& m, const std::vector<double>& v) {
 }
 
 double dot(const std::vector<double>& a, const std::vector<double>& b) {
-  assert(a.size() == b.size());
+  CSQ_ASSERT(a.size() == b.size());
   double s = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
   return s;

@@ -3,6 +3,8 @@
 // The matrices in this project are tiny (phase counts are single digits), so
 // a simple row-major std::vector<double> store with O(n^3) kernels is both
 // sufficient and easy to audit. No external linear-algebra dependency.
+//
+// Throws csq::InvalidInputError (core/status.h) on shape mismatches.
 #pragma once
 
 #include <cstddef>
@@ -76,6 +78,11 @@ void multiply_into(Matrix& dst, const Matrix& a, const Matrix& b);
 // dst = m * v (column-vector product) reusing dst's storage; dst must not
 // alias v.
 void multiply_into(std::vector<double>& dst, const Matrix& m, const std::vector<double>& v);
+
+// dst = v * m (row-vector product) reusing dst's storage; dst must not alias
+// v. Lets stationary-vector recursions (pi <- pi R) ping-pong two buffers
+// instead of allocating per level (csq_lint rule hot-path-alloc).
+void multiply_into(std::vector<double>& dst, const std::vector<double>& v, const Matrix& m);
 
 // max_ij |a_ij - b_ij| without forming a - b; shapes must match.
 [[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);

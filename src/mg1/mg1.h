@@ -2,6 +2,10 @@
 // Pollaczek-Khinchine, and the M/G/1 queue whose busy periods begin with a
 // setup time (Takagi 1991) — the model the paper uses for the long jobs'
 // response time under both cycle-stealing policies.
+//
+// Throws csq::InvalidInputError on malformed arguments and
+// csq::UnstableError when the offered load is outside the stability
+// region (core/status.h).
 #pragma once
 
 #include "dist/distribution.h"

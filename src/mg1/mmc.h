@@ -1,5 +1,9 @@
 // Erlang-C / M/M/c formulas — used to validate the CS-CQ analysis in the
 // limiting case lambda_L -> 0, where short jobs see an M/M/2 queue.
+//
+// Throws csq::InvalidInputError on malformed arguments and
+// csq::UnstableError when the offered load is outside the stability
+// region (core/status.h).
 #pragma once
 
 namespace csq::mg1 {

@@ -9,6 +9,8 @@
 #include "sim/rng.h"
 #include "sim/stats.h"
 
+#include "core/status.h"
+
 namespace csq::msim {
 
 namespace {
@@ -35,7 +37,7 @@ struct World {
   [[nodiscard]] bool idle(int s) const { return !servers[static_cast<std::size_t>(s)].busy; }
   void start(int s, const Job& job) {
     Server& sv = servers[static_cast<std::size_t>(s)];
-    if (sv.busy) throw std::logic_error("msim: server already busy");
+    if (sv.busy) throw InternalError("msim: server already busy");
     sv.busy = true;
     sv.job = job;
     sv.done = now + job.size;
@@ -183,9 +185,9 @@ MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
                            const sim::SimOptions& opts) {
   config.workload.validate();
   if (config.short_hosts < 1 || config.long_hosts < 1)
-    throw std::invalid_argument("simulate_multi: need >= 1 host per partition");
+    throw InvalidInputError("simulate_multi: need >= 1 host per partition");
   if (opts.total_completions < 100)
-    throw std::invalid_argument("simulate_multi: total_completions too small");
+    throw InvalidInputError("simulate_multi: total_completions too small");
 
   World w;
   w.k = config.short_hosts;
@@ -239,7 +241,7 @@ MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
         ev = 2 + s;
       }
     }
-    if (t == kInf) throw std::logic_error("simulate_multi: no events");
+    if (t == kInf) throw InternalError("simulate_multi: no events");
     const double dt = t - last_event;
     for (std::size_t s = 0; s < w.servers.size(); ++s)
       if (w.servers[s].busy) busy[s] += dt;
@@ -279,7 +281,7 @@ MultiReplicatedResult simulate_multi_replications(MultiPolicy policy,
                                                   const sim::SimOptions& opts,
                                                   const sim::ReplicationOptions& ropts) {
   if (ropts.replications < 1)
-    throw std::invalid_argument("simulate_multi_replications: need >= 1 replication");
+    throw InvalidInputError("simulate_multi_replications: need >= 1 replication");
   const std::size_t n = static_cast<std::size_t>(ropts.replications);
   MultiReplicatedResult out;
   out.replications = par::parallel_map(n, ropts.threads, [&](std::size_t r) {

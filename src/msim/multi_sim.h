@@ -11,7 +11,11 @@
 //   CS-CQ     — one central queue per class; a freed host takes a long if
 //               fewer than m hosts are serving longs, else a short (the
 //               renamable-hosts invariant, generalized).
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
+
+#include <vector>
 
 #include "core/config.h"
 #include "sim/simulator.h"

@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "core/status.h"
+
 namespace csq::par {
 
 namespace {
@@ -40,7 +42,7 @@ int resolve_threads(int threads) {
 }
 
 TaskPool::TaskPool(int threads) {
-  if (threads < 1) throw std::invalid_argument("TaskPool: need >= 1 thread");
+  if (threads < 1) throw InvalidInputError("TaskPool: need >= 1 thread");
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
     auto w = std::make_unique<Worker>();
@@ -216,7 +218,7 @@ void TaskPool::worker_loop(std::size_t self) {
 
 TaskPool& TaskPool::shared(int threads) {
   if (threads < 2)
-    throw std::invalid_argument("TaskPool::shared: needs >= 2 threads (run inline otherwise)");
+    throw InvalidInputError("TaskPool::shared: needs >= 2 threads (run inline otherwise)");
   static std::mutex m;
   static std::map<int, std::unique_ptr<TaskPool>> pools;
   std::lock_guard<std::mutex> lk(m);

@@ -19,11 +19,15 @@
 // Nested parallel_for calls from inside a worker are not supported (the
 // inner call would block a worker on work only workers can run); the
 // library's parallel entry points (core/sweep, sim, msim) are all top-level.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>

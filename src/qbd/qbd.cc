@@ -6,6 +6,10 @@
 
 #include "linalg/lu.h"
 
+#include "core/status.h"
+
+#include "core/numeric.h"
+
 namespace csq::qbd {
 
 namespace {
@@ -113,7 +117,7 @@ double spectral_radius_estimate(const Matrix& m, int max_iterations, double tole
     std::swap(v, mv);
     norm = 0.0;
     for (double x : v) norm = std::max(norm, std::abs(x));
-    if (norm == 0.0) return 0.0;  // nilpotent within n steps
+    if (num::exactly_zero(norm)) return 0.0;  // nilpotent within n steps
     for (double& x : v) x /= norm;
     if (std::abs(norm - prev) < tolerance * std::max(norm, 1.0)) break;
     prev = norm;
@@ -145,7 +149,11 @@ double Solution::level_probability(std::size_t n) const {
   const std::size_t k = boundary_pi.size();
   if (n < k) return linalg::sum(boundary_pi[n]);
   std::vector<double> v = pi_k;
-  for (std::size_t j = k; j < n; ++j) v = v * r;
+  std::vector<double> scratch;  // ping-pong buffer: no per-level allocation
+  for (std::size_t j = k; j < n; ++j) {
+    linalg::multiply_into(scratch, v, r);
+    std::swap(v, scratch);
+  }
   return linalg::sum(v);
 }
 
@@ -158,7 +166,11 @@ double Solution::level_tail(std::size_t n) const {
   if (n < k) return 1.0 - below;
   // P(level > n) = pi_K R^{n-K+1} (I-R)^{-1} 1.
   std::vector<double> v = pi_k;
-  for (std::size_t j = k; j <= n; ++j) v = v * r;
+  std::vector<double> scratch;  // ping-pong buffer: no per-level allocation
+  for (std::size_t j = k; j <= n; ++j) {
+    linalg::multiply_into(scratch, v, r);
+    std::swap(v, scratch);
+  }
   return linalg::sum(v * i_minus_r_inv);
 }
 
@@ -174,11 +186,19 @@ std::size_t Solution::level_quantile(double q) const {
     if (cdf >= q) return i;
   }
   std::vector<double> v = pi_k;
+  std::vector<double> scratch;  // ping-pong buffer: no per-level allocation
   for (std::size_t n = k;; ++n) {
     cdf += linalg::sum(v);
     if (cdf >= q) return n;
-    v = v * r;
-    if (n > k + 100000000) throw std::logic_error("level_quantile: runaway");
+    linalg::multiply_into(scratch, v, r);
+    std::swap(v, scratch);
+    if (n > k + 100000000) {
+      Diagnostics d;
+      d.iterations = static_cast<long>(n - k);
+      d.notes.push_back("cdf reached " + fmt(cdf) + " chasing quantile " + fmt(q));
+      throw NotConvergedError("level_quantile: runaway (sp(R) too close to 1?)",
+                              std::move(d));
+    }
   }
 }
 

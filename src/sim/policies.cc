@@ -11,6 +11,8 @@
 
 #include "sim/simulator.h"
 
+#include "core/status.h"
+
 namespace csq::sim {
 
 namespace {
@@ -191,7 +193,7 @@ class LwrPolicy final : public Policy {
 class TagsPolicy final : public Policy {
  public:
   explicit TagsPolicy(double cutoff) : cutoff_(cutoff) {
-    if (cutoff <= 0.0) throw std::invalid_argument("TAGS: cutoff must be positive");
+    if (cutoff <= 0.0) throw InvalidInputError("TAGS: cutoff must be positive");
   }
 
   void on_arrival(Engine& eng, const Job& job) override {
@@ -313,7 +315,7 @@ std::unique_ptr<Policy> make_policy(PolicyKind kind, const SimOptions& opts) {
     case PolicyKind::kTags: return std::make_unique<TagsPolicy>(opts.tags_cutoff);
     case PolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
   }
-  throw std::invalid_argument("make_policy: unknown kind");
+  throw InvalidInputError("make_policy: unknown kind");
 }
 
 }  // namespace csq::sim

@@ -7,6 +7,8 @@
 #include "parallel/task_pool.h"
 #include "sim/rng.h"
 
+#include "core/status.h"
+
 namespace csq::sim {
 
 namespace {
@@ -36,16 +38,16 @@ Engine::Engine(const SystemConfig& config, const SimOptions& opts)
       resp_long_(opts.batches) {
   config_.validate();
   if (opts_.total_completions < 100)
-    throw std::invalid_argument("SimOptions: total_completions too small");
+    throw InvalidInputError("SimOptions: total_completions too small");
   if (opts_.server_speeds[0] <= 0.0 || opts_.server_speeds[1] <= 0.0)
-    throw std::invalid_argument("SimOptions: server speeds must be positive");
+    throw InvalidInputError("SimOptions: server speeds must be positive");
   warmup_completions_ =
       static_cast<std::size_t>(opts_.warmup_fraction * static_cast<double>(opts_.total_completions));
 }
 
 void Engine::start(int server, const Job& job, double work) {
   Server& s = servers_[static_cast<std::size_t>(server)];
-  if (s.busy) throw std::logic_error("Engine::start: server already busy");
+  if (s.busy) throw InternalError("Engine::start: server already busy");
   s.busy = true;
   s.job = job;
   const double amount = work < 0.0 ? job.size : work;
@@ -93,7 +95,7 @@ SimResult Engine::run(Policy& policy) {
         ev = 2 + s;
       }
     }
-    if (t == kInf) throw std::logic_error("Engine::run: no events (both arrival rates zero?)");
+    if (t == kInf) throw InternalError("Engine::run: no events (both arrival rates zero?)");
 
     // Accumulate busy/idle time over (last_event_time_, t].
     const double dt = t - last_event_time_;
@@ -159,7 +161,7 @@ ReplicatedResult simulate_replications(PolicyKind kind, const SystemConfig& conf
                                        const SimOptions& opts,
                                        const ReplicationOptions& ropts) {
   if (ropts.replications < 1)
-    throw std::invalid_argument("simulate_replications: need >= 1 replication");
+    throw InvalidInputError("simulate_replications: need >= 1 replication");
   const std::size_t n = static_cast<std::size_t>(ropts.replications);
   ReplicatedResult out;
   // Replication r's stream depends only on (opts.seed, r) — which worker

@@ -5,9 +5,12 @@
 // server runs. This is the validation harness of Section 4 of the paper
 // (their C simulator) and the only way to evaluate non-analyzed policies
 // such as M/G/2/SJF (Section 6).
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>

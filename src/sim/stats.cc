@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/status.h"
+
 namespace csq::sim {
 
 void Welford::add(double x) {
@@ -17,7 +19,7 @@ double Welford::variance() const {
 }
 
 BatchMeans::BatchMeans(int batches) : batches_(batches) {
-  if (batches < 2) throw std::invalid_argument("BatchMeans: need >= 2 batches");
+  if (batches < 2) throw InvalidInputError("BatchMeans: need >= 2 batches");
 }
 
 double BatchMeans::mean() const {

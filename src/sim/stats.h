@@ -1,5 +1,7 @@
 // Streaming statistics for simulation output: Welford accumulators and
 // batch-means confidence intervals.
+//
+// Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
 #include <cstddef>

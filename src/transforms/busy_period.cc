@@ -3,15 +3,25 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/status.h"
+
 namespace csq::transforms {
 
 using jets::Jet;
 
 namespace {
 void require_stable(const dist::Moments& job, double lambda) {
-  if (lambda < 0.0) throw std::invalid_argument("busy period: lambda < 0");
-  if (lambda * job.m1 >= 1.0)
-    throw std::domain_error("busy period: rho >= 1, busy period has no finite moments");
+  if (lambda < 0.0) {
+    Diagnostics d;
+    d.notes.push_back("lambda = " + std::to_string(lambda));
+    throw InvalidInputError("busy period: lambda < 0", std::move(d));
+  }
+  if (lambda * job.m1 >= 1.0) {
+    Diagnostics d;
+    d.rho_long = lambda * job.m1;
+    throw UnstableError("busy period: rho >= 1, busy period has no finite moments",
+                        std::move(d));
+  }
 }
 }  // namespace
 
@@ -38,7 +48,7 @@ dist::Moments delay_cycle(const Jet& initial_work, const dist::Moments& job,
 }
 
 jets::Jet batch_initial_work_lst(const dist::Moments& job, double lambda, double delta) {
-  if (delta <= 0.0) throw std::invalid_argument("batch_initial_work_lst: delta <= 0");
+  if (delta <= 0.0) throw InvalidInputError("batch_initial_work_lst: delta <= 0");
   const Jet x = jets::lst_from_moments(job.m1, job.m2, job.m3);
   // G(z) = E[z^N] = delta / (delta + lambda (1 - z)); W~ = X~ * G(X~).
   // G's derivatives at z0 = X~(0) = 1: G(1)=1, G^(k)(1) = k! (lambda/delta)^k.
@@ -54,7 +64,7 @@ dist::Moments batch_busy_period(const dist::Moments& job, double lambda, double 
 dist::Moments batch_busy_period_window(const dist::Moments& job, double lambda,
                                        const dist::Moments& window) {
   if (window.m1 <= 0.0)
-    throw std::invalid_argument("batch_busy_period_window: window mean <= 0");
+    throw InvalidInputError("batch_busy_period_window: window mean <= 0");
   const Jet x = jets::lst_from_moments(job.m1, job.m2, job.m3);
   // G(z) = E[z^N] = Theta~(lambda (1 - z)); derivatives at z = 1:
   // G^(k)(1) = lambda^k E[Theta^k].

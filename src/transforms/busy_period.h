@@ -14,6 +14,10 @@
 // are extracted by jet (truncated Taylor) arithmetic on the LST composition
 //   B~(s) = W~(s + lambda (1 - B~_L(s))),
 //   W~(s) = X~(s) * delta / (delta + lambda (1 - X~(s))).
+//
+// Throws csq::InvalidInputError on malformed arguments and
+// csq::UnstableError when the offered load is outside the stability
+// region (core/status.h).
 #pragma once
 
 #include "dist/distribution.h"

@@ -1,0 +1,7 @@
+// Fixture: seeds two banned-identifier violations (lines 5 and 6).
+#include <cassert>
+
+void check(int n) {
+  assert(n > 0);
+  srand(42);
+}

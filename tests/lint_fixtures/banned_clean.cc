@@ -1,0 +1,6 @@
+// Fixture: clean twin of banned_bad.cc.
+#include "core/check.h"
+
+void check(int n) {
+  CSQ_ASSERT(n > 0);
+}

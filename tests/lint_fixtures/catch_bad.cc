@@ -1,0 +1,11 @@
+// Fixture: seeds one catch-all-swallow violation (line 7).
+void run();
+
+int wrapper() {
+  try {
+    run();
+  } catch (...) {
+    return -1;
+  }
+  return 0;
+}

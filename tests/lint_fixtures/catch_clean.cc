@@ -1,0 +1,11 @@
+// Fixture: clean twin of catch_bad.cc — the catch-all rethrows.
+void run();
+
+int wrapper() {
+  try {
+    run();
+  } catch (...) {
+    throw;
+  }
+  return 0;
+}

@@ -1,0 +1,5 @@
+// Fixture: seeds one error-docs violation — the .cc twin throws
+// csq InvalidInput but this header never mentions the class name.
+#pragma once
+
+double safe_sqrt(double x);

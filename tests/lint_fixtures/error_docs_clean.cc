@@ -1,0 +1,7 @@
+// Fixture: implementation twin of error_docs_clean.h.
+#include "core/status.h"
+
+double safe_sqrt(double x) {
+  if (x < 0) throw csq::InvalidInputError("negative");
+  return x;
+}

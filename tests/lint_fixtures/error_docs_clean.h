@@ -1,0 +1,6 @@
+// Fixture: clean twin of error_docs_bad.h.
+//
+// Throws csq::InvalidInputError (core/status.h) on negative input.
+#pragma once
+
+double safe_sqrt(double x);

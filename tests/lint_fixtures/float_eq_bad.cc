@@ -1,0 +1,8 @@
+// Fixture: seeds two no-float-eq violations (lines 3 and 7).
+bool near_one(double x) {
+  return x == 1.0;
+}
+
+bool not_zero(double x) {
+  return 0.0 != x;
+}

@@ -1,0 +1,6 @@
+// Fixture: clean twin of float_eq_bad.cc — helper calls and integer ==.
+#include "core/numeric.h"
+
+bool near_one(double x) { return csq::num::approx_eq(x, 1.0); }
+bool is_zero(double x) { return csq::num::approx_zero(x); }
+bool int_eq(int a, int b) { return a == b; }

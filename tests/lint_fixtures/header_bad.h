@@ -1,0 +1,10 @@
+// Fixture: seeds header-hygiene violations — no #pragma once (line 1),
+// `using namespace` (line 5), std::vector without <vector> (line 8).
+#include <string>
+
+using namespace std;
+
+struct Widget {
+  std::vector<int> items;
+  string name;
+};

@@ -1,0 +1,10 @@
+// Fixture: clean twin of header_bad.h.
+#pragma once
+
+#include <string>
+#include <vector>
+
+struct Widget {
+  std::vector<int> items;
+  std::string name;
+};

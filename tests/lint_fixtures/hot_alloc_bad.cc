@@ -1,0 +1,7 @@
+// Fixture: seeds one hot-path-alloc violation (line 6) when the lint Config
+// lists this file as hot.
+#include <vector>
+
+void power(std::vector<double>& v, const Matrix& r, int n) {
+  for (int i = 0; i < n; ++i) v = v * r;
+}

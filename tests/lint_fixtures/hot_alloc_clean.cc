@@ -1,0 +1,10 @@
+// Fixture: clean twin of hot_alloc_bad.cc — ping-pong via the *_into kernel.
+#include <utility>
+#include <vector>
+
+void power(std::vector<double>& v, std::vector<double>& scratch, const Matrix& r, int n) {
+  for (int i = 0; i < n; ++i) {
+    multiply_into(scratch, v, r);
+    std::swap(v, scratch);
+  }
+}

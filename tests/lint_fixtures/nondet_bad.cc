@@ -1,0 +1,11 @@
+// Fixture: seeds nondeterminism violations (lines 7, 8, 10) when linted
+// with a repo-relative path under src/sim/.
+#include <chrono>
+#include <random>
+
+unsigned seed_from_clock() {
+  std::random_device rd;
+  const auto t = std::chrono::steady_clock::now();
+  (void)t;
+  return rd() + static_cast<unsigned>(time(nullptr));
+}

@@ -1,0 +1,5 @@
+// Fixture: clean twin of nondet_bad.cc — seeded LCG step, no wall clock.
+unsigned draw(unsigned state) {
+  state = state * 1664525u + 1013904223u;
+  return state;
+}

@@ -1,0 +1,6 @@
+// Fixture: seeds one raw-throw violation (line 5).
+#include <stdexcept>
+
+void f(int x) {
+  if (x < 0) throw std::invalid_argument("negative");
+}

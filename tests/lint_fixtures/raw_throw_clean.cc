@@ -1,0 +1,14 @@
+// Fixture: clean twin of raw_throw_bad.cc — taxonomy type and bare rethrow.
+#include "core/status.h"
+
+void f(int x) {
+  if (x < 0) throw csq::InvalidInputError("negative");
+}
+
+void g() {
+  try {
+    f(-1);
+  } catch (const csq::Error&) {
+    throw;
+  }
+}

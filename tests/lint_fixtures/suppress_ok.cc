@@ -1,0 +1,5 @@
+// Fixture: a well-formed suppression covering the next line — no findings.
+bool near_one(double x) {
+  // csq-lint: allow(no-float-eq): fixture exercises suppression coverage
+  return x == 1.0;
+}

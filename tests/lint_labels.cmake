@@ -1,0 +1,6 @@
+# Included by CTest after gtest discovery has registered the lint suite.
+# Same multi-label workaround as parallel_labels.cmake: the lint tests are
+# fast enough to ride in the tier1 partition as well as `ctest -L lint`.
+foreach(t IN LISTS csq_lint_tests_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "tier1;lint")
+endforeach()

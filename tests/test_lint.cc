@@ -1,0 +1,199 @@
+// Drives the csq_lint pass (tools/lint/) as a library: every rule is proven
+// by a seeded-violation fixture in tests/lint_fixtures/ with exact rule-id
+// and line assertions, and each has a clean twin that must produce nothing.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint.h"
+
+namespace {
+
+using csq::lint::Config;
+using csq::lint::Finding;
+using csq::lint::SourceFile;
+using csq::lint::TokKind;
+
+// CSQ_LINT_FIXTURE_DIR is injected by tests/CMakeLists.txt.
+SourceFile fixture(const std::string& name, const std::string& rel) {
+  const std::string path = std::string(CSQ_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return csq::lint::scan_source(name, rel, ss.str());
+}
+
+std::vector<Finding> lint_one(const std::string& name, const std::string& rel,
+                              const Config& cfg = {}) {
+  std::vector<SourceFile> files = {fixture(name, rel)};
+  return csq::lint::run_rules(files, cfg);
+}
+
+// --- Tokenizer -------------------------------------------------------------
+
+TEST(LintScanner, SkipsCommentsStringsAndDirectives) {
+  const SourceFile f = csq::lint::scan_source(
+      "<mem>", "<mem>",
+      "#include <vector>\n"
+      "int x = 1;  // trailing == comment\n"
+      "/* block == */ const char* s = \"a == b\";\n");
+  for (const csq::lint::Token& t : f.tokens)
+    EXPECT_NE(t.text, "==") << "matched inside comment or string";
+  ASSERT_EQ(f.directives.size(), 1u);
+  EXPECT_EQ(f.directives[0].text, "#include <vector>");
+  ASSERT_EQ(f.comments.size(), 2u);
+  EXPECT_FALSE(f.comments[0].own_line);  // trails `int x = 1;`
+  EXPECT_EQ(f.comments[1].line, 3);
+  // The string literal is one token, contents untouched.
+  bool saw_string = false;
+  for (const csq::lint::Token& t : f.tokens)
+    if (t.kind == TokKind::kString) {
+      saw_string = true;
+      EXPECT_EQ(t.text, "\"a == b\"");
+    }
+  EXPECT_TRUE(saw_string);
+}
+
+TEST(LintScanner, TracksLinesAndMultiCharPunct) {
+  const SourceFile f =
+      csq::lint::scan_source("<mem>", "<mem>", "a\n<=\n...\ncatch(...)\n");
+  ASSERT_GE(f.tokens.size(), 4u);
+  EXPECT_EQ(f.tokens[0].line, 1);
+  EXPECT_EQ(f.tokens[1].text, "<=");
+  EXPECT_EQ(f.tokens[1].line, 2);
+  EXPECT_EQ(f.tokens[2].text, "...");
+  EXPECT_EQ(f.tokens[3].text, "catch");
+  EXPECT_EQ(f.tokens[3].line, 4);
+}
+
+TEST(LintFormat, FileLineRuleMessage) {
+  EXPECT_EQ(csq::lint::format_finding({"a/b.cc", 7, "raw-throw", "boom"}),
+            "a/b.cc:7: [raw-throw] boom");
+}
+
+// --- Rules, one seeded fixture + clean twin each ---------------------------
+
+TEST(LintRules, RawThrow) {
+  const std::vector<Finding> fs = lint_one("raw_throw_bad.cc", "src/x/raw_throw_bad.cc");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "raw-throw");
+  EXPECT_EQ(fs[0].line, 5);
+  EXPECT_TRUE(lint_one("raw_throw_clean.cc", "src/x/raw_throw_clean.cc").empty());
+}
+
+TEST(LintRules, RawThrowSkipsTests) {
+  EXPECT_TRUE(lint_one("raw_throw_bad.cc", "tests/raw_throw_bad.cc").empty());
+}
+
+TEST(LintRules, NoFloatEq) {
+  const std::vector<Finding> fs = lint_one("float_eq_bad.cc", "src/x/float_eq_bad.cc");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "no-float-eq");
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_EQ(fs[1].rule, "no-float-eq");
+  EXPECT_EQ(fs[1].line, 7);
+  EXPECT_TRUE(lint_one("float_eq_clean.cc", "src/x/float_eq_clean.cc").empty());
+}
+
+TEST(LintRules, Nondeterminism) {
+  const std::vector<Finding> fs = lint_one("nondet_bad.cc", "src/sim/nondet_bad.cc");
+  ASSERT_EQ(fs.size(), 3u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "nondeterminism");
+  EXPECT_EQ(fs[0].line, 7);   // std::random_device
+  EXPECT_EQ(fs[1].line, 8);   // steady_clock::now()
+  EXPECT_EQ(fs[2].line, 10);  // time(nullptr)
+  EXPECT_TRUE(lint_one("nondet_clean.cc", "src/sim/nondet_clean.cc").empty());
+  // The same file outside a deterministic dir is not the rule's business.
+  EXPECT_TRUE(lint_one("nondet_bad.cc", "src/analysis/nondet_bad.cc").empty());
+}
+
+TEST(LintRules, HotPathAlloc) {
+  Config cfg;
+  cfg.hot_files = {"hot_alloc_bad.cc", "hot_alloc_clean.cc"};
+  const std::vector<Finding> fs = lint_one("hot_alloc_bad.cc", "src/qbd/hot_alloc_bad.cc", cfg);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hot-path-alloc");
+  EXPECT_EQ(fs[0].line, 6);
+  EXPECT_TRUE(lint_one("hot_alloc_clean.cc", "src/qbd/hot_alloc_clean.cc", cfg).empty());
+  // Not listed as hot -> no findings even with the allocating loop.
+  EXPECT_TRUE(lint_one("hot_alloc_bad.cc", "src/other/hot_alloc_bad.cc").empty());
+}
+
+TEST(LintRules, HeaderHygiene) {
+  const std::vector<Finding> fs = lint_one("header_bad.h", "src/x/header_bad.h");
+  ASSERT_EQ(fs.size(), 3u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "header-hygiene");
+  EXPECT_EQ(fs[0].line, 1);  // missing #pragma once
+  EXPECT_EQ(fs[1].line, 5);  // using namespace
+  EXPECT_EQ(fs[2].line, 8);  // std::vector without <vector>
+  EXPECT_TRUE(lint_one("header_clean.h", "src/x/header_clean.h").empty());
+}
+
+TEST(LintRules, ErrorDocs) {
+  std::vector<SourceFile> bad = {fixture("error_docs_bad.h", "src/fix/error_docs_bad.h"),
+                                 fixture("error_docs_bad.cc", "src/fix/error_docs_bad.cc")};
+  const std::vector<Finding> fs = csq::lint::run_rules(bad);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "error-docs");
+  EXPECT_EQ(fs[0].file, "error_docs_bad.h");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_NE(fs[0].message.find("InvalidInputError"), std::string::npos);
+
+  std::vector<SourceFile> clean = {
+      fixture("error_docs_clean.h", "src/fix/error_docs_clean.h"),
+      fixture("error_docs_clean.cc", "src/fix/error_docs_clean.cc")};
+  EXPECT_TRUE(csq::lint::run_rules(clean).empty());
+}
+
+TEST(LintRules, CatchAllSwallow) {
+  const std::vector<Finding> fs = lint_one("catch_bad.cc", "src/x/catch_bad.cc");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "catch-all-swallow");
+  EXPECT_EQ(fs[0].line, 7);
+  EXPECT_TRUE(lint_one("catch_clean.cc", "src/x/catch_clean.cc").empty());
+}
+
+TEST(LintRules, BannedIdentifier) {
+  const std::vector<Finding> fs = lint_one("banned_bad.cc", "src/x/banned_bad.cc");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "banned-identifier");
+  EXPECT_EQ(fs[0].line, 5);  // assert(
+  EXPECT_EQ(fs[1].line, 6);  // srand(
+  EXPECT_NE(fs[0].message.find("CSQ_ASSERT"), std::string::npos);
+  EXPECT_TRUE(lint_one("banned_clean.cc", "src/x/banned_clean.cc").empty());
+}
+
+// --- Suppressions ----------------------------------------------------------
+
+TEST(LintSuppress, AllowWithReasonCoversNextLine) {
+  EXPECT_TRUE(lint_one("suppress_ok.cc", "src/x/suppress_ok.cc").empty());
+}
+
+TEST(LintSuppress, ReasonlessMarkerIsItselfAFinding) {
+  const std::vector<Finding> fs = lint_one("suppress_bad.cc", "src/x/suppress_bad.cc");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "suppression");
+  EXPECT_EQ(fs[0].line, 4);
+  EXPECT_EQ(fs[1].rule, "no-float-eq");  // the violation still fires
+  EXPECT_EQ(fs[1].line, 5);
+}
+
+TEST(LintSuppress, SelftestPasses) {
+  bool ok = false;
+  const std::string report = csq::lint::suppression_selftest(&ok);
+  EXPECT_TRUE(ok) << report;
+  EXPECT_EQ(report.find("FAIL"), std::string::npos) << report;
+}
+
+TEST(LintRegistry, CatalogIsStable) {
+  const std::vector<csq::lint::RuleInfo>& rs = csq::lint::rules();
+  ASSERT_EQ(rs.size(), 9u);
+  EXPECT_STREQ(rs[0].id, "raw-throw");
+  EXPECT_STREQ(rs[8].id, "suppression");
+}
+
+}  // namespace

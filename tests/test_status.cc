@@ -10,6 +10,7 @@
 #include <string>
 
 #include "analysis/cscq.h"
+#include "core/check.h"
 #include "analysis/stability.h"
 #include "core/solver.h"
 #include "core/status.h"
@@ -43,6 +44,13 @@ TEST(Status, ErrorCodeNamesAreStable) {
   EXPECT_STREQ(error_code_name(ErrorCode::kNotConverged), "NotConverged");
   EXPECT_STREQ(error_code_name(ErrorCode::kIllConditioned), "IllConditioned");
   EXPECT_STREQ(error_code_name(ErrorCode::kVerificationFailed), "VerificationFailed");
+  EXPECT_STREQ(error_code_name(ErrorCode::kInternal), "Internal");
+}
+
+TEST(Status, ErrorClassNames) {
+  EXPECT_STREQ(error_class_name(ErrorCode::kInvalidInput), "InvalidInputError");
+  EXPECT_STREQ(error_class_name(ErrorCode::kUnstable), "UnstableError");
+  EXPECT_STREQ(error_class_name(ErrorCode::kInternal), "InternalError");
 }
 
 TEST(Status, StructuredErrorsRemainStdExceptions) {
@@ -53,6 +61,7 @@ TEST(Status, StructuredErrorsRemainStdExceptions) {
   EXPECT_THROW(throw NotConvergedError("x"), std::domain_error);
   EXPECT_THROW(throw IllConditionedError("x"), std::domain_error);
   EXPECT_THROW(throw VerificationFailedError("x"), std::runtime_error);
+  EXPECT_THROW(throw InternalError("x"), std::logic_error);
   try {
     throw UnstableError("load too high", Diagnostics::loads(1.7, 0.5));
   } catch (const Error& e) {
@@ -72,6 +81,29 @@ TEST(Status, StatusFromExceptionClassifies) {
             ErrorCode::kInvalidInput);
   EXPECT_EQ(status_from_exception(std::domain_error("x")).code, ErrorCode::kUnstable);
   EXPECT_EQ(status_from_exception(std::runtime_error("x")).code, ErrorCode::kInternal);
+  EXPECT_EQ(status_from_exception(InternalError("x")).code, ErrorCode::kInternal);
+}
+
+TEST(Status, ThrowErrorMapsInternal) {
+  // kInternal (and kOk, defensively) route to InternalError, keeping every
+  // throw_error() call inside the taxonomy (csq_lint rule raw-throw).
+  EXPECT_THROW(throw_error(ErrorCode::kInternal, "boom"), InternalError);
+  try {
+    throw_error(ErrorCode::kInternal, "boom");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInternal);
+  }
+}
+
+TEST(Status, CsqAssertThrowsInternalError) {
+  CSQ_ASSERT(1 + 1 == 2);  // passing asserts are silent
+  try {
+    CSQ_ASSERT(2 + 2 == 5);
+    FAIL() << "CSQ_ASSERT did not throw";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("CSQ_ASSERT(2 + 2 == 5)"), std::string::npos);
+    EXPECT_EQ(e.code(), ErrorCode::kInternal);
+  }
 }
 
 TEST(Status, JsonCarriesCodeAndDiagnostics) {

@@ -1,30 +1,80 @@
 #!/usr/bin/env sh
-# Strict-build gate (CI; also handy locally before a PR):
-#   1. Build the whole tree -Wall -Wextra -Werror in a scratch dir so
-#      warning regressions fail fast (covers src/parallel and the new
-#      test/bench binaries).
-#   2. Build the ThreadSanitizer configuration (-DCSQ_TSAN=ON) and run the
-#      concurrency suite (`ctest -L parallel`) under it: the work-stealing
-#      pool's race gate. Skip with CSQ_SKIP_TSAN=1 for a warnings-only pass.
+# Staged strict-build matrix (CI; also handy locally before a PR). Stages
+# run in order and the script exits nonzero at the first failing stage
+# (fail-fast), printing a per-stage summary either way:
 #
-# usage: tools/check_warnings.sh [build-dir] [tsan-build-dir]
-#        (defaults: build-werror, build-tsan)
-set -eu
+#   werror      whole tree under -Wall -Wextra -Werror
+#   asan-ubsan  ASan+UBSan build, tier1 suite under it   (CSQ_SKIP_ASAN=1)
+#   tsan        TSan build, `ctest -L parallel` under it (CSQ_SKIP_TSAN=1)
+#   clang-tidy  src/ against .clang-tidy, if clang-tidy is installed
+#   csq-lint    project invariants: csq_lint --selftest + repo scan
+#
+# usage: tools/check_warnings.sh [build-dir] [tsan-build-dir] [asan-build-dir]
+#        (defaults: build-werror, build-tsan, build-asan)
+set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build-werror"}
 tsan_dir=${2:-"$repo_root/build-tsan"}
+asan_dir=${3:-"$repo_root/build-asan"}
 
-cmake -B "$build_dir" -S "$repo_root" -DCSQ_WERROR=ON >/dev/null
-cmake --build "$build_dir" -j
-echo "check_warnings: OK (no warnings under -Wall -Wextra -Werror)"
+summary=""
+note() {
+  summary="${summary}check_warnings: $1
+"
+  printf 'check_warnings: %s\n' "$1"
+}
+finish() {
+  printf '\n===== check_warnings summary =====\n%s' "$summary"
+}
+fail() {
+  note "FAIL  $1"
+  finish
+  exit 1
+}
 
-if [ "${CSQ_SKIP_TSAN:-0}" = "1" ]; then
-  echo "check_warnings: skipping ThreadSanitizer gate (CSQ_SKIP_TSAN=1)"
-  exit 0
+# --- stage 1: -Werror -------------------------------------------------------
+cmake -B "$build_dir" -S "$repo_root" -DCSQ_WERROR=ON >/dev/null || fail "werror (configure)"
+cmake --build "$build_dir" -j || fail "werror (build)"
+note "PASS  werror      (no warnings under -Wall -Wextra -Werror)"
+
+# --- stage 2: ASan + UBSan --------------------------------------------------
+if [ "${CSQ_SKIP_ASAN:-0}" = "1" ]; then
+  note "SKIP  asan-ubsan  (CSQ_SKIP_ASAN=1)"
+else
+  cmake -B "$asan_dir" -S "$repo_root" -DCSQ_SANITIZE=ON -DCSQ_WERROR=ON >/dev/null \
+    || fail "asan-ubsan (configure)"
+  cmake --build "$asan_dir" -j || fail "asan-ubsan (build)"
+  (cd "$asan_dir" && ctest -L tier1 --output-on-failure) || fail "asan-ubsan (tier1 suite)"
+  note "PASS  asan-ubsan  (tier1 suite clean under ASan+UBSan)"
 fi
 
-cmake -B "$tsan_dir" -S "$repo_root" -DCSQ_TSAN=ON -DCSQ_WERROR=ON >/dev/null
-cmake --build "$tsan_dir" -j --target csq_parallel_tests
-(cd "$tsan_dir" && ctest -L parallel --output-on-failure)
-echo "check_warnings: OK (parallel suite clean under ThreadSanitizer)"
+# --- stage 3: TSan ----------------------------------------------------------
+if [ "${CSQ_SKIP_TSAN:-0}" = "1" ]; then
+  note "SKIP  tsan        (CSQ_SKIP_TSAN=1)"
+else
+  cmake -B "$tsan_dir" -S "$repo_root" -DCSQ_TSAN=ON -DCSQ_WERROR=ON >/dev/null \
+    || fail "tsan (configure)"
+  cmake --build "$tsan_dir" -j --target csq_parallel_tests || fail "tsan (build)"
+  (cd "$tsan_dir" && ctest -L parallel --output-on-failure) || fail "tsan (parallel suite)"
+  note "PASS  tsan        (parallel suite clean under ThreadSanitizer)"
+fi
+
+# --- stage 4: clang-tidy (optional tool) ------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  # compile_commands.json is exported by the werror configure above.
+  find "$repo_root/src" -name '*.cc' -print0 \
+    | xargs -0 clang-tidy -p "$build_dir" --quiet --warnings-as-errors='*' \
+    || fail "clang-tidy"
+  note "PASS  clang-tidy  (src/ clean against .clang-tidy)"
+else
+  note "SKIP  clang-tidy  (not installed)"
+fi
+
+# --- stage 5: csq_lint ------------------------------------------------------
+cmake --build "$build_dir" -j --target csq_lint || fail "csq-lint (build)"
+"$build_dir/tools/csq_lint" --selftest >/dev/null || fail "csq-lint (selftest)"
+"$build_dir/tools/csq_lint" --root "$repo_root" || fail "csq-lint (repo scan)"
+note "PASS  csq-lint    (project invariants hold repo-wide)"
+
+finish

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "csq.h"
+#include "lint.h"
 
 namespace {
 
@@ -56,7 +57,7 @@ Args parse(int argc, char** argv) {
   a.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) throw std::invalid_argument("expected --flag, got " + key);
+    if (key.rfind("--", 0) != 0) throw InvalidInputError("expected --flag, got " + key);
     key = key.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       a.flags[key] = argv[++i];
@@ -254,6 +255,13 @@ int main(int argc, char** argv) {
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "sweep") return cmd_sweep(a);
     if (a.command == "stability") return cmd_stability(a);
+    // Hidden maintenance flag: proves the csq_lint suppression parser on the
+    // installed binary (the CI matrix runs it before trusting lint output).
+    if (a.command == "--lint-selftest") {
+      bool ok = false;
+      std::cout << lint::suppression_selftest(&ok);
+      return ok ? 0 : exit_code(ErrorCode::kVerificationFailed);
+    }
     usage();
     return a.command.empty() ? 1 : 2;
   } catch (const Error& e) {

@@ -1,0 +1,648 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace csq::lint {
+
+namespace {
+
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+}
+
+[[nodiscard]] bool ends_with(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(s.size() - p.size(), p.size(), p) == 0;
+}
+
+[[nodiscard]] std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+[[nodiscard]] bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+// Multi-character punctuators, longest first so "..." beats "..".
+const char* const kPunct3[] = {"...", "<<=", ">>=", "->*"};
+const char* const kPunct2[] = {"::", "->", "++", "--", "<<", ">>", "<=", ">=", "==",
+                               "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+                               "|=", "^="};
+
+}  // namespace
+
+SourceFile scan_source(std::string path, std::string rel, std::string content) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.rel = std::move(rel);
+  f.content = std::move(content);
+  f.is_header = ends_with(f.rel, ".h") || ends_with(f.rel, ".hpp");
+
+  const std::string& s = f.content;
+  const std::size_t n = s.size();
+  std::size_t i = 0;
+  int line = 1;
+  int last_code_line = 0;   // line of the most recent token or directive
+  bool at_line_start = true;  // only whitespace seen so far on this line
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i)
+      if (s[i] == '\n') line++;
+  };
+
+  while (i < n) {
+    const char c = s[i];
+    if (c == '\n') {
+      at_line_start = true;
+      advance(1);
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      advance(1);
+      continue;
+    }
+
+    // Preprocessor directive (only at the start of a line).
+    if (c == '#' && at_line_start) {
+      Directive d;
+      d.line = line;
+      std::size_t j = i;
+      while (j < n && (s[j] != '\n' || (j > 0 && s[j - 1] == '\\'))) ++j;
+      d.text = s.substr(i, j - i);
+      // Strip a trailing // comment so "#include <x>  // y" stays matchable.
+      const std::size_t cpos = d.text.find("//");
+      if (cpos != std::string::npos) d.text = d.text.substr(0, cpos);
+      d.text = trim(d.text);
+      f.directives.push_back(std::move(d));
+      last_code_line = line;
+      at_line_start = false;
+      advance(j - i);
+      continue;
+    }
+    at_line_start = false;
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '/') {
+      Comment cm;
+      cm.line = line;
+      cm.own_line = last_code_line != line;
+      std::size_t j = i + 2;
+      while (j < n && s[j] != '\n') ++j;
+      cm.text = trim(s.substr(i + 2, j - i - 2));
+      f.comments.push_back(std::move(cm));
+      advance(j - i);
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && s[i + 1] == '*') {
+      Comment cm;
+      cm.line = line;
+      cm.own_line = last_code_line != line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(s[j] == '*' && s[j + 1] == '/')) ++j;
+      cm.text = trim(s.substr(i + 2, j - i - 2));
+      f.comments.push_back(std::move(cm));
+      advance(std::min(n, j + 2) - i);
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && s[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && s[j] != '(') delim += s[j++];
+      const std::string closer = ")" + delim + "\"";
+      const std::size_t end = s.find(closer, j);
+      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+      f.tokens.push_back({TokKind::kString, s.substr(i, stop - i), line});
+      last_code_line = line;
+      advance(stop - i);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && s[j] != quote) {
+        if (s[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      f.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                          s.substr(i, std::min(n, j + 1) - i), line});
+      last_code_line = line;
+      advance(std::min(n, j + 1) - i);
+      continue;
+    }
+
+    // Identifier / keyword.
+    if (is_ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && is_ident_char(s[j])) ++j;
+      f.tokens.push_back({TokKind::kIdent, s.substr(i, j - i), line});
+      last_code_line = line;
+      advance(j - i);
+      continue;
+    }
+
+    // Number (pp-number approximation: 1.5e-3, 0x1F, 1'000, .5).
+    const bool dot_number =
+        c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(s[i + 1])) != 0;
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 || dot_number) {
+      std::size_t j = i + 1;
+      while (j < n) {
+        const char d = s[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (s[j - 1] == 'e' || s[j - 1] == 'E' || s[j - 1] == 'p' ||
+                    s[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      f.tokens.push_back({TokKind::kNumber, s.substr(i, j - i), line});
+      last_code_line = line;
+      advance(j - i);
+      continue;
+    }
+
+    // Punctuation, longest match first.
+    std::string p(1, c);
+    for (const char* q : kPunct3)
+      if (s.compare(i, 3, q) == 0) {
+        p = q;
+        break;
+      }
+    if (p.size() == 1)
+      for (const char* q : kPunct2)
+        if (s.compare(i, 2, q) == 0) {
+          p = q;
+          break;
+        }
+    f.tokens.push_back({TokKind::kPunct, p, line});
+    last_code_line = line;
+    advance(p.size());
+  }
+  return f;
+}
+
+std::string format_finding(const Finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message;
+}
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"raw-throw", "only core/status.h taxonomy types may be thrown (outside tests/)"},
+      {"no-float-eq", "no ==/!= against floating-point literals; use core/numeric.h"},
+      {"nondeterminism", "no rand/random_device/time()/now() in sim/, msim/, parallel/"},
+      {"hot-path-alloc", "hot-file loops must use *_into kernels, not allocating operators"},
+      {"header-hygiene", "#pragma once, no `using namespace`, direct std includes in headers"},
+      {"error-docs", "headers must document the taxonomy errors their .cc throws"},
+      {"catch-all-swallow", "catch (...) must rethrow or convert to SolverStatus"},
+      {"banned-identifier", "assert()/rand()/srand()/gets() are banned (CSQ_ASSERT, sim::Rng)"},
+      {"suppression", "csq-lint: allow(...) comments must name a known rule and give a reason"},
+  };
+  return kRules;
+}
+
+namespace {
+
+[[nodiscard]] bool known_rule(const std::string& id) {
+  for (const RuleInfo& r : rules())
+    if (id == r.id) return true;
+  return false;
+}
+
+}  // namespace
+
+std::vector<Suppression> parse_suppressions(const SourceFile& file,
+                                            std::vector<Finding>* malformed) {
+  std::vector<Suppression> out;
+  const std::string kTag = "csq-lint:";
+  for (const Comment& c : file.comments) {
+    // The marker must open the comment; prose that merely *mentions*
+    // `csq-lint: ...` (docs, this very file) is not a suppression attempt.
+    if (!starts_with(c.text, kTag)) continue;
+    const std::string rest = trim(c.text.substr(kTag.size()));
+    const auto bad = [&](const std::string& why) {
+      if (malformed != nullptr)
+        malformed->push_back({file.path, c.line, "suppression", why + ": `" + c.text + "`"});
+    };
+    // Project markers that are not suppressions (none today) would be
+    // dispatched here; everything else must be allow(rule-id): reason.
+    if (!starts_with(rest, "allow(")) {
+      bad("malformed csq-lint comment (expected `allow(rule-id): reason`)");
+      continue;
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string::npos) {
+      bad("unterminated allow(");
+      continue;
+    }
+    Suppression s;
+    s.line = c.line;
+    s.rule = trim(rest.substr(6, close - 6));
+    if (!known_rule(s.rule)) {
+      bad("unknown rule id `" + s.rule + "`");
+      continue;
+    }
+    std::string tail = trim(rest.substr(close + 1));
+    if (!starts_with(tail, ":")) {
+      bad("missing reason (write `allow(" + s.rule + "): why this is safe`)");
+      continue;
+    }
+    s.reason = trim(tail.substr(1));
+    if (s.reason.empty()) {
+      bad("empty reason (write `allow(" + s.rule + "): why this is safe`)");
+      continue;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+[[nodiscard]] bool in_any_dir(const std::string& rel, const std::vector<std::string>& dirs) {
+  for (const std::string& d : dirs)
+    if (starts_with(rel, d)) return true;
+  return false;
+}
+
+[[nodiscard]] bool is_hot_file(const std::string& rel, const Config& cfg) {
+  for (const std::string& h : cfg.hot_files)
+    if (ends_with(rel, h)) return true;
+  return false;
+}
+
+[[nodiscard]] bool is_float_literal(const Token& t) {
+  if (t.kind != TokKind::kNumber) return false;
+  if (starts_with(t.text, "0x") || starts_with(t.text, "0X")) return false;
+  return t.text.find('.') != std::string::npos || t.text.find('e') != std::string::npos ||
+         t.text.find('E') != std::string::npos;
+}
+
+// Index of the token matching the opener at `open` ("("/")" or "{"/"}"),
+// or tokens.size() if unbalanced.
+[[nodiscard]] std::size_t matching(const Tokens& toks, std::size_t open, const char* o,
+                                   const char* c) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == o) ++depth;
+    if (toks[i].text == c && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+// Marks tokens inside for/while loop *bodies* (headers excluded, so the
+// init-statement `i = 0` never looks like an in-loop assignment).
+[[nodiscard]] std::vector<bool> loop_body_mask(const Tokens& toks) {
+  std::vector<bool> mask(toks.size(), false);
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || (toks[i].text != "for" && toks[i].text != "while"))
+      continue;
+    std::size_t open = i + 1;
+    if (open >= toks.size() || toks[open].text != "(") continue;
+    const std::size_t close = matching(toks, open, "(", ")");
+    if (close >= toks.size()) continue;
+    std::size_t body_begin = close + 1;
+    std::size_t body_end;
+    if (body_begin < toks.size() && toks[body_begin].text == "{") {
+      body_end = matching(toks, body_begin, "{", "}");
+    } else {
+      body_end = body_begin;
+      while (body_end < toks.size() && toks[body_end].text != ";") ++body_end;
+    }
+    for (std::size_t k = body_begin; k < toks.size() && k <= body_end; ++k) mask[k] = true;
+  }
+  return mask;
+}
+
+void rule_raw_throw(const SourceFile& f, const Config& cfg, std::vector<Finding>* out) {
+  if (starts_with(f.rel, "tests/")) return;
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "throw") continue;
+    if (i + 1 >= t.size()) continue;
+    if (t[i + 1].kind == TokKind::kPunct && t[i + 1].text == ";") continue;  // rethrow
+    // Collect the qualified type name up to the constructor '('.
+    std::string last_component;
+    std::string spelled;
+    std::size_t j = i + 1;
+    while (j < t.size() &&
+           ((t[j].kind == TokKind::kIdent) || (t[j].kind == TokKind::kPunct && t[j].text == "::"))) {
+      if (t[j].kind == TokKind::kIdent) last_component = t[j].text;
+      spelled += t[j].text;
+      ++j;
+    }
+    const bool allowed =
+        std::find(cfg.allowed_throw_types.begin(), cfg.allowed_throw_types.end(),
+                  last_component) != cfg.allowed_throw_types.end();
+    if (!allowed)
+      out->push_back({f.path, t[i].line, "raw-throw",
+                      "`throw " + (spelled.empty() ? "<expr>" : spelled) +
+                          "` — throw a core/status.h taxonomy type "
+                          "(InvalidInputError, UnstableError, ...) instead"});
+  }
+}
+
+void rule_no_float_eq(const SourceFile& f, std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kPunct || (t[i].text != "==" && t[i].text != "!=")) continue;
+    if (is_float_literal(t[i - 1]) || is_float_literal(t[i + 1]))
+      out->push_back({f.path, t[i].line, "no-float-eq",
+                      "exact floating-point `" + t[i].text +
+                          "` — use csq::num::approx_eq/approx_zero (or "
+                          "exactly_eq/exactly_zero when bit-exactness is the intent)"});
+  }
+}
+
+void rule_nondeterminism(const SourceFile& f, const Config& cfg, std::vector<Finding>* out) {
+  if (!in_any_dir(f.rel, cfg.deterministic_dirs)) return;
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    const std::string& id = t[i].text;
+    const bool call = i + 1 < t.size() && t[i + 1].text == "(";
+    if (id == "rand" || id == "srand" || id == "random_device") {
+      out->push_back({f.path, t[i].line, "nondeterminism",
+                      "`" + id + "` in a bit-deterministic component — seed sim::Rng "
+                          "through split_seed substreams instead"});
+    } else if (id == "time" && call) {
+      out->push_back({f.path, t[i].line, "nondeterminism",
+                      "`time()` in a bit-deterministic component — results must not "
+                          "depend on the wall clock"});
+    } else if (id == "now" && call && i > 0 && t[i - 1].text == "::") {
+      out->push_back({f.path, t[i].line, "nondeterminism",
+                      "`::now()` in a bit-deterministic component — results must not "
+                          "depend on the wall clock"});
+    }
+  }
+}
+
+void rule_hot_path_alloc(const SourceFile& f, const Config& cfg, std::vector<Finding>* out) {
+  if (!is_hot_file(f.rel, cfg)) return;
+  const Tokens& t = f.tokens;
+  const std::vector<bool> in_loop = loop_body_mask(t);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (!in_loop[i] || t[i].kind != TokKind::kPunct || t[i].text != "=") continue;
+    // Scan the right-hand side of the assignment for a binary `*` between
+    // non-literal operands; a statement that already calls an *_into kernel
+    // is exempt.
+    bool has_into = false;
+    std::size_t star = 0;
+    for (std::size_t j = i + 1; j < t.size(); ++j) {
+      const std::string& x = t[j].text;
+      if (t[j].kind == TokKind::kPunct && (x == ";" || x == "{" || x == "}")) break;
+      if (t[j].kind == TokKind::kIdent && x.find("_into") != std::string::npos)
+        has_into = true;
+      if (star == 0 && t[j].kind == TokKind::kPunct && x == "*" && j > 0 &&
+          j + 1 < t.size()) {
+        const Token& l = t[j - 1];
+        const Token& r = t[j + 1];
+        const bool l_ok = l.kind == TokKind::kIdent ||
+                          (l.kind == TokKind::kPunct && (l.text == ")" || l.text == "]"));
+        const bool r_ok = r.kind == TokKind::kIdent ||
+                          (r.kind == TokKind::kPunct && r.text == "(");
+        if (l_ok && r_ok && l.kind != TokKind::kNumber && r.kind != TokKind::kNumber)
+          star = j;
+      }
+    }
+    if (star != 0 && !has_into)
+      out->push_back({f.path, t[star].line, "hot-path-alloc",
+                      "allocating operator in a hot-path loop — use the *_into "
+                          "workspace kernel (linalg::multiply_into & co.)"});
+  }
+}
+
+void rule_header_hygiene(const SourceFile& f, std::vector<Finding>* out) {
+  if (!f.is_header) return;
+  bool pragma_once = false;
+  for (const Directive& d : f.directives)
+    if (d.text == "#pragma once") pragma_once = true;
+  if (!pragma_once)
+    out->push_back({f.path, 1, "header-hygiene", "missing `#pragma once`"});
+
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i)
+    if (t[i].kind == TokKind::kIdent && t[i].text == "using" &&
+        t[i + 1].kind == TokKind::kIdent && t[i + 1].text == "namespace")
+      out->push_back({f.path, t[i].line, "header-hygiene",
+                      "`using namespace` in a header leaks into every includer"});
+
+  // Include-what-you-use lite: common std symbols must have their header
+  // included directly, not reached transitively.
+  static const std::map<std::string, std::vector<std::string>> kStdHeader = {
+      {"vector", {"<vector>"}},
+      {"string", {"<string>"}},
+      {"map", {"<map>"}},
+      {"array", {"<array>"}},
+      {"deque", {"<deque>"}},
+      {"function", {"<functional>"}},
+      {"atomic", {"<atomic>"}},
+      {"mutex", {"<mutex>"}},
+      {"thread", {"<thread>"}},
+      {"optional", {"<optional>"}},
+      {"unique_ptr", {"<memory>"}},
+      {"shared_ptr", {"<memory>"}},
+      {"size_t", {"<cstddef>"}},
+      {"ptrdiff_t", {"<cstddef>"}},
+      {"uint32_t", {"<cstdint>"}},
+      {"uint64_t", {"<cstdint>"}},
+      {"int64_t", {"<cstdint>"}},
+      {"initializer_list", {"<initializer_list>"}},
+      {"condition_variable", {"<condition_variable>"}},
+      {"exception_ptr", {"<exception>"}},
+      {"ostream", {"<ostream>", "<iosfwd>"}},
+      {"istream", {"<istream>", "<iosfwd>"}},
+  };
+  std::set<std::string> reported;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "std" || t[i + 1].text != "::") continue;
+    const auto it = kStdHeader.find(t[i + 2].text);
+    if (it == kStdHeader.end()) continue;
+    bool included = false;
+    for (const std::string& hdr : it->second)
+      for (const Directive& d : f.directives)
+        if (starts_with(d.text, "#include") && d.text.find(hdr) != std::string::npos)
+          included = true;
+    if (!included && reported.insert(it->second.front()).second)
+      out->push_back({f.path, t[i].line, "header-hygiene",
+                      "std::" + t[i + 2].text + " used but " + it->second.front() +
+                          " not included directly"});
+  }
+}
+
+void rule_catch_all(const SourceFile& f, std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "catch") continue;
+    if (t[i + 1].text != "(" || t[i + 2].text != "..." || t[i + 3].text != ")") continue;
+    std::size_t open = i + 4;
+    if (open >= t.size() || t[open].text != "{") continue;
+    const std::size_t close = matching(t, open, "{", "}");
+    bool handles = false;
+    for (std::size_t j = open + 1; j < close; ++j)
+      if (t[j].kind == TokKind::kIdent &&
+          (t[j].text == "throw" || t[j].text == "rethrow_exception" ||
+           t[j].text == "current_exception" || t[j].text == "status_from_exception" ||
+           t[j].text == "ErrorCode"))
+        handles = true;
+    if (!handles)
+      out->push_back({f.path, t[i].line, "catch-all-swallow",
+                      "catch (...) swallows the exception — rethrow, capture via "
+                          "std::current_exception, or convert to a SolverStatus"});
+  }
+}
+
+void rule_banned_identifier(const SourceFile& f, const Config& cfg,
+                            std::vector<Finding>* out) {
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i + 1].text != "(") continue;
+    if (std::find(cfg.banned_identifiers.begin(), cfg.banned_identifiers.end(), t[i].text) ==
+        cfg.banned_identifiers.end())
+      continue;
+    const std::string hint = t[i].text == "assert"
+                                 ? "use CSQ_ASSERT (core/check.h) — assert() compiles "
+                                   "out under NDEBUG"
+                                 : "banned by the project rule set (determinism/safety)";
+    out->push_back(
+        {f.path, t[i].line, "banned-identifier", "`" + t[i].text + "(` — " + hint});
+  }
+}
+
+// error-docs (cross-file): each src/**/x.h must mention every taxonomy error
+// class its x.cc throws. InternalError is exempt — invariant breaches are
+// bugs, not API contract.
+void rule_error_docs(const std::vector<SourceFile>& files, std::vector<Finding>* out) {
+  std::map<std::string, const SourceFile*> headers;
+  for (const SourceFile& f : files)
+    if (f.is_header) headers[f.rel.substr(0, f.rel.rfind('.'))] = &f;
+  for (const SourceFile& f : files) {
+    if (f.is_header || !starts_with(f.rel, "src/") || !ends_with(f.rel, ".cc")) continue;
+    const auto it = headers.find(f.rel.substr(0, f.rel.rfind('.')));
+    if (it == headers.end()) continue;
+    std::set<std::string> thrown;
+    for (std::size_t i = 0; i + 1 < f.tokens.size(); ++i) {
+      if (f.tokens[i].kind != TokKind::kIdent || f.tokens[i].text != "throw") continue;
+      // Last component of the (possibly csq::-qualified) thrown type.
+      std::string last;
+      for (std::size_t j = i + 1; j < f.tokens.size() &&
+                                  (f.tokens[j].kind == TokKind::kIdent ||
+                                   f.tokens[j].text == "::");
+           ++j)
+        if (f.tokens[j].kind == TokKind::kIdent) last = f.tokens[j].text;
+      if (ends_with(last, "Error") && last != "InternalError") thrown.insert(last);
+    }
+    for (const std::string& e : thrown)
+      if (it->second->content.find(e) == std::string::npos)
+        out->push_back({it->second->path, 1, "error-docs",
+                        "does not document csq::" + e + " thrown by " + f.rel +
+                            " (add a `Throws csq::" + e + "` note to the API comment)"});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& config) {
+  std::vector<Finding> all;
+  for (SourceFile& f : files) {
+    std::vector<Finding> file_findings;
+    std::vector<Suppression> sups = parse_suppressions(f, &all);  // malformed: unsuppressible
+    rule_raw_throw(f, config, &file_findings);
+    rule_no_float_eq(f, &file_findings);
+    rule_nondeterminism(f, config, &file_findings);
+    rule_hot_path_alloc(f, config, &file_findings);
+    rule_header_hygiene(f, &file_findings);
+    rule_catch_all(f, &file_findings);
+    rule_banned_identifier(f, config, &file_findings);
+    for (Finding& fd : file_findings) {
+      bool suppressed = false;
+      for (Suppression& s : sups)
+        if (s.rule == fd.rule && (fd.line == s.line || fd.line == s.line + 1)) {
+          s.used = true;
+          suppressed = true;
+        }
+      if (!suppressed) all.push_back(std::move(fd));
+    }
+  }
+  // Cross-file pass. error-docs findings attach to headers at line 1, so a
+  // suppression comment on the header's first line covers them.
+  std::vector<Finding> cross;
+  rule_error_docs(files, &cross);
+  for (Finding& fd : cross) {
+    bool suppressed = false;
+    for (SourceFile& f : files) {
+      if (f.path != fd.file) continue;
+      std::vector<Suppression> sups = parse_suppressions(f, nullptr);
+      for (Suppression& s : sups)
+        if (s.rule == fd.rule && (fd.line == s.line || fd.line == s.line + 1))
+          suppressed = true;
+    }
+    if (!suppressed) all.push_back(std::move(fd));
+  }
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return all;
+}
+
+std::string suppression_selftest(bool* ok) {
+  bool pass = true;
+  std::ostringstream report;
+  const auto check = [&](bool cond, const std::string& what) {
+    report << (cond ? "ok:   " : "FAIL: ") << what << "\n";
+    if (!cond) pass = false;
+  };
+
+  const std::string sample =
+      "int a;  // csq-lint: allow(no-float-eq): fixture compares sentinels\n"
+      "// csq-lint: allow(raw-throw): exercised by the selftest\n"
+      "int b;\n"
+      "// csq-lint: allow(raw-throw)\n"            // missing reason
+      "// csq-lint: allow(not-a-rule): whatever\n"  // unknown rule
+      "// csq-lint: disallow(raw-throw): nope\n"    // malformed verb
+      "// see `csq-lint: allow(raw-throw): x` for the syntax\n"  // prose mention
+      "// plain comment, no marker\n";
+  SourceFile f = scan_source("<selftest>", "<selftest>", sample);
+  std::vector<Finding> malformed;
+  const std::vector<Suppression> sups = parse_suppressions(f, &malformed);
+
+  check(sups.size() == 2, "two well-formed suppressions parsed (got " +
+                              std::to_string(sups.size()) + ")");
+  if (sups.size() == 2) {
+    check(sups[0].rule == "no-float-eq" && sups[0].line == 1,
+          "trailing-comment suppression binds to its own line");
+    check(sups[0].reason == "fixture compares sentinels", "reason text captured");
+    check(sups[1].rule == "raw-throw" && sups[1].line == 2,
+          "own-line suppression recorded on the comment line");
+  }
+  check(malformed.size() == 3, "three malformed markers rejected, prose mention "
+                                   "ignored (got " + std::to_string(malformed.size()) + ")");
+  for (const Finding& m : malformed)
+    check(m.rule == "suppression", "malformed marker reported under rule `suppression`");
+  if (ok != nullptr) *ok = pass;
+  return report.str();
+}
+
+}  // namespace csq::lint

@@ -1,0 +1,138 @@
+// csq_lint — project-invariant static analysis for the cyclesteal repo.
+//
+// A dependency-free C++17-style lint pass: a lightweight comment/string-aware
+// tokenizer (no libclang) plus a registry of project-specific rules that
+// mechanically enforce the invariants the QBD/busy-period analysis relies on
+// (see docs/static-analysis.md for the rule catalog):
+//
+//   raw-throw          (R1) only core/status.h taxonomy types may be thrown
+//   no-float-eq        (R2) no ==/!= involving floating-point literals —
+//                           use core/numeric.h approx_eq/exactly_eq
+//   nondeterminism     (R3) no std::rand/random_device/time()/..now() in
+//                           sim/, msim/, parallel/ (bit-determinism gate)
+//   hot-path-alloc     (R4) hot-file loops must use *_into kernels instead
+//                           of allocating matrix/vector operators
+//   header-hygiene     (R5) #pragma once, no `using namespace`, direct
+//                           includes for common std symbols
+//   error-docs         (R6) a header must document every taxonomy error
+//                           class its implementation file throws
+//   catch-all-swallow  (R7) catch (...) must rethrow or convert to Status
+//   banned-identifier  (R8) assert()/rand()/srand() are banned (CSQ_ASSERT,
+//                           sim::Rng)
+//   suppression        (meta) malformed `csq-lint: allow(...)` comments
+//
+// Findings print as `file:line: [rule-id] message`. A finding on line L is
+// suppressed by `// csq-lint: allow(rule-id): reason` on line L or L-1; the
+// reason string is mandatory.
+//
+// Built as a library (csq_lint_lib) so tests/test_lint.cc and the csq_cli
+// --lint-selftest flag can drive it in-process; tools/lint/main.cc wraps it
+// into the csq_lint binary with csq_cli-compatible exit codes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace csq::lint {
+
+// --- Tokenizer -------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct Comment {
+  int line = 0;        // line the comment starts on
+  std::string text;    // body without the // or /* */ markers
+  bool own_line = false;  // no code precedes it on its line
+};
+
+// One preprocessor directive (continuation lines folded in).
+struct Directive {
+  int line = 0;
+  std::string text;  // e.g. "#pragma once", "#include <vector>"
+};
+
+struct SourceFile {
+  std::string path;  // as given to the scanner (used in findings)
+  std::string rel;   // repo-relative path with '/' separators (rule scoping)
+  std::string content;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+  std::vector<Directive> directives;
+  bool is_header = false;
+};
+
+// Lex `content`. Comments, string/char literals and preprocessor lines are
+// recognized and set aside so rules never match inside them. Best-effort:
+// malformed input cannot fail, it just produces fewer tokens.
+[[nodiscard]] SourceFile scan_source(std::string path, std::string rel, std::string content);
+
+// --- Findings and suppressions --------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// `file:line: [rule-id] message`
+[[nodiscard]] std::string format_finding(const Finding& f);
+
+struct Suppression {
+  int line = 0;
+  std::string rule;
+  std::string reason;
+  bool used = false;
+};
+
+// Extract well-formed `csq-lint: allow(rule-id): reason` suppressions from a
+// file's comments. Malformed ones (missing reason, unknown rule id) are
+// appended to `malformed` as findings of the meta-rule "suppression".
+[[nodiscard]] std::vector<Suppression> parse_suppressions(const SourceFile& file,
+                                                          std::vector<Finding>* malformed);
+
+// --- Rule registry ---------------------------------------------------------
+
+struct RuleInfo {
+  const char* id;       // stable kebab-case rule id
+  const char* summary;  // one-line description for --list-rules / docs
+};
+
+// Every registered rule, in catalog (R1..R8 + meta) order.
+[[nodiscard]] const std::vector<RuleInfo>& rules();
+
+struct Config {
+  // Files whose loops must stay on the allocation-free *_into kernels
+  // (matched as a suffix of the repo-relative path).
+  std::vector<std::string> hot_files = {"qbd/qbd.cc", "linalg/lu.cc", "linalg/matrix.cc"};
+  // Directories (repo-relative prefixes) that must stay bit-deterministic.
+  std::vector<std::string> deterministic_dirs = {"src/sim/", "src/msim/", "src/parallel/"};
+  // Exception types permitted after a `throw` keyword (last path component).
+  std::vector<std::string> allowed_throw_types = {
+      "InvalidInputError",  "UnstableError",       "NotConvergedError",
+      "IllConditionedError", "VerificationFailedError", "InternalError"};
+  // Identifiers banned everywhere (rule banned-identifier).
+  std::vector<std::string> banned_identifiers = {"assert", "rand", "srand", "gets"};
+};
+
+// Run every rule over `files`, apply suppressions, and return the surviving
+// findings sorted by (file, line, rule). Cross-file rules (error-docs) see
+// the whole set, so pass related .h/.cc files together.
+[[nodiscard]] std::vector<Finding> run_rules(std::vector<SourceFile>& files,
+                                             const Config& config = {});
+
+// Self-test of the suppression parser used by `csq_cli --lint-selftest`:
+// runs a battery of well-formed/malformed suppression comments through
+// parse_suppressions and returns a human-readable pass/fail report. `ok` is
+// set to false if any expectation fails.
+[[nodiscard]] std::string suppression_selftest(bool* ok);
+
+}  // namespace csq::lint

@@ -1,0 +1,135 @@
+// csq_lint — command-line driver for the project lint pass (tools/lint/).
+//
+//   csq_lint [--root DIR] [paths...]   lint .h/.cc files (default: src tools)
+//   csq_lint --list-rules              print the rule catalog and exit
+//   csq_lint --selftest                run the suppression-parser self-test
+//
+// Paths are taken relative to --root (default: current directory); each may
+// be a file or a directory (walked recursively for *.h / *.cc). Findings
+// print one per line as `file:line: [rule-id] message`.
+//
+// Exit codes follow the csq_cli taxonomy: 0 clean, 2 invalid input (unknown
+// flag, unreadable path), 6 findings reported (the codebase failed
+// verification against the project invariants).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using csq::lint::Finding;
+using csq::lint::SourceFile;
+
+// Exit code per taxonomy code, mirroring csq_cli (documented in the header
+// comment above).
+[[nodiscard]] int exit_code(csq::ErrorCode code) {
+  switch (code) {
+    case csq::ErrorCode::kOk: return 0;
+    case csq::ErrorCode::kInvalidInput: return 2;
+    case csq::ErrorCode::kUnstable: return 3;
+    case csq::ErrorCode::kNotConverged: return 4;
+    case csq::ErrorCode::kIllConditioned: return 5;
+    case csq::ErrorCode::kVerificationFailed: return 6;
+    case csq::ErrorCode::kInternal: return 1;
+  }
+  return 1;
+}
+
+[[nodiscard]] bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+[[nodiscard]] std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) throw csq::InvalidInputError("csq_lint: cannot read " + p.string());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Repo-relative path with '/' separators, for rule scoping.
+[[nodiscard]] std::string rel_path(const fs::path& p, const fs::path& root) {
+  std::string r = fs::relative(p, root).generic_string();
+  return r;
+}
+
+void collect(const fs::path& target, const fs::path& root, std::vector<SourceFile>* out) {
+  if (fs::is_directory(target)) {
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(target))
+      if (entry.is_regular_file() && lintable(entry.path())) paths.push_back(entry.path());
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths)
+      out->push_back(csq::lint::scan_source(p.string(), rel_path(p, root), slurp(p)));
+    return;
+  }
+  if (fs::is_regular_file(target)) {
+    out->push_back(
+        csq::lint::scan_source(target.string(), rel_path(target, root), slurp(target)));
+    return;
+  }
+  throw csq::InvalidInputError("csq_lint: no such file or directory: " + target.string());
+}
+
+int run(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> targets;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const csq::lint::RuleInfo& r : csq::lint::rules())
+        std::cout << r.id << "\t" << r.summary << "\n";
+      return 0;
+    }
+    if (arg == "--selftest") {
+      bool ok = false;
+      std::cout << csq::lint::suppression_selftest(&ok);
+      return ok ? 0 : exit_code(csq::ErrorCode::kVerificationFailed);
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) throw csq::InvalidInputError("csq_lint: --root needs a directory");
+      root = fs::path(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--", 0) == 0)
+      throw csq::InvalidInputError("csq_lint: unknown flag " + arg);
+    targets.push_back(arg);
+  }
+  if (targets.empty()) targets = {"src", "tools"};
+
+  std::vector<SourceFile> files;
+  for (const std::string& t : targets) collect(root / t, root, &files);
+
+  const std::vector<Finding> findings = csq::lint::run_rules(files);
+  for (const Finding& f : findings) std::cout << csq::lint::format_finding(f) << "\n";
+  if (findings.empty()) {
+    std::cerr << "csq_lint: " << files.size() << " files clean\n";
+    return 0;
+  }
+  std::cerr << "csq_lint: " << findings.size() << " finding(s) in " << files.size()
+            << " files\n";
+  return exit_code(csq::ErrorCode::kVerificationFailed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const csq::Error& e) {
+    std::cerr << e.status().message << "\n";
+    return exit_code(e.status().code);
+  } catch (const std::exception& e) {
+    std::cerr << "csq_lint: " << e.what() << "\n";
+    return 1;
+  }
+}
