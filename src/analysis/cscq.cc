@@ -6,6 +6,7 @@
 #include "mg1/mg1.h"
 #include "transforms/busy_period.h"
 
+#include "core/faultpoint.h"
 #include "core/numeric.h"
 
 namespace csq::analysis {
@@ -127,6 +128,7 @@ CscqResult analyze_cscq(const SystemConfig& config, const CscqOptions& opts) {
     for (std::size_t i = 0; i < b; ++i) lvl.down(i, i) = mu_s;
   }
 
+  CSQ_FAULT_POINT("analysis.cscq.solve");
   const qbd::Solution sol = qbd::solve(model, opts.qbd);
   res.solve_stats = sol.stats;
   res.qbd_mass_error = std::abs(sol.total_mass() - 1.0);

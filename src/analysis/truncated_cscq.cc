@@ -1,6 +1,7 @@
 #include "analysis/truncated_cscq.h"
 
 #include "analysis/stability.h"
+#include "core/faultpoint.h"
 #include "core/status.h"
 #include "ctmc/sparse.h"
 #include "ctmc/stationary.h"
@@ -87,8 +88,9 @@ TruncatedCscqResult analyze_cscq_truncated(const SystemConfig& config,
   }
   q.finalize();
 
+  CSQ_FAULT_POINT("analysis.truncated.solve");
   const ctmc::StationaryResult st =
-      ctmc::stationary(q, {opts.tolerance, opts.max_sweeps, opts.sor_omega});
+      ctmc::stationary(q, {opts.tolerance, opts.max_sweeps, opts.sor_omega, opts.budget});
 
   TruncatedCscqResult res;
   res.converged = st.converged;

@@ -13,12 +13,14 @@
 //   c = L — n_L >= 1, one server serving longs, the other serving shorts;
 //   c = W — n_L >= 1, both servers on shorts (n_S >= 2), longs all waiting.
 //
-// Throws csq::InvalidInputError on malformed arguments and
+// Throws csq::InvalidInputError on malformed arguments,
 // csq::UnstableError when the offered load is outside the stability
-// region (core/status.h).
+// region, and csq::DeadlineExceededError / csq::CancelledError when
+// opts.budget is interrupted during the Gauss-Seidel solve (core/status.h).
 #pragma once
 
 #include "core/config.h"
+#include "core/deadline.h"
 
 namespace csq::analysis {
 
@@ -28,6 +30,9 @@ struct TruncatedCscqOptions {
   double tolerance = 1e-10;  // L1 change per sweep; see ctmc::StationaryOptions
   int max_sweeps = 50000;
   double sor_omega = 1.0;
+  // Wall-clock/cancellation budget, forwarded to ctmc::stationary (polled
+  // once per Gauss-Seidel sweep).
+  RunBudget budget;
 };
 
 struct TruncatedCscqResult {

@@ -1,0 +1,26 @@
+// CSQ_ASSERT — always-on invariant check that reports through the error
+// taxonomy instead of calling abort().
+//
+// The standard assert() macro is banned by csq_lint rule `banned-identifier`:
+// it compiles out under NDEBUG (the default RelWithDebInfo build), so the
+// invariants it guards silently stop being checked exactly where we run the
+// numbers that matter. CSQ_ASSERT is always compiled in and throws
+// csq::InternalError (taxonomy code kInternal) on failure, so a tripped
+// invariant surfaces as a structured, catchable error with the failing
+// expression and source location in the message.
+//
+// Use it for cheap invariants only — it is one predictable branch, but it is
+// a branch on every call.
+#pragma once
+
+#include "core/status.h"
+
+namespace csq::detail {
+// Throws csq::InternalError with "<file>:<line>: CSQ_ASSERT(<expr>) failed".
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line);
+}  // namespace csq::detail
+
+#define CSQ_ASSERT(cond)                                                 \
+  do {                                                                   \
+    if (!(cond)) ::csq::detail::assert_fail(#cond, __FILE__, __LINE__);  \
+  } while (false)

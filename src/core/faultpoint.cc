@@ -1,0 +1,177 @@
+#include "core/faultpoint.h"
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+
+#include "core/deadline.h"
+
+namespace csq::fault {
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, ArmSpec> armed;  // site -> pending arming
+  std::map<std::string, long> hit_counts;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+ErrorCode code_from_name(const std::string& name) {
+  if (name == "InvalidInput") return ErrorCode::kInvalidInput;
+  if (name == "Unstable") return ErrorCode::kUnstable;
+  if (name == "NotConverged") return ErrorCode::kNotConverged;
+  if (name == "IllConditioned") return ErrorCode::kIllConditioned;
+  if (name == "VerificationFailed") return ErrorCode::kVerificationFailed;
+  if (name == "Internal") return ErrorCode::kInternal;
+  if (name == "DeadlineExceeded") return ErrorCode::kDeadlineExceeded;
+  if (name == "Cancelled") return ErrorCode::kCancelled;
+  throw InvalidInputError("unknown ErrorCode in fault spec: '" + name + "'");
+}
+
+// Pops the armed spec if this pass is the firing one; counts the hit either way.
+bool should_fire(const char* site, ArmSpec* out) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  ++r.hit_counts[site];
+  const auto it = r.armed.find(site);
+  if (it == r.armed.end()) return false;
+  if (--it->second.trigger_count > 0) return false;
+  *out = it->second;
+  r.armed.erase(it);  // single-shot: later passes see a healthy site
+  return true;
+}
+
+[[noreturn]] void fire_throw(const ArmSpec& spec) {
+  Diagnostics d;
+  d.stage = spec.site;
+  d.notes.push_back("injected fault (CSQ_FAULT_INJECTION)");
+  throw_error(spec.code, "injected " + std::string(error_code_name(spec.code)) +
+                             " fault at site " + spec.site,
+              std::move(d));
+}
+
+void fire(const ArmSpec& spec, double* data, std::size_t size) {
+  switch (spec.kind) {
+    case Kind::kThrow: fire_throw(spec);
+    case Kind::kNan:
+      if (data == nullptr || size == 0) {
+        throw InternalError("fault kind 'nan' armed at non-matrix site " + spec.site);
+      }
+      data[0] = std::numeric_limits<double>::quiet_NaN();
+      return;
+    case Kind::kBurn:
+      timebase::advance_virtual_ns(static_cast<std::int64_t>(spec.burn_ms * 1e6));
+      return;
+  }
+}
+
+[[noreturn]] void bad_spec(const std::string& text, const std::string& why) {
+  throw InvalidInputError("bad fault spec '" + text + "': " + why +
+                          " (expected site:count:kind, kind = throw:<ErrorCode> | nan | "
+                          "burn:<ms>)");
+}
+
+}  // namespace
+
+ArmSpec parse_arm_spec(const std::string& text) {
+  const std::size_t c1 = text.find(':');
+  if (c1 == std::string::npos) bad_spec(text, "missing count");
+  const std::size_t c2 = text.find(':', c1 + 1);
+  if (c2 == std::string::npos) bad_spec(text, "missing kind");
+
+  ArmSpec spec;
+  spec.site = text.substr(0, c1);
+  if (spec.site.empty()) bad_spec(text, "empty site");
+  const std::string count_str = text.substr(c1 + 1, c2 - c1 - 1);
+  try {
+    std::size_t used = 0;
+    spec.trigger_count = std::stol(count_str, &used);
+    if (used != count_str.size()) bad_spec(text, "count is not an integer");
+  } catch (const std::invalid_argument&) {
+    bad_spec(text, "count is not an integer");
+  } catch (const std::out_of_range&) {
+    bad_spec(text, "count out of range");
+  }
+  if (spec.trigger_count < 1) bad_spec(text, "count must be >= 1");
+
+  const std::string kind = text.substr(c2 + 1);
+  if (kind == "nan") {
+    spec.kind = Kind::kNan;
+  } else if (kind.rfind("throw:", 0) == 0) {
+    spec.kind = Kind::kThrow;
+    spec.code = code_from_name(kind.substr(6));
+  } else if (kind.rfind("burn:", 0) == 0) {
+    spec.kind = Kind::kBurn;
+    const std::string ms_str = kind.substr(5);
+    try {
+      std::size_t used = 0;
+      spec.burn_ms = std::stod(ms_str, &used);
+      if (used != ms_str.size()) bad_spec(text, "burn duration is not a number");
+    } catch (const std::invalid_argument&) {
+      bad_spec(text, "burn duration is not a number");
+    } catch (const std::out_of_range&) {
+      bad_spec(text, "burn duration out of range");
+    }
+    if (!(spec.burn_ms > 0.0)) bad_spec(text, "burn duration must be > 0");
+  } else {
+    bad_spec(text, "unknown kind '" + kind + "'");
+  }
+  return spec;
+}
+
+void arm(const ArmSpec& spec) {
+  if (!enabled()) {
+    throw InvalidInputError(
+        "cannot arm fault site '" + spec.site +
+        "': fault injection is not compiled in (configure with -DCSQ_FAULT_INJECTION=ON)");
+  }
+  if (spec.site.empty()) throw InvalidInputError("cannot arm an empty fault site name");
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.armed[spec.site] = spec;
+}
+
+void disarm_all() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  r.armed.clear();
+  r.hit_counts.clear();
+}
+
+long hits(const std::string& site) {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  const auto it = r.hit_counts.find(site);
+  return it == r.hit_counts.end() ? 0 : it->second;
+}
+
+std::vector<std::string> armed_sites() {
+  Registry& r = registry();
+  const std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<std::string> sites;
+  sites.reserve(r.armed.size());
+  for (const auto& [site, spec] : r.armed) sites.push_back(site);
+  return sites;
+}
+
+namespace detail {
+
+void hit(const char* site) {
+  ArmSpec spec;
+  if (should_fire(site, &spec)) fire(spec, nullptr, 0);
+}
+
+void hit_matrix(const char* site, double* data, std::size_t size) {
+  ArmSpec spec;
+  if (should_fire(site, &spec)) fire(spec, data, size);
+}
+
+}  // namespace detail
+
+}  // namespace csq::fault

@@ -65,7 +65,8 @@ SolverStatus verify_metrics(const PolicyMetrics& metrics, const SystemConfig& co
 }
 
 PolicyMetrics analyze(Policy policy, const SystemConfig& config, int busy_period_moments,
-                      VerifyLevel verify) {
+                      VerifyLevel verify, const RunBudget& budget) {
+  budget.check("analyze");
   PolicyMetrics metrics;
   switch (policy) {
     case Policy::kDedicated:
@@ -75,6 +76,7 @@ PolicyMetrics analyze(Policy policy, const SystemConfig& config, int busy_period
       analysis::CsidOptions opts;
       opts.busy_period_moments = busy_period_moments;
       opts.qbd.verify = verify;
+      opts.qbd.budget = budget;
       metrics = analysis::analyze_csid(config, opts).metrics;
       break;
     }
@@ -82,6 +84,7 @@ PolicyMetrics analyze(Policy policy, const SystemConfig& config, int busy_period
       analysis::CscqOptions opts;
       opts.busy_period_moments = busy_period_moments;
       opts.qbd.verify = verify;
+      opts.qbd.budget = budget;
       metrics = analysis::analyze_cscq(config, opts).metrics;
       break;
     }
@@ -93,10 +96,11 @@ PolicyMetrics analyze(Policy policy, const SystemConfig& config, int busy_period
 }
 
 AnalyzeOutcome try_analyze(Policy policy, const SystemConfig& config,
-                           int busy_period_moments, VerifyLevel verify) noexcept {
+                           int busy_period_moments, VerifyLevel verify,
+                           const RunBudget& budget) noexcept {
   AnalyzeOutcome out;
   try {
-    out.metrics = analyze(policy, config, busy_period_moments, verify);
+    out.metrics = analyze(policy, config, busy_period_moments, verify, budget);
   } catch (const Error& e) {
     out.status = e.status();
   } catch (const std::exception& e) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include "core/config.h"
+#include "core/deadline.h"
 #include "core/status.h"
 
 namespace csq {
@@ -18,10 +19,13 @@ enum class Policy { kDedicated, kCsId, kCsCq };
 // stealing chains match (3 = paper's setting; 1/2 for ablations); ignored by
 // Dedicated. `verify` gates the self-checks run on the result (finite,
 // nonnegative metrics; kFull adds Little's-law consistency) — failures throw
-// csq::VerificationFailedError.
+// csq::VerificationFailedError. `budget` bounds the underlying QBD solve;
+// csq::DeadlineExceededError / csq::CancelledError propagate from it with
+// partial SolveStats.
 [[nodiscard]] PolicyMetrics analyze(Policy policy, const SystemConfig& config,
                                     int busy_period_moments = 3,
-                                    VerifyLevel verify = VerifyLevel::kBasic);
+                                    VerifyLevel verify = VerifyLevel::kBasic,
+                                    const RunBudget& budget = {});
 
 // Non-throwing variant: classifies any failure into a SolverStatus instead
 // of propagating exceptions. `metrics` is meaningful iff `status.ok()`.
@@ -34,7 +38,8 @@ struct AnalyzeOutcome {
 
 [[nodiscard]] AnalyzeOutcome try_analyze(Policy policy, const SystemConfig& config,
                                          int busy_period_moments = 3,
-                                         VerifyLevel verify = VerifyLevel::kBasic) noexcept;
+                                         VerifyLevel verify = VerifyLevel::kBasic,
+                                         const RunBudget& budget = {}) noexcept;
 
 // Self-checks on a computed PolicyMetrics: every metric finite, responses
 // positive, waits/numbers nonnegative (up to rounding); kFull additionally

@@ -5,12 +5,24 @@
 
 #include "analysis/cscq.h"
 #include "analysis/csid.h"
+#include "analysis/resilient.h"
 #include "core/solver.h"
 #include "core/status.h"
 #include "mg1/mg1.h"
 #include "parallel/task_pool.h"
 
 namespace csq {
+
+const char* point_status_name(PointStatus s) {
+  switch (s) {
+    case PointStatus::kOk: return "ok";
+    case PointStatus::kUnstable: return "unstable";
+    case PointStatus::kFailed: return "failed";
+    case PointStatus::kDegraded: return "degraded";
+    case PointStatus::kTimedOut: return "timed-out";
+  }
+  return "?";
+}
 
 std::vector<double> linspace(double lo, double hi, int n) {
   if (n <= 0) throw InvalidInputError("linspace: need n >= 1");
@@ -40,31 +52,85 @@ std::vector<double> linspace_open(double lo, double hi, int n) {
 
 namespace {
 
+// How a failed in-region analysis shows up in the status byte.
+PointStatus classify_failure(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnstable: return PointStatus::kUnstable;
+    case ErrorCode::kDeadlineExceeded:
+    case ErrorCode::kCancelled: return PointStatus::kTimedOut;
+    default: return PointStatus::kFailed;
+  }
+}
+
 SweepRow evaluate_point(double rho_short, double rho_long, double mean_short,
-                        double mean_long, double long_scv, double x) {
+                        double mean_long, double long_scv, double x,
+                        const SweepOptions& opts) {
   SweepRow row;
   row.x = x;
   const SystemConfig config =
       SystemConfig::paper_setup(rho_short, rho_long, mean_short, mean_long, long_scv);
+  // One budget poll per point: a point that started runs to completion, so
+  // a deadline overshoots by at most one point evaluation and the rows
+  // already computed survive (status kTimedOut marks the rest).
+  if (opts.budget.interrupted()) {
+    row.dedicated_status = PointStatus::kTimedOut;
+    row.csid_status = PointStatus::kTimedOut;
+    row.cscq_status = PointStatus::kTimedOut;
+    return row;
+  }
   for (const Policy p : {Policy::kDedicated, Policy::kCsId, Policy::kCsCq}) {
-    if (!is_stable(p, config)) continue;
-    // Per-point isolation: a point just inside the stability region can
-    // still fail to solve (UnstableError from sp(R) rounding to 1,
-    // NotConvergedError, ...). Such a point keeps its NaN columns; the rest
-    // of the sweep is unaffected.
-    const AnalyzeOutcome out = try_analyze(p, config);
-    if (!out.ok()) continue;
-    const PolicyMetrics& m = out.metrics;
+    PointStatus status = PointStatus::kUnstable;
+    PolicyMetrics m;
+    bool have_value = false;
+    if (is_stable(p, config)) {
+      // Per-point isolation: a point just inside the stability region can
+      // still fail to solve (UnstableError from sp(R) rounding to 1,
+      // NotConvergedError, ...). Such a point keeps its NaN columns; the
+      // rest of the sweep is unaffected.
+      const AnalyzeOutcome out = try_analyze(p, config, 3, VerifyLevel::kBasic, opts.budget);
+      if (out.ok()) {
+        m = out.metrics;
+        have_value = true;
+        status = PointStatus::kOk;
+      } else if (p == Policy::kCsCq && opts.resilient) {
+        // Resilient sweeps never give up on an in-region CS-CQ point: walk
+        // the degradation ladder and mark non-exact answers kDegraded.
+        try {
+          analysis::ResilientOptions ropts;
+          ropts.budget = opts.budget;
+          // A sweep point is one of many: bound the simulation rung's cost
+          // (the CI is still reported per-point by analyze_resilient users
+          // who need it; sweep rows only keep the mean).
+          ropts.sim.total_completions = 100000;
+          ropts.sim_reps.replications = 4;
+          const analysis::ResilientResult r = analysis::analyze_resilient(config, ropts);
+          m = r.metrics;
+          have_value = true;
+          status = r.rung_used == analysis::Rung::kExact ? PointStatus::kOk
+                                                         : PointStatus::kDegraded;
+        } catch (const std::exception&) {
+          status = classify_failure(out.status.code);
+        }
+      } else {
+        status = classify_failure(out.status.code);
+      }
+    }
     switch (p) {
       case Policy::kDedicated:
+        row.dedicated_status = status;
+        if (!have_value) break;
         row.dedicated_short = m.shorts.mean_response;
         row.dedicated_long = m.longs.mean_response;
         break;
       case Policy::kCsId:
+        row.csid_status = status;
+        if (!have_value) break;
         row.csid_short = m.shorts.mean_response;
         row.csid_long = m.longs.mean_response;
         break;
       case Policy::kCsCq:
+        row.cscq_status = status;
+        if (!have_value) break;
         row.cscq_short = m.shorts.mean_response;
         row.cscq_long = m.longs.mean_response;
         break;
@@ -98,7 +164,7 @@ std::vector<SweepRow> sweep_rho_short(double rho_long, double mean_short, double
                                       double long_scv, const std::vector<double>& rho_shorts,
                                       const SweepOptions& opts) {
   return run_sweep(rho_shorts, opts, [&](double rs) {
-    return evaluate_point(rs, rho_long, mean_short, mean_long, long_scv, rs);
+    return evaluate_point(rs, rho_long, mean_short, mean_long, long_scv, rs, opts);
   });
 }
 
@@ -106,7 +172,7 @@ std::vector<SweepRow> sweep_rho_long(double rho_short, double mean_short, double
                                      double long_scv, const std::vector<double>& rho_longs,
                                      const SweepOptions& opts) {
   return run_sweep(rho_longs, opts, [&](double rl) {
-    return evaluate_point(rho_short, rl, mean_short, mean_long, long_scv, rl);
+    return evaluate_point(rho_short, rl, mean_short, mean_long, long_scv, rl, opts);
   });
 }
 

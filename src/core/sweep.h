@@ -4,21 +4,40 @@
 // work-stealing pool (src/parallel/) when SweepOptions::threads > 1. Row i
 // of the result is always grid point i, and each point is written only by
 // the worker that computed it, so sweep output is bit-identical for every
-// thread count. A point whose analysis throws the csq error taxonomy
-// (UnstableError near the stability boundary, NotConvergedError, ...)
-// yields NaN columns instead of aborting the sweep.
+// thread count — except under a finite SweepOptions::budget, where *which*
+// points get evaluated before the deadline is timing-dependent (each
+// evaluated row is still deterministic). A point whose analysis throws the
+// csq error taxonomy (UnstableError near the stability boundary,
+// NotConvergedError, ...) yields NaN columns and a per-policy PointStatus
+// instead of aborting the sweep.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <vector>
 
 #include "core/config.h"
+#include "core/deadline.h"
 
 namespace csq {
 
+// Why a policy column of a SweepRow holds (or does not hold) a value.
+// NaN columns previously conflated "unstable here" with "the solver choked";
+// the status byte separates them.
+enum class PointStatus : std::uint8_t {
+  kOk = 0,       // analytic value present
+  kUnstable,     // outside the policy's stability region (expected NaN)
+  kFailed,       // in-region but the solver failed (NotConverged, ...)
+  kDegraded,     // value present but from a fallback rung, not the exact
+                 // analysis (resilient sweeps only)
+  kTimedOut,     // the sweep budget was exhausted before this point ran
+};
+
+// "ok", "unstable", "failed", "degraded", "timed-out".
+[[nodiscard]] const char* point_status_name(PointStatus s);
+
 // One x-point of a figure: per-policy mean response times for both classes.
-// NaN marks "unstable (or unsolvable) at this point" (the paper's curves
-// diverge there).
+// NaN marks "no analytic value" — the matching status byte says why.
 struct SweepRow {
   double x = 0.0;
   double dedicated_short = std::numeric_limits<double>::quiet_NaN();
@@ -27,6 +46,9 @@ struct SweepRow {
   double dedicated_long = std::numeric_limits<double>::quiet_NaN();
   double csid_long = std::numeric_limits<double>::quiet_NaN();
   double cscq_long = std::numeric_limits<double>::quiet_NaN();
+  PointStatus dedicated_status = PointStatus::kUnstable;
+  PointStatus csid_status = PointStatus::kUnstable;
+  PointStatus cscq_status = PointStatus::kUnstable;
 };
 
 struct SweepOptions {
@@ -36,6 +58,16 @@ struct SweepOptions {
   // Keep row i == grid point i (always honored today; reserved so future
   // non-deterministic reductions have an explicit opt-out).
   bool deterministic_order = true;
+  // Wall-clock/cancellation budget, polled once per sweep point (never
+  // inside one): an interrupted budget — deadline or cancellation — marks
+  // every not-yet-evaluated point kTimedOut and keeps every already-
+  // evaluated row, so running out of time degrades coverage rather than
+  // discarding the sweep (no exception escapes the pool).
+  RunBudget budget;
+  // Evaluate the CS-CQ column through analyze_resilient() instead of the
+  // exact analysis only: points the QBD solver cannot crack fall back to
+  // truncation/simulation and are marked kDegraded instead of kFailed.
+  bool resilient = false;
 };
 
 // n evenly spaced points over [lo, hi] inclusive. Edge cases: n == 1 yields
@@ -47,7 +79,8 @@ struct SweepOptions {
 // n evenly spaced points strictly inside (lo, hi): lo + k (hi-lo)/(n+1) for
 // k = 1..n. Use for sweep grids over a stability region so no point lands
 // exactly on the boundary, where the analysis is degenerate. Requires
-// lo < hi and n >= 1.
+// lo < hi and n >= 1. Edge case, deliberately unlike linspace: n == 1
+// yields the single midpoint {(lo+hi)/2}, never the boundary {lo}.
 [[nodiscard]] std::vector<double> linspace_open(double lo, double hi, int n);
 
 // Figures 4 and 5: response time vs rho_S at fixed rho_L.

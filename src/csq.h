@@ -7,9 +7,12 @@
 #include "analysis/cscq_ph.h"      // IWYU pragma: export
 #include "analysis/csid.h"         // IWYU pragma: export
 #include "analysis/dedicated.h"    // IWYU pragma: export
+#include "analysis/resilient.h"    // IWYU pragma: export
 #include "analysis/stability.h"    // IWYU pragma: export
 #include "analysis/truncated_cscq.h"  // IWYU pragma: export
 #include "core/config.h"           // IWYU pragma: export
+#include "core/deadline.h"         // IWYU pragma: export
+#include "core/faultpoint.h"       // IWYU pragma: export
 #include "core/solver.h"           // IWYU pragma: export
 #include "core/status.h"           // IWYU pragma: export
 #include "core/sweep.h"            // IWYU pragma: export

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "core/status.h"
+
+#include "core/faultpoint.h"
 
 #include "core/numeric.h"
 
@@ -17,6 +20,13 @@ StationaryResult stationary(const Generator& q, const StationaryOptions& opts) {
   StationaryResult res;
   res.pi.assign(n, 1.0 / static_cast<double>(n));
   for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    if (opts.budget.interrupted()) {
+      Diagnostics d;
+      d.iterations = sweep;
+      d.tolerance = opts.tolerance;
+      opts.budget.check("ctmc::stationary", std::move(d));
+    }
+    CSQ_FAULT_POINT("ctmc.stationary.sweep");
     double l1_change = 0.0;
     for (std::size_t j = 0; j < n; ++j) {
       const double d = q.diagonal(j);

@@ -1,13 +1,15 @@
 // Stationary distribution of a finite CTMC by Gauss-Seidel sweeps on
 // pi Q = 0 with renormalization.
 //
-// Throws csq::InvalidInputError on API misuse and
+// Throws csq::InvalidInputError on API misuse,
 // csq::IllConditionedError when the stationary system is numerically
-// singular (core/status.h).
+// singular, and csq::DeadlineExceededError / csq::CancelledError when
+// opts.budget is interrupted between sweeps (core/status.h).
 #pragma once
 
 #include <vector>
 
+#include "core/deadline.h"
 #include "ctmc/sparse.h"
 
 namespace csq::ctmc {
@@ -22,6 +24,9 @@ struct StationaryOptions {
   // can oscillate on the singular stationary system — keep 1.0 unless
   // experimenting.
   double omega = 1.0;
+  // Wall-clock/cancellation budget, polled once per sweep (worst-case
+  // overshoot: one full Gauss-Seidel pass over the state space).
+  RunBudget budget;
 };
 
 struct StationaryResult {

@@ -74,8 +74,15 @@ std::vector<double> Matrix::row_sums() const {
 }
 
 double Matrix::max_abs() const {
+  // std::max(m, NaN) returns m (the comparison is false), which would mask a
+  // NaN entry and let divergence/verification guards built on this norm pass
+  // a poisoned matrix. Propagate NaN instead of dropping it.
   double m = 0.0;
-  for (double x : data_) m = std::max(m, std::abs(x));
+  for (double x : data_) {
+    const double v = std::abs(x);
+    if (std::isnan(v)) return v;
+    m = std::max(m, v);
+  }
   return m;
 }
 
@@ -135,7 +142,14 @@ double max_abs_diff(const Matrix& a, const Matrix& b) {
   double m = 0.0;
   const std::vector<double>& da = a.data();
   const std::vector<double>& db = b.data();
-  for (std::size_t i = 0; i < da.size(); ++i) m = std::max(m, std::abs(da[i] - db[i]));
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    // NaN-propagating for the same reason as Matrix::max_abs — iteration
+    // convergence checks compare this value against a tolerance, and a masked
+    // NaN would read as "converged".
+    const double v = std::abs(da[i] - db[i]);
+    if (std::isnan(v)) return v;
+    m = std::max(m, v);
+  }
   return m;
 }
 

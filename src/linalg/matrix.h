@@ -50,7 +50,7 @@ class Matrix {
   // Sum of each row (useful for generator diagonals and mass checks).
   [[nodiscard]] std::vector<double> row_sums() const;
 
-  // max_ij |a_ij|
+  // max_ij |a_ij|; NaN if any entry is NaN (norm guards must see poison).
   [[nodiscard]] double max_abs() const;
 
  private:
@@ -84,7 +84,8 @@ void multiply_into(std::vector<double>& dst, const Matrix& m, const std::vector<
 // instead of allocating per level (csq_lint rule hot-path-alloc).
 void multiply_into(std::vector<double>& dst, const std::vector<double>& v, const Matrix& m);
 
-// max_ij |a_ij - b_ij| without forming a - b; shapes must match.
+// max_ij |a_ij - b_ij| without forming a - b; shapes must match. NaN if any
+// entry of the difference is NaN, like Matrix::max_abs.
 [[nodiscard]] double max_abs_diff(const Matrix& a, const Matrix& b);
 
 [[nodiscard]] double dot(const std::vector<double>& a, const std::vector<double>& b);

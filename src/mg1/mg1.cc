@@ -1,13 +1,18 @@
 #include "mg1/mg1.h"
 
 #include <string>
+#include <utility>
 
 #include "core/status.h"
+
+#include "core/faultpoint.h"
 
 namespace csq::mg1 {
 
 namespace {
-double check_rho(double lambda, const dist::Moments& job) {
+double check_rho(double lambda, const dist::Moments& job, const RunBudget& budget,
+                 const char* where) {
+  budget.check(where);  // closed-form formulas: entry is the only poll point
   if (lambda < 0.0) throw InvalidInputError("mg1: lambda < 0");
   const double rho = lambda * job.m1;
   if (rho >= 1.0) {
@@ -20,26 +25,31 @@ double check_rho(double lambda, const dist::Moments& job) {
 }
 }  // namespace
 
-double pk_wait(double lambda, const dist::Moments& job) {
-  const double rho = check_rho(lambda, job);
+double pk_wait(double lambda, const dist::Moments& job, const RunBudget& budget) {
+  const double rho = check_rho(lambda, job, budget, "mg1::pk_wait");
+  CSQ_FAULT_POINT("mg1.pk.wait");
   return lambda * job.m2 / (2.0 * (1.0 - rho));
 }
 
-double pk_response(double lambda, const dist::Moments& job) {
-  return job.m1 + pk_wait(lambda, job);
+double pk_response(double lambda, const dist::Moments& job, const RunBudget& budget) {
+  return job.m1 + pk_wait(lambda, job, budget);
 }
 
-double setup_wait(double lambda, const dist::Moments& job, const dist::Moments& setup) {
-  check_rho(lambda, job);
+double setup_wait(double lambda, const dist::Moments& job, const dist::Moments& setup,
+                  const RunBudget& budget) {
+  check_rho(lambda, job, budget, "mg1::setup_wait");
+  CSQ_FAULT_POINT("mg1.setup.wait");
   return pk_wait(lambda, job) +
          (2.0 * setup.m1 + lambda * setup.m2) / (2.0 * (1.0 + lambda * setup.m1));
 }
 
-double setup_response(double lambda, const dist::Moments& job, const dist::Moments& setup) {
-  return job.m1 + setup_wait(lambda, job, setup);
+double setup_response(double lambda, const dist::Moments& job, const dist::Moments& setup,
+                      const RunBudget& budget) {
+  return job.m1 + setup_wait(lambda, job, setup, budget);
 }
 
-double mm1_response(double lambda, double mu) {
+double mm1_response(double lambda, double mu, const RunBudget& budget) {
+  budget.check("mg1::mm1_response");
   if (lambda >= mu) {
     Diagnostics d;
     d.rho_long = lambda / mu;
@@ -48,8 +58,9 @@ double mm1_response(double lambda, double mu) {
   return 1.0 / (mu - lambda);
 }
 
-double pk_wait_second_moment(double lambda, const dist::Moments& job) {
-  const double rho = check_rho(lambda, job);
+double pk_wait_second_moment(double lambda, const dist::Moments& job,
+                             const RunBudget& budget) {
+  const double rho = check_rho(lambda, job, budget, "mg1::pk_wait_second_moment");
   const double w1 = pk_wait(lambda, job);
   return 2.0 * w1 * w1 + lambda * job.m3 / (3.0 * (1.0 - rho));
 }

@@ -1,5 +1,7 @@
 #include "msim/multi_sim.h"
 
+#include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <stdexcept>
@@ -9,6 +11,7 @@
 #include "sim/rng.h"
 #include "sim/stats.h"
 
+#include "core/faultpoint.h"
 #include "core/status.h"
 
 namespace csq::msim {
@@ -282,22 +285,48 @@ MultiReplicatedResult simulate_multi_replications(MultiPolicy policy,
                                                   const sim::ReplicationOptions& ropts) {
   if (ropts.replications < 1)
     throw InvalidInputError("simulate_multi_replications: need >= 1 replication");
+  if (!(ropts.target_rel_ci >= 0.0) || !std::isfinite(ropts.target_rel_ci))
+    throw InvalidInputError("simulate_multi_replications: target_rel_ci must be finite and >= 0");
+  const bool adaptive = ropts.target_rel_ci > 0.0;
+  if (adaptive && ropts.max_replications < ropts.replications)
+    throw InvalidInputError("simulate_multi_replications: max_replications < replications");
   const std::size_t n = static_cast<std::size_t>(ropts.replications);
   MultiReplicatedResult out;
-  out.replications = par::parallel_map(n, ropts.threads, [&](std::size_t r) {
-    sim::SimOptions rep_opts = opts;
-    rep_opts.seed = sim::split_seed(opts.seed, r);
-    return simulate_multi(policy, config, rep_opts);
-  });
-  std::vector<sim::ClassStats> shorts, longs;
-  shorts.reserve(n);
-  longs.reserve(n);
-  for (const MultiResult& r : out.replications) {
-    shorts.push_back(r.shorts);
-    longs.push_back(r.longs);
+  const auto run_batch = [&](std::size_t first, std::size_t count) {
+    std::vector<MultiResult> batch =
+        par::parallel_map(count, ropts.threads, [&](std::size_t i) {
+          CSQ_FAULT_POINT("msim.replication.start");
+          sim::SimOptions rep_opts = opts;
+          rep_opts.seed = sim::split_seed(opts.seed, first + i);
+          return simulate_multi(policy, config, rep_opts);
+        });
+    out.replications.insert(out.replications.end(), batch.begin(), batch.end());
+  };
+  const auto reaggregate = [&] {
+    std::vector<sim::ClassStats> shorts, longs;
+    shorts.reserve(out.replications.size());
+    longs.reserve(out.replications.size());
+    for (const MultiResult& r : out.replications) {
+      shorts.push_back(r.shorts);
+      longs.push_back(r.longs);
+    }
+    out.shorts = sim::aggregate_replications(shorts);
+    out.longs = sim::aggregate_replications(longs);
+  };
+  run_batch(0, n);
+  reaggregate();
+  // Same between-rounds budget contract as sim::simulate_replications: the
+  // initial batch always completes; exhaustion only stops extension.
+  while (adaptive &&
+         std::max(sim::relative_ci(out.shorts), sim::relative_ci(out.longs)) >
+             ropts.target_rel_ci &&
+         out.replications.size() < static_cast<std::size_t>(ropts.max_replications) &&
+         !ropts.budget.interrupted()) {
+    const std::size_t room =
+        static_cast<std::size_t>(ropts.max_replications) - out.replications.size();
+    run_batch(out.replications.size(), std::min(n, room));
+    reaggregate();
   }
-  out.shorts = sim::aggregate_replications(shorts);
-  out.longs = sim::aggregate_replications(longs);
   return out;
 }
 

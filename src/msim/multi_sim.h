@@ -55,8 +55,10 @@ struct MultiReplicatedResult {
 };
 
 // Run ropts.replications independent multi-host simulations in parallel on
-// ropts.threads workers (same determinism contract as
-// sim::simulate_replications).
+// ropts.threads workers (same determinism, adaptive CI-stopping, and budget
+// contracts as sim::simulate_replications — the budget is polled only
+// between replication rounds, so the initial batch always completes).
+// Throws csq::InvalidInputError on malformed options (core/status.h).
 [[nodiscard]] MultiReplicatedResult simulate_multi_replications(
     MultiPolicy policy, const MultiConfig& config, const sim::SimOptions& opts = {},
     const sim::ReplicationOptions& ropts = {});

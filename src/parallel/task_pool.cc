@@ -100,12 +100,13 @@ void TaskPool::push_local(std::size_t self, RangeTask* task) {
 }
 
 void TaskPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                            std::size_t grain) {
+                            std::size_t grain, const RunBudget& budget) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
   Job job;
   job.fn = fn;
   job.grain = grain;
+  job.budget = budget;
   job.remaining.store(n, std::memory_order_relaxed);
   enqueue_external(new RangeTask{&job, 0, n});
   std::unique_lock<std::mutex> lk(job.m);
@@ -157,11 +158,22 @@ void TaskPool::execute(RangeTask* task, std::size_t self) {
   }
 
   std::exception_ptr first_error;
-  for (std::size_t i = begin; i < end; ++i) {
+  if (job->budget.interrupted()) {
+    // Between-tasks budget observation: skip this range, surface the
+    // interruption as the job's error. Already-executed indices keep their
+    // results (the caller sees partial progress plus the typed error).
     try {
-      job->fn(i);
+      job->budget.check("par::TaskPool::parallel_for");
     } catch (...) {
-      if (!first_error) first_error = std::current_exception();
+      first_error = std::current_exception();
+    }
+  } else {
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        job->fn(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
     }
   }
   ++workers_[self]->executed;
@@ -228,13 +240,23 @@ TaskPool& TaskPool::shared(int threads) {
 }
 
 void parallel_for(std::size_t n, int threads, const std::function<void(std::size_t)>& fn,
-                  std::size_t grain) {
+                  std::size_t grain, const RunBudget& budget) {
   threads = resolve_threads(threads);
   if (threads <= 1 || n <= 1) {
     // Inline path: same every-index-attempted / first-exception contract as
-    // the pool, so switching thread counts never changes semantics.
+    // the pool, so switching thread counts never changes semantics. The
+    // budget is observed between indices, mirroring the pool's
+    // between-tasks observation.
     std::exception_ptr first_error;
     for (std::size_t i = 0; i < n; ++i) {
+      if (budget.interrupted()) {
+        try {
+          budget.check("par::parallel_for");
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+        break;
+      }
       try {
         fn(i);
       } catch (...) {
@@ -244,7 +266,7 @@ void parallel_for(std::size_t n, int threads, const std::function<void(std::size
     if (first_error) std::rethrow_exception(first_error);
     return;
   }
-  TaskPool::shared(threads).parallel_for(n, fn, grain);
+  TaskPool::shared(threads).parallel_for(n, fn, grain, budget);
 }
 
 }  // namespace csq::par

@@ -20,6 +20,14 @@
 // inner call would block a worker on work only workers can run); the
 // library's parallel entry points (core/sweep, sim, msim) are all top-level.
 //
+// Budgets: parallel_for accepts a RunBudget; workers observe it *between*
+// range tasks (one check per task execution, so worst-case overshoot is one
+// grain-sized range). Once the budget is interrupted, unclaimed ranges are
+// skipped and the matching csq::CancelledError / csq::DeadlineExceededError
+// is rethrown after the job drains — indices already attempted keep their
+// results. Which indices were attempted under an expiring deadline is
+// timing-dependent; pass an inert budget for bit-identical runs.
+//
 // Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
@@ -34,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/deadline.h"
 #include "parallel/work_stealing_deque.h"
 
 namespace csq::par {
@@ -61,7 +70,7 @@ class TaskPool {
   // exception thrown by fn (if any) is rethrown here. Thread-safe: multiple
   // threads may submit jobs concurrently.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                    std::size_t grain = 1);
+                    std::size_t grain = 1, const RunBudget& budget = {});
 
   [[nodiscard]] PoolStats stats() const;
 
@@ -75,6 +84,7 @@ class TaskPool {
   struct Job {
     std::function<void(std::size_t)> fn;
     std::size_t grain = 1;
+    RunBudget budget;  // observed by workers between range tasks
     std::atomic<std::size_t> remaining{0};  // indices not yet attempted
     std::mutex m;
     std::condition_variable done_cv;
@@ -134,15 +144,16 @@ class TaskPool {
 // index and rethrow the first exception afterwards, so error semantics and
 // by-index results do not depend on the thread count.
 void parallel_for(std::size_t n, int threads, const std::function<void(std::size_t)>& fn,
-                  std::size_t grain = 1);
+                  std::size_t grain = 1, const RunBudget& budget = {});
 
 // Facade: out[i] = f(i) for i in [0, n); ordering of the result vector is by
 // index regardless of execution order. R must be default-constructible.
 template <typename F>
-[[nodiscard]] auto parallel_map(std::size_t n, int threads, F&& f, std::size_t grain = 1) {
+[[nodiscard]] auto parallel_map(std::size_t n, int threads, F&& f, std::size_t grain = 1,
+                                const RunBudget& budget = {}) {
   using R = std::decay_t<decltype(f(std::size_t{0}))>;
   std::vector<R> out(n);
-  parallel_for(n, threads, [&](std::size_t i) { out[i] = f(i); }, grain);
+  parallel_for(n, threads, [&](std::size_t i) { out[i] = f(i); }, grain, budget);
   return out;
 }
 

@@ -1,12 +1,15 @@
 #include "qbd/qbd.h"
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <utility>
 
 #include "linalg/lu.h"
 
 #include "core/status.h"
+
+#include "core/faultpoint.h"
 
 #include "core/numeric.h"
 
@@ -48,20 +51,28 @@ struct IterationOutcome {
   Matrix r;
   bool converged = false;
   bool diverged = false;
+  bool interrupted = false;  // the RunBudget stopped the loop
   int iterations = 0;
   double last_diff = -1.0;
 };
 
 // R <- -(A0 + R² A2) A1^{-1} from R = 0 until the update falls below tol.
 // Each step is assembled in the workspace's scratch buffers, so the loop
-// performs no heap allocation after the first iteration.
+// performs no heap allocation after the first iteration. The budget is
+// polled every 16 iterations (worst-case overshoot: 16 cheap steps).
 IterationOutcome functional_iteration(const Matrix& a0, const Matrix& a1_inv,
                                       const Matrix& a2, double tolerance,
-                                      int max_iterations, Workspace& ws) {
+                                      int max_iterations, Workspace& ws,
+                                      const RunBudget& budget) {
   IterationOutcome out;
   const std::size_t m = a0.rows();
   out.r = Matrix(m, m);
   for (int it = 0; it < max_iterations; ++it) {
+    if ((it & 15) == 0 && budget.interrupted()) {
+      out.interrupted = true;
+      return out;
+    }
+    CSQ_FAULT_POINT_MATRIX("qbd.fi.iterate", &out.r(0, 0), m * m);
     linalg::multiply_into(ws.r2, out.r, out.r);
     linalg::multiply_into(ws.acc, ws.r2, a2);
     ws.acc += a0;
@@ -71,7 +82,10 @@ IterationOutcome functional_iteration(const Matrix& a0, const Matrix& a1_inv,
     std::swap(out.r, ws.next);
     out.iterations = it + 1;
     out.last_diff = diff;
-    if (out.r.max_abs() > 1e6) {
+    // A non-finite update (e.g. NaN leaked into an iterate) can never
+    // converge — classify it as divergence so the fallback chain engages
+    // instead of burning the whole iteration budget.
+    if (!std::isfinite(diff) || out.r.max_abs() > 1e6) {
       out.diverged = true;
       return out;
     }
@@ -105,24 +119,65 @@ Diagnostics SolveStats::to_diagnostics() const {
   return d;
 }
 
-double spectral_radius_estimate(const Matrix& m, int max_iterations, double tolerance) {
+double spectral_radius_estimate(const Matrix& m, int max_iterations, double tolerance,
+                                bool* converged_out, int* iterations_out,
+                                const RunBudget& budget) {
+  // Gelfand's formula with repeated squaring: after k squarings the stored
+  // matrix is a normalized m^(2^k), and ||m^(2^k)||^(1/2^k) -> sp(m) with
+  // error O(log(2^k) / 2^k) — geometric in k even for defective or
+  // complex-pair spectra, where plain power iteration stalls at O(1/iters)
+  // and can never certify 1e-12. ~55 squarings of these small dense R
+  // matrices are cheaper than a few hundred power steps.
   const std::size_t n = m.rows();
-  if (n == 0) return 0.0;
-  std::vector<double> v(n, 1.0);
-  std::vector<double> mv;  // ping-pong buffer: no per-iteration allocation
-  double norm = 0.0;
-  double prev = -1.0;
-  for (int it = 0; it < max_iterations; ++it) {
-    linalg::multiply_into(mv, m, v);
-    std::swap(v, mv);
-    norm = 0.0;
-    for (double x : v) norm = std::max(norm, std::abs(x));
-    if (num::exactly_zero(norm)) return 0.0;  // nilpotent within n steps
-    for (double& x : v) x /= norm;
-    if (std::abs(norm - prev) < tolerance * std::max(norm, 1.0)) break;
-    prev = norm;
+  bool converged = false;
+  int iterations = 0;
+  double estimate = 0.0;
+  if (n == 0) {
+    converged = true;
+  } else {
+    const auto inf_norm = [n](const Matrix& a) {
+      double best = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (std::size_t j = 0; j < n; ++j) s += std::abs(a(i, j));
+        best = std::max(best, s);
+      }
+      return best;
+    };
+    Matrix p = m;
+    Matrix sq;  // squaring scratch, reused: no per-step allocation after k = 1
+    // log_est accumulates log ||m^(2^k)|| / 2^k across the normalizations.
+    double log_est = 0.0;
+    double scale = 1.0;  // 2^-k
+    double prev = std::numeric_limits<double>::infinity();
+    // 2^60 effective power puts the defectiveness error far below 1e-12;
+    // honour a smaller caller-provided iteration cap.
+    const int max_squarings = std::min(max_iterations, 60);
+    for (int k = 0; k <= max_squarings; ++k) {
+      if (budget.interrupted()) break;  // best effort; caller decides
+      iterations = k;
+      const double c = inf_norm(p);
+      if (num::exactly_zero(c)) {  // m^(2^k) == 0: nilpotent, sp = 0
+        estimate = 0.0;
+        converged = true;
+        break;
+      }
+      log_est += std::log(c) * scale;
+      estimate = std::exp(log_est);
+      if (std::abs(estimate - prev) < tolerance * std::max(estimate, 1.0)) {
+        converged = true;
+        break;
+      }
+      prev = estimate;
+      p *= 1.0 / c;
+      linalg::multiply_into(sq, p, p);
+      std::swap(p, sq);
+      scale *= 0.5;
+    }
   }
-  return norm;
+  if (converged_out) *converged_out = converged;
+  if (iterations_out) *iterations_out = iterations;
+  return estimate;
 }
 
 double Solution::r_row_sum_max() const {
@@ -279,12 +334,45 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
       std::max(1.0, std::max(a0.max_abs(), std::max(a1.max_abs(), a2.max_abs())));
   const double accept_residual = std::max(1e-10, opts.tolerance * 1e3) * scale;
 
+  // Interrupted exit: publish partial stats, then let the budget throw the
+  // matching taxonomy error (CancelledError / DeadlineExceededError).
+  const auto throw_interrupted = [&](const std::string& where) {
+    stats.trail.push_back(where + ": interrupted by " +
+                          (opts.budget.cancelled() ? "cancellation" : "deadline"));
+    if (stats_out) *stats_out = stats;
+    Diagnostics d = stats.to_diagnostics();
+    d.tolerance = opts.tolerance;
+    opts.budget.check(where, std::move(d));
+    throw InternalError("solve_r: interrupted exit taken without an interrupted budget");
+  };
+
+  // sp(R) with a trusted convergence status: one larger-budget retry, then a
+  // structured failure — never a silently unconverged estimate.
+  const auto sp_checked = [&](const Matrix& r, const std::string& where) -> double {
+    bool conv = false;
+    int iters = 0;
+    double sp = spectral_radius_estimate(r, 500, 1e-12, &conv, &iters, opts.budget);
+    if (!conv && !opts.budget.interrupted())
+      sp = spectral_radius_estimate(r, 20000, 1e-12, &conv, &iters, opts.budget);
+    if (conv) return sp;
+    stats.trail.push_back(where + ": spectral-radius power iteration exhausted after " +
+                          std::to_string(iters) + " iterations (last estimate " + fmt(sp) +
+                          ")");
+    if (opts.budget.interrupted()) throw_interrupted(where);
+    Diagnostics d = stats.to_diagnostics();
+    d.iterations = iters;
+    d.tolerance = opts.tolerance;
+    if (stats_out) *stats_out = stats;
+    throw NotConvergedError(
+        where + ": spectral-radius power iteration did not converge", std::move(d));
+  };
+
   // Successful exit: record residual + spectral radius, reject sp(R) >= 1.
   const auto finish = [&](Matrix r, RMethod method, int iterations) -> Matrix {
     stats.method = method;
     stats.iterations = iterations;
     stats.residual = r_residual(a0, a1, a2, r);
-    stats.spectral_radius = spectral_radius_estimate(r);
+    stats.spectral_radius = sp_checked(r, std::string("solve_r/") + r_method_name(method));
     if (stats.spectral_radius >= 1.0 - 1e-10) {
       Diagnostics d = stats.to_diagnostics();
       d.tolerance = opts.tolerance;
@@ -302,14 +390,16 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
 
   // Stage 1: functional iteration (linear convergence; stalls near the
   // stability boundary where sp(R) -> 1).
-  const IterationOutcome fi =
-      functional_iteration(a0, a1_inv, a2, opts.tolerance, opts.max_iterations, ws);
+  const IterationOutcome fi = functional_iteration(a0, a1_inv, a2, opts.tolerance,
+                                                   opts.max_iterations, ws, opts.budget);
   stats.trail.push_back(std::string("functional_iteration: ") +
-                        (fi.converged ? "converged"
-                         : fi.diverged ? "diverged"
-                                       : "iteration budget exhausted") +
+                        (fi.converged      ? "converged"
+                         : fi.diverged     ? "diverged"
+                         : fi.interrupted  ? "interrupted by budget"
+                                           : "iteration budget exhausted") +
                         " after " + std::to_string(fi.iterations) +
                         " iterations (last update " + fmt(fi.last_diff) + ")");
+  if (fi.interrupted) throw_interrupted("solve_r/functional_iteration");
   if (fi.converged) return finish(fi.r, RMethod::kFunctionalIteration, fi.iterations);
 
   if (!opts.allow_fallback) {
@@ -328,6 +418,7 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   // Stage 2: logarithmic reduction (quadratically convergent; also the
   // arbiter of genuine instability — sp(R from G) >= 1 means the chain is
   // not positive recurrent, not that the iteration was unlucky).
+  if (opts.budget.interrupted()) throw_interrupted("solve_r/fallback_entry");
   int lr_steps = 0;
   double lr_last = -1.0;
   const Matrix g = solve_g_logred(a0, a1, a2, opts, &lr_steps, &lr_last, &ws);
@@ -335,7 +426,7 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   const double lr_residual = r_residual(a0, a1, a2, r_lr);
   stats.trail.push_back("logarithmic_reduction: " + std::to_string(lr_steps) +
                         " doubling steps, residual " + fmt(lr_residual));
-  const double lr_sp = spectral_radius_estimate(r_lr);
+  const double lr_sp = sp_checked(r_lr, "solve_r/logarithmic_reduction");
   if (lr_sp >= 1.0 - 1e-10) {
     stats.residual = lr_residual;
     stats.spectral_radius = lr_sp;
@@ -352,11 +443,12 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   // Stage 3: relaxed-tolerance functional iteration — rescues configs where
   // the update plateaus just above the requested tolerance from rounding.
   const double relaxed_tol = opts.tolerance * opts.fallback_tolerance_factor;
-  const IterationOutcome relaxed =
-      functional_iteration(a0, a1_inv, a2, relaxed_tol, opts.max_iterations, ws);
+  const IterationOutcome relaxed = functional_iteration(a0, a1_inv, a2, relaxed_tol,
+                                                        opts.max_iterations, ws, opts.budget);
   stats.trail.push_back(std::string("relaxed_iteration (tol ") + fmt(relaxed_tol) +
                         "): " + (relaxed.converged ? "converged" : "failed") + " after " +
                         std::to_string(relaxed.iterations) + " iterations");
+  if (relaxed.interrupted) throw_interrupted("solve_r/relaxed_iteration");
   if (relaxed.converged) return finish(relaxed.r, RMethod::kRelaxedIteration, relaxed.iterations);
 
   stats.residual = std::min(lr_residual, r_residual(a0, a1, a2, relaxed.r));
@@ -388,6 +480,13 @@ Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
   Matrix t = h;
   int steps = 0;
   for (int it = 0; it < 64; ++it) {
+    if (opts.budget.interrupted()) {
+      Diagnostics d;
+      d.iterations = steps;
+      d.tolerance = opts.tolerance;
+      opts.budget.check("qbd::solve_g_logred", std::move(d));
+    }
+    CSQ_FAULT_POINT("qbd.logred.iterate");
     linalg::multiply_into(ws.hl, h, l);
     linalg::multiply_into(ws.lh, l, h);
     ws.hl += ws.lh;  // U = HL + LH
@@ -502,6 +601,8 @@ Solution solve(const Model& model, const Options& opts) {
 
   std::vector<double> rhs(n, 0.0);
   rhs[0] = 1.0;
+  opts.budget.check("qbd::solve/boundary", stats.to_diagnostics());
+  CSQ_FAULT_POINT("qbd.solve.boundary");
   const linalg::Lu lu(e.transpose());
   stats.boundary_condition = lu.condition_estimate();
   if (stats.boundary_condition > 1e12)

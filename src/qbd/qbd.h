@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/status.h"
 #include "linalg/matrix.h"
 
@@ -58,6 +59,12 @@ struct Options {
   double fallback_tolerance_factor = 1e3;
   // Self-verification level applied by solve() to its Solution.
   VerifyLevel verify = VerifyLevel::kBasic;
+  // Wall-clock/cancellation budget. The iteration loops poll it (functional
+  // iteration every 16 iterations, log-reduction every doubling step, power
+  // iteration every 64 steps) and throw csq::DeadlineExceededError /
+  // csq::CancelledError with the partial SolveStats accumulated so far.
+  // Default: unlimited.
+  RunBudget budget;
 };
 
 // Which stage of the fallback chain produced R.
@@ -133,9 +140,10 @@ struct Solution {
 
 // Solve the QBD. Throws csq::UnstableError if the process is not positive
 // recurrent (sp(R) >= 1), csq::NotConvergedError when the whole fallback
-// chain fails, csq::InvalidInputError for malformed models, and
-// csq::VerificationFailedError when opts.verify rejects the solution (all
-// derive from the std exceptions historically thrown here).
+// chain fails, csq::InvalidInputError for malformed models,
+// csq::VerificationFailedError when opts.verify rejects the solution, and
+// csq::DeadlineExceededError / csq::CancelledError when opts.budget is
+// interrupted mid-solve (all derive from std exceptions).
 [[nodiscard]] Solution solve(const Model& model, const Options& opts = {});
 
 // Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0. a1 must carry its
@@ -160,9 +168,20 @@ struct Solution {
 // R from G: R = A0 (-A1 - A0 G)^{-1}.
 [[nodiscard]] Matrix r_from_g(const Matrix& a0, const Matrix& a1, const Matrix& g);
 
-// Spectral-radius estimate by power iteration with early exit once the
-// Rayleigh-style norm estimate stops moving.
+// Spectral-radius estimate via Gelfand's formula with repeated squaring
+// (||m^(2^k)||^(1/2^k)), with early exit once the estimate stops moving.
+// Unlike plain power iteration this converges geometrically in k for every
+// spectrum — defective eigenvalues and equal-modulus complex pairs included
+// — so `tolerance` is genuinely reachable. When the iteration budget (or
+// the RunBudget) runs out before the estimate settles, the last iterate is
+// still returned but *converged_out is false — callers that need a trusted
+// estimate must check it (solve_r retries with a larger budget and then
+// throws csq::NotConvergedError; best-effort callers like tail_decay_rate
+// ignore it). *iterations_out reports the iterations actually spent.
 [[nodiscard]] double spectral_radius_estimate(const Matrix& m, int max_iterations = 500,
-                                              double tolerance = 1e-12);
+                                              double tolerance = 1e-12,
+                                              bool* converged_out = nullptr,
+                                              int* iterations_out = nullptr,
+                                              const RunBudget& budget = {});
 
 }  // namespace csq::qbd

@@ -4,9 +4,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include <algorithm>
+
 #include "parallel/task_pool.h"
 #include "sim/rng.h"
 
+#include "core/faultpoint.h"
 #include "core/status.h"
 
 namespace csq::sim {
@@ -157,30 +160,61 @@ ClassStats aggregate_replications(const std::vector<ClassStats>& reps) {
   return agg;
 }
 
+double relative_ci(const ClassStats& stats) {
+  const double mean = std::abs(stats.mean_response);
+  return mean > 0.0 ? stats.ci95 / mean : 0.0;
+}
+
 ReplicatedResult simulate_replications(PolicyKind kind, const SystemConfig& config,
                                        const SimOptions& opts,
                                        const ReplicationOptions& ropts) {
   if (ropts.replications < 1)
     throw InvalidInputError("simulate_replications: need >= 1 replication");
+  if (!(ropts.target_rel_ci >= 0.0) || !std::isfinite(ropts.target_rel_ci))
+    throw InvalidInputError("simulate_replications: target_rel_ci must be finite and >= 0");
+  const bool adaptive = ropts.target_rel_ci > 0.0;
+  if (adaptive && ropts.max_replications < ropts.replications)
+    throw InvalidInputError("simulate_replications: max_replications < replications");
   const std::size_t n = static_cast<std::size_t>(ropts.replications);
   ReplicatedResult out;
   // Replication r's stream depends only on (opts.seed, r) — which worker
   // runs it is irrelevant — and each worker writes only its own slot, so
-  // the result is thread-count invariant.
-  out.replications = par::parallel_map(n, ropts.threads, [&](std::size_t r) {
-    SimOptions rep_opts = opts;
-    rep_opts.seed = split_seed(opts.seed, r);
-    return simulate(kind, config, rep_opts);
-  });
-  std::vector<ClassStats> shorts, longs;
-  shorts.reserve(n);
-  longs.reserve(n);
-  for (const SimResult& r : out.replications) {
-    shorts.push_back(r.shorts);
-    longs.push_back(r.longs);
+  // each batch is thread-count invariant.
+  const auto run_batch = [&](std::size_t first, std::size_t count) {
+    std::vector<SimResult> batch =
+        par::parallel_map(count, ropts.threads, [&](std::size_t i) {
+          CSQ_FAULT_POINT("sim.replication.start");
+          SimOptions rep_opts = opts;
+          rep_opts.seed = split_seed(opts.seed, first + i);
+          return simulate(kind, config, rep_opts);
+        });
+    out.replications.insert(out.replications.end(), batch.begin(), batch.end());
+  };
+  const auto reaggregate = [&] {
+    std::vector<ClassStats> shorts, longs;
+    shorts.reserve(out.replications.size());
+    longs.reserve(out.replications.size());
+    for (const SimResult& r : out.replications) {
+      shorts.push_back(r.shorts);
+      longs.push_back(r.longs);
+    }
+    out.shorts = aggregate_replications(shorts);
+    out.longs = aggregate_replications(longs);
+  };
+  run_batch(0, n);
+  reaggregate();
+  // Adaptive extension: the budget is polled only here, between rounds, so
+  // the initial batch always completes and budget exhaustion degrades the
+  // answer's precision instead of discarding it.
+  while (adaptive &&
+         std::max(relative_ci(out.shorts), relative_ci(out.longs)) > ropts.target_rel_ci &&
+         out.replications.size() < static_cast<std::size_t>(ropts.max_replications) &&
+         !ropts.budget.interrupted()) {
+    const std::size_t room =
+        static_cast<std::size_t>(ropts.max_replications) - out.replications.size();
+    run_batch(out.replications.size(), std::min(n, room));
+    reaggregate();
   }
-  out.shorts = aggregate_replications(shorts);
-  out.longs = aggregate_replications(longs);
   return out;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "core/deadline.h"
 #include "sim/stats.h"
 
 namespace csq::sim {
@@ -82,6 +83,25 @@ struct ReplicationOptions {
   // Worker threads running replications: 1 = inline on the caller
   // (default), 0 = all hardware threads, n >= 2 = work-stealing pool of n.
   int threads = 1;
+  // Wall-clock/cancellation budget. Observed only *between* replication
+  // rounds, never mid-replication and never before the initial batch: once
+  // simulate_replications starts, all `replications` runs complete (the
+  // degradation ladder relies on the simulation rung always producing an
+  // estimate). An interrupted budget only stops further adaptive extension
+  // — it is reported through the result, not an exception. Because the
+  // extension count then depends on wall-clock time, adaptive runs under a
+  // finite deadline are not bit-identical across machines; each individual
+  // replication (substream split_seed(seed, r)) still is.
+  RunBudget budget;
+  // Adaptive CI-width stopping: when > 0, after the initial batch keep
+  // adding rounds of up to `replications` further runs until every class's
+  // relative CI half-width (ci95 / |mean_response|) is <= target_rel_ci,
+  // max_replications is reached, or the budget is interrupted. 0 disables
+  // the rule (exactly `replications` runs — the historical behaviour).
+  double target_rel_ci = 0.0;
+  // Hard cap on total replications under the adaptive rule (ignored when
+  // target_rel_ci == 0). Must be >= replications.
+  int max_replications = 64;
 };
 
 struct ReplicatedResult {
@@ -169,11 +189,19 @@ class Engine {
 // Factory used by simulate(); exposed for tests that drive Engine directly.
 [[nodiscard]] std::unique_ptr<Policy> make_policy(PolicyKind kind, const SimOptions& opts);
 
+// ci95 / |mean_response|, or 0 when the mean is zero (no meaningful
+// relative width). Drives the adaptive CI-width stopping rule.
+[[nodiscard]] double relative_ci(const ClassStats& stats);
+
 // Run ropts.replications independent simulations, replication r seeded with
 // the substream split_seed(opts.seed, r), in parallel on ropts.threads
 // workers. Results (per replication and aggregated) are bit-identical
 // regardless of thread count; see docs/performance.md for the determinism
-// contract.
+// contract. With ropts.target_rel_ci > 0, further rounds of replications
+// (substream indices continuing where the batch left off) are appended
+// until the relative CI target, ropts.max_replications, or the budget is
+// hit — see ReplicationOptions for the budget observation points. Throws
+// csq::InvalidInputError on malformed options (core/status.h).
 [[nodiscard]] ReplicatedResult simulate_replications(PolicyKind kind,
                                                      const SystemConfig& config,
                                                      const SimOptions& opts = {},

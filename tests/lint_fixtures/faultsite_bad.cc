@@ -1,0 +1,12 @@
+// Fixture: seeds four fault-site-naming violations (lines 7, 8, 10, 11).
+#include "core/faultpoint.h"
+
+constexpr const char* kSite = "a.b.c";
+
+void f(double* data, std::size_t n) {
+  CSQ_FAULT_POINT("qbd.solve");            // two segments
+  CSQ_FAULT_POINT("Qbd.solve.Boundary");   // uppercase segments
+  CSQ_FAULT_POINT("dup.site.name");        // first registration: fine
+  CSQ_FAULT_POINT("dup.site.name");        // duplicate registration
+  CSQ_FAULT_POINT_MATRIX(kSite, data, n);  // not a string literal
+}

@@ -1,0 +1,7 @@
+// Fixture: clean twin of faultsite_bad.cc — well-formed, unique sites.
+#include "core/faultpoint.h"
+
+void g(double* data, std::size_t n) {
+  CSQ_FAULT_POINT("module.sub.action");
+  CSQ_FAULT_POINT_MATRIX("module.sub.other_action", data, n);
+}

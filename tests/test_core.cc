@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "core/config.h"
+#include "core/deadline.h"
 #include "core/solver.h"
 #include "core/sweep.h"
 #include "core/table.h"
@@ -89,6 +91,106 @@ TEST(Sweep, LinspaceOpenStaysStrictlyInsideTheInterval) {
   EXPECT_DOUBLE_EQ(v[4], 1.0);  // midpoint of an odd-sized grid
   EXPECT_THROW((void)linspace_open(1.0, 1.0, 3), csq::InvalidInputError);
   EXPECT_THROW((void)linspace_open(0, 1, 0), csq::InvalidInputError);
+}
+
+TEST(Sweep, LinspaceOpenSingletonIsTheMidpoint) {
+  // Deliberately unlike linspace: n == 1 yields the interior midpoint,
+  // never the boundary, so a one-point stability-region grid stays solvable.
+  const auto v = linspace_open(0.4, 1.2, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 0.8);
+}
+
+TEST(Sweep, ExpiredBudgetMarksEveryPointTimedOutButKeepsRows) {
+  SweepOptions opts;
+  opts.budget = RunBudget::with_timeout_ms(0);
+  const auto rows = sweep_rho_short(0.5, 1.0, 1.0, 1.0, {0.3, 0.6}, opts);
+  ASSERT_EQ(rows.size(), 2u);  // rows survive; no exception escapes the pool
+  EXPECT_DOUBLE_EQ(rows[0].x, 0.3);
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.dedicated_status, PointStatus::kTimedOut);
+    EXPECT_EQ(r.csid_status, PointStatus::kTimedOut);
+    EXPECT_EQ(r.cscq_status, PointStatus::kTimedOut);
+    EXPECT_TRUE(std::isnan(r.cscq_short));
+  }
+}
+
+TEST(Sweep, PointStatusNamesAreStable) {
+  EXPECT_STREQ(point_status_name(PointStatus::kOk), "ok");
+  EXPECT_STREQ(point_status_name(PointStatus::kUnstable), "unstable");
+  EXPECT_STREQ(point_status_name(PointStatus::kFailed), "failed");
+  EXPECT_STREQ(point_status_name(PointStatus::kDegraded), "degraded");
+  EXPECT_STREQ(point_status_name(PointStatus::kTimedOut), "timed-out");
+}
+
+TEST(RunBudget, DefaultIsInertAndUnlimited) {
+  const RunBudget b;
+  EXPECT_FALSE(b.has_deadline());
+  EXPECT_FALSE(b.interrupted());
+  EXPECT_EQ(b.remaining_ms(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(b.budget_ms(), std::numeric_limits<double>::infinity());
+  EXPECT_NO_THROW(b.check("test"));
+}
+
+TEST(RunBudget, NonPositiveTimeoutIsAlreadyExpired) {
+  for (const double ms : {0.0, -5.0}) {
+    const RunBudget b = RunBudget::with_timeout_ms(ms);
+    EXPECT_TRUE(b.has_deadline());
+    EXPECT_TRUE(b.expired());
+    EXPECT_TRUE(b.interrupted());
+    EXPECT_DOUBLE_EQ(b.remaining_ms(), 0.0);
+    EXPECT_THROW(b.check("test"), DeadlineExceededError);
+  }
+}
+
+TEST(RunBudget, InfiniteTimeoutIsUnlimitedNanThrows) {
+  const RunBudget b = RunBudget::with_timeout_ms(std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(b.has_deadline());
+  EXPECT_FALSE(b.expired());
+  EXPECT_NO_THROW(b.check("test"));
+  EXPECT_THROW((void)RunBudget::with_timeout_ms(std::nan("")), InvalidInputError);
+}
+
+TEST(RunBudget, CancelTokenWinsOverDeadline) {
+  CancelToken token;
+  const RunBudget b = RunBudget::with_timeout_ms(0).with_token(token);
+  EXPECT_THROW(b.check("test"), DeadlineExceededError);  // not yet cancelled
+  token.cancel();
+  // Cancelled *and* expired: check() reports the cancellation, not the
+  // deadline — the caller asked to stop.
+  EXPECT_TRUE(b.cancelled());
+  EXPECT_THROW(b.check("test"), CancelledError);
+}
+
+TEST(RunBudget, SliceNeverExtendsPastTheParentDeadline) {
+  const RunBudget parent = RunBudget::with_timeout_ms(50);
+  const RunBudget slice = parent.slice_ms(10000);
+  EXPECT_TRUE(slice.has_deadline());
+  EXPECT_LE(slice.remaining_ms(), parent.remaining_ms());
+  // Slicing an unlimited budget introduces a deadline.
+  const RunBudget capped = RunBudget::unlimited().slice_ms(10);
+  EXPECT_TRUE(capped.has_deadline());
+  EXPECT_LE(capped.remaining_ms(), 10.0);
+}
+
+TEST(RunBudget, VirtualClockAdvanceTripsTheDeadlineWithoutSleeping) {
+  timebase::reset_virtual();
+  const RunBudget b = RunBudget::with_timeout_ms(10000);
+  EXPECT_FALSE(b.expired());
+  timebase::advance_virtual_ns(20000LL * 1000 * 1000);  // +20 s, instantly
+  EXPECT_TRUE(b.expired());
+  EXPECT_THROW(b.check("test"), DeadlineExceededError);
+  timebase::reset_virtual();
+  EXPECT_FALSE(b.expired());
+}
+
+TEST(RunBudget, AnnotateStampsBudgetAndElapsed) {
+  const Diagnostics inert = RunBudget().annotate({});
+  EXPECT_FALSE(inert.has(inert.budget_ms));
+  const Diagnostics d = RunBudget::with_timeout_ms(100).annotate({});
+  EXPECT_TRUE(d.has(d.budget_ms));
+  EXPECT_TRUE(d.has(d.elapsed_ms));
+  EXPECT_NEAR(d.budget_ms, 100.0, 1.0);
 }
 
 TEST(Sweep, RhoShortMarksInstabilityWithNaN) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "linalg/lu.h"
@@ -35,6 +37,23 @@ TEST(Matrix, TransposeAndRowSums) {
   EXPECT_DOUBLE_EQ(rs[0], 6);
   EXPECT_DOUBLE_EQ(rs[1], 15);
   EXPECT_DOUBLE_EQ(a.max_abs(), 6);
+}
+
+TEST(Matrix, NormsPropagateNaNInsteadOfMaskingIt) {
+  // std::max-based folds silently drop NaN (the comparison is false); the
+  // norms must surface it so divergence and verification guards fire. The
+  // fault-injection chaos suite found the masked variant letting a poisoned
+  // functional iteration "converge".
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b = a;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.0);
+  a(0, 1) = nan;
+  EXPECT_TRUE(std::isnan(a.max_abs()));
+  EXPECT_TRUE(std::isnan(max_abs_diff(a, b)));
+  // NaN anywhere poisons the norm, even when a larger finite entry follows.
+  Matrix c{{nan, 2}, {3, 400}};
+  EXPECT_TRUE(std::isnan(c.max_abs()));
 }
 
 TEST(Matrix, ShapeMismatchThrows) {

@@ -167,6 +167,35 @@ TEST(LintRules, BannedIdentifier) {
   EXPECT_TRUE(lint_one("banned_clean.cc", "src/x/banned_clean.cc").empty());
 }
 
+TEST(LintRules, FaultSiteNaming) {
+  const std::vector<Finding> fs = lint_one("faultsite_bad.cc", "src/x/faultsite_bad.cc");
+  ASSERT_EQ(fs.size(), 4u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "fault-site-naming");
+  EXPECT_EQ(fs[0].line, 7);   // two segments
+  EXPECT_EQ(fs[1].line, 8);   // uppercase segments
+  EXPECT_EQ(fs[2].line, 10);  // duplicate registration
+  EXPECT_EQ(fs[3].line, 11);  // non-literal site
+  EXPECT_NE(fs[0].message.find("module.sub.action"), std::string::npos);
+  EXPECT_NE(fs[2].message.find("already registered"), std::string::npos);
+  EXPECT_TRUE(lint_one("faultsite_clean.cc", "src/x/faultsite_clean.cc").empty());
+}
+
+TEST(LintRules, FaultSiteNamingCrossFileDuplicate) {
+  // The same site registered in two different files is still a duplicate.
+  std::vector<SourceFile> two = {fixture("faultsite_clean.cc", "src/a/faultsite_clean.cc"),
+                                 fixture("faultsite_clean.cc", "src/b/faultsite_clean.cc")};
+  const std::vector<Finding> fs = csq::lint::run_rules(two);
+  ASSERT_EQ(fs.size(), 2u);
+  for (const Finding& f : fs) {
+    EXPECT_EQ(f.rule, "fault-site-naming");
+    EXPECT_NE(f.message.find("already registered at src/a/"), std::string::npos);
+  }
+}
+
+TEST(LintRules, FaultSiteNamingSkipsTests) {
+  EXPECT_TRUE(lint_one("faultsite_bad.cc", "tests/faultsite_bad.cc").empty());
+}
+
 // --- Suppressions ----------------------------------------------------------
 
 TEST(LintSuppress, AllowWithReasonCoversNextLine) {
@@ -191,9 +220,10 @@ TEST(LintSuppress, SelftestPasses) {
 
 TEST(LintRegistry, CatalogIsStable) {
   const std::vector<csq::lint::RuleInfo>& rs = csq::lint::rules();
-  ASSERT_EQ(rs.size(), 9u);
+  ASSERT_EQ(rs.size(), 10u);
   EXPECT_STREQ(rs[0].id, "raw-throw");
-  EXPECT_STREQ(rs[8].id, "suppression");
+  EXPECT_STREQ(rs[8].id, "fault-site-naming");
+  EXPECT_STREQ(rs[9].id, "suppression");
 }
 
 }  // namespace

@@ -1,0 +1,290 @@
+// The degradation ladder (analysis/resilient.h) and the deterministic fault
+// injection layer (core/faultpoint.h) that exercises it.
+//
+// The ResilientChaos suite carries the `chaos` ctest label: in a normal
+// build its tests GTEST_SKIP (fault injection is compiled out); under
+// -DCSQ_FAULT_INJECTION=ON they drive every rung of the ladder plus the
+// deadline/cancel paths deterministically — burn faults advance the virtual
+// clock (core/deadline.h timebase), so no test ever sleeps.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/cscq.h"
+#include "analysis/resilient.h"
+#include "core/config.h"
+#include "core/deadline.h"
+#include "core/faultpoint.h"
+#include "core/sweep.h"
+#include "sim/simulator.h"
+
+namespace csq {
+namespace {
+
+using analysis::Rung;
+using analysis::analyze_resilient;
+using analysis::ResilientOptions;
+using analysis::ResilientResult;
+
+SystemConfig clean_config() {
+  // Exponential shorts and longs so every rung (the truncated oracle
+  // requires exponential sizes) can answer.
+  return SystemConfig::paper_setup(0.5, 0.5, 1.0, 1.0);
+}
+
+// Cheap simulation rung for tests: small runs, fixed replication count.
+ResilientOptions fast_sim_opts() {
+  ResilientOptions opts;
+  opts.sim.total_completions = 20000;
+  opts.sim_reps.replications = 4;
+  opts.sim_target_rel_ci = 0.0;  // fixed count: deterministic and fast
+  return opts;
+}
+
+// --- Ladder semantics that need no fault injection -------------------------
+
+TEST(ResilientLadder, CleanConfigUsesTheExactRung) {
+  const ResilientResult r = analyze_resilient(clean_config());
+  EXPECT_EQ(r.rung_used, Rung::kExact);
+  ASSERT_EQ(r.attempts.size(), 1u);
+  EXPECT_TRUE(r.attempts[0].succeeded);
+  EXPECT_EQ(r.attempts[0].rung, Rung::kExact);
+  // The exact rung's answer is the exact analysis's answer.
+  const analysis::CscqResult exact = analysis::analyze_cscq(clean_config());
+  EXPECT_DOUBLE_EQ(r.metrics.shorts.mean_response, exact.metrics.shorts.mean_response);
+  EXPECT_DOUBLE_EQ(r.metrics.longs.mean_response, exact.metrics.longs.mean_response);
+  // Analytic rungs report no CI.
+  EXPECT_EQ(r.ci_half_width_short, 0.0);
+  EXPECT_EQ(r.replications_used, 0);
+}
+
+TEST(ResilientLadder, ExpiredBudgetAtEntryThrowsDeadlineExceeded) {
+  ResilientOptions opts;
+  opts.budget = RunBudget::with_timeout_ms(0);
+  EXPECT_THROW((void)analyze_resilient(clean_config(), opts), DeadlineExceededError);
+}
+
+TEST(ResilientLadder, CancelledBudgetThrowsCancelledNotDeadline) {
+  CancelToken token;
+  token.cancel();
+  ResilientOptions opts;
+  // Cancelled *and* expired: cancellation must win (the user asked to stop;
+  // a deadline answer would misreport why).
+  opts.budget = RunBudget::with_timeout_ms(0).with_token(token);
+  EXPECT_THROW((void)analyze_resilient(clean_config(), opts), CancelledError);
+}
+
+TEST(ResilientLadder, UnstableConfigThrowsBeforeAnyRung) {
+  // rho_S = 1.8 at rho_L = 0.5 is outside the CS-CQ region (frontier 1.5):
+  // no rung can produce a steady state, so the ladder must not try.
+  const SystemConfig c = SystemConfig::paper_setup(1.8, 0.5, 1.0, 1.0);
+  EXPECT_THROW((void)analyze_resilient(c), UnstableError);
+}
+
+TEST(ResilientLadder, MalformedOptionsThrowInvalidInput) {
+  ResilientOptions opts;
+  opts.exact_budget_fraction = 0.0;
+  EXPECT_THROW((void)analyze_resilient(clean_config(), opts), InvalidInputError);
+  opts = ResilientOptions{};
+  opts.truncation_mass_tolerance = 0.0;
+  EXPECT_THROW((void)analyze_resilient(clean_config(), opts), InvalidInputError);
+}
+
+TEST(ResilientLadder, RungNamesAreStable) {
+  EXPECT_STREQ(analysis::rung_name(Rung::kExact), "exact");
+  EXPECT_STREQ(analysis::rung_name(Rung::kTruncated), "truncated");
+  EXPECT_STREQ(analysis::rung_name(Rung::kSimulation), "simulation");
+}
+
+// --- Fault-spec parsing (available in every build) -------------------------
+
+TEST(FaultSpec, ParsesTheThreeKinds) {
+  const fault::ArmSpec t = fault::parse_arm_spec("qbd.fi.iterate:2:throw:NotConverged");
+  EXPECT_EQ(t.site, "qbd.fi.iterate");
+  EXPECT_EQ(t.trigger_count, 2);
+  EXPECT_EQ(t.kind, fault::Kind::kThrow);
+  EXPECT_EQ(t.code, ErrorCode::kNotConverged);
+
+  const fault::ArmSpec n = fault::parse_arm_spec("a.b.c:1:nan");
+  EXPECT_EQ(n.kind, fault::Kind::kNan);
+
+  const fault::ArmSpec b = fault::parse_arm_spec("a.b.c:1:burn:5.5");
+  EXPECT_EQ(b.kind, fault::Kind::kBurn);
+  EXPECT_DOUBLE_EQ(b.burn_ms, 5.5);
+}
+
+TEST(FaultSpec, RejectsMalformedSpecs) {
+  for (const char* spec : {"nosep", "a.b.c:1", "a.b.c:x:nan", "a.b.c:0:nan",
+                           ":1:nan", "a.b.c:1:burn:-2", "a.b.c:1:burn:x",
+                           "a.b.c:1:throw:Bogus", "a.b.c:1:weird"})
+    EXPECT_THROW((void)fault::parse_arm_spec(spec), InvalidInputError) << spec;
+}
+
+TEST(FaultSpec, ArmWithoutFaultBuildThrows) {
+  if (fault::enabled()) GTEST_SKIP() << "fault injection compiled in";
+  EXPECT_THROW(fault::arm(fault::parse_arm_spec("a.b.c:1:nan")), InvalidInputError);
+}
+
+// --- Chaos: fault-injected ladder walks (`ctest -L chaos`) -----------------
+
+class ResilientChaos : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!fault::enabled())
+      GTEST_SKIP() << "build with -DCSQ_FAULT_INJECTION=ON to run chaos tests";
+    fault::disarm_all();
+    timebase::reset_virtual();
+  }
+  void TearDown() override {
+    if (fault::enabled()) {
+      fault::disarm_all();
+      timebase::reset_virtual();
+    }
+  }
+};
+
+TEST_F(ResilientChaos, ExactRungFaultFallsBackToTruncated) {
+  fault::arm(fault::parse_arm_spec("analysis.cscq.solve:1:throw:NotConverged"));
+  const ResilientResult r = analyze_resilient(clean_config(), fast_sim_opts());
+  EXPECT_EQ(r.rung_used, Rung::kTruncated);
+  ASSERT_EQ(r.attempts.size(), 2u);
+  EXPECT_FALSE(r.attempts[0].succeeded);
+  EXPECT_EQ(r.attempts[0].status.code, ErrorCode::kNotConverged);
+  EXPECT_TRUE(r.attempts[1].succeeded);
+  EXPECT_EQ(r.truncation_cap, 100);  // first cap suffices on this easy config
+  EXPECT_LE(r.truncation_mass, 1e-6);
+  EXPECT_GT(r.metrics.shorts.mean_response, 1.0);
+  // Single-shot: the site fired once and is healthy again.
+  EXPECT_EQ(fault::hits("analysis.cscq.solve"), 1);
+  EXPECT_TRUE(fault::armed_sites().empty());
+}
+
+TEST_F(ResilientChaos, BothAnalyticRungsFaultedFallToSimulation) {
+  fault::arm(fault::parse_arm_spec("analysis.cscq.solve:1:throw:NotConverged"));
+  fault::arm(fault::parse_arm_spec("analysis.truncated.solve:1:throw:NotConverged"));
+  ResilientOptions opts = fast_sim_opts();
+  opts.truncation_caps = {60};  // one cap, so the single-shot fault kills the rung
+  const ResilientResult r = analyze_resilient(clean_config(), opts);
+  EXPECT_EQ(r.rung_used, Rung::kSimulation);
+  ASSERT_EQ(r.attempts.size(), 3u);
+  EXPECT_EQ(r.attempts[0].rung, Rung::kExact);
+  EXPECT_EQ(r.attempts[1].rung, Rung::kTruncated);
+  EXPECT_EQ(r.attempts[1].status.code, ErrorCode::kNotConverged);
+  EXPECT_TRUE(r.attempts[2].succeeded);
+  EXPECT_EQ(r.replications_used, 4);
+  EXPECT_GT(r.ci_half_width_short, 0.0);
+  // The simulated estimate is in the right ballpark of the exact answer.
+  const analysis::CscqResult exact = analysis::analyze_cscq(clean_config());
+  EXPECT_NEAR(r.metrics.shorts.mean_response, exact.metrics.shorts.mean_response,
+              0.5 * exact.metrics.shorts.mean_response);
+}
+
+TEST_F(ResilientChaos, NanInjectionIsAbsorbedByTheQbdFallbackChain) {
+  // Poison the functional iteration's R once: the solver must detect the
+  // damage and rescue the *exact* rung via logarithmic reduction — the
+  // ladder never even sees a failure.
+  fault::arm(fault::parse_arm_spec("qbd.fi.iterate:1:nan"));
+  const ResilientResult r = analyze_resilient(clean_config(), fast_sim_opts());
+  EXPECT_EQ(r.rung_used, Rung::kExact);
+  EXPECT_EQ(r.solve_stats.method, qbd::RMethod::kLogReduction);
+  EXPECT_TRUE(std::isfinite(r.metrics.shorts.mean_response));
+  EXPECT_GE(fault::hits("qbd.fi.iterate"), 1);
+}
+
+TEST_F(ResilientChaos, BurnFaultTripsTheDeadlineMidLadder) {
+  // 1000ms of *virtual* time burned inside the exact rung blows the 50ms
+  // budget without sleeping: the exact rung dies on DeadlineExceeded, the
+  // truncated rung is skipped, and the simulation rung still answers (once
+  // reached it always runs its initial batch).
+  fault::arm(fault::parse_arm_spec("analysis.cscq.solve:1:burn:1000"));
+  ResilientOptions opts = fast_sim_opts();
+  opts.budget = RunBudget::with_timeout_ms(50);
+  const ResilientResult r = analyze_resilient(clean_config(), opts);
+  EXPECT_EQ(r.rung_used, Rung::kSimulation);
+  ASSERT_GE(r.attempts.size(), 3u);
+  EXPECT_EQ(r.attempts[0].rung, Rung::kExact);
+  EXPECT_EQ(r.attempts[0].status.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(r.attempts[1].rung, Rung::kTruncated);
+  EXPECT_EQ(r.attempts[1].status.code, ErrorCode::kDeadlineExceeded);
+  EXPECT_TRUE(r.attempts.back().succeeded);
+  EXPECT_TRUE(std::isfinite(r.metrics.shorts.mean_response));
+}
+
+TEST_F(ResilientChaos, CancellationAbortsTheLadderNoConsolationPrize) {
+  // A throw:Cancelled fault models the cancel token firing inside the exact
+  // rung: unlike a deadline, cancellation must abort the whole ladder.
+  fault::arm(fault::parse_arm_spec("analysis.cscq.solve:1:throw:Cancelled"));
+  EXPECT_THROW((void)analyze_resilient(clean_config(), fast_sim_opts()), CancelledError);
+}
+
+TEST_F(ResilientChaos, SweepMarksAFaultedPolicyFailedNotUnstable) {
+  // mg1.pk.wait is hit first by the Dedicated analysis: the injected
+  // failure must show up as kFailed on that policy's status byte only.
+  fault::arm(fault::parse_arm_spec("mg1.pk.wait:1:throw:NotConverged"));
+  const auto rows = sweep_rho_short(0.5, 1.0, 1.0, 1.0, {0.5});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].dedicated_status, PointStatus::kFailed);
+  EXPECT_TRUE(std::isnan(rows[0].dedicated_short));
+  EXPECT_EQ(rows[0].cscq_status, PointStatus::kOk);
+  // The saturated-long fallback fill still runs (the site is healthy again).
+  EXPECT_FALSE(std::isnan(rows[0].dedicated_long));
+}
+
+// --- Adaptive CI stopping in the simulation rung's engine ------------------
+
+TEST(SimAdaptive, DisabledRuleRunsExactlyTheRequestedReplications) {
+  sim::SimOptions sopts;
+  sopts.total_completions = 5000;
+  sim::ReplicationOptions ropts;
+  ropts.replications = 3;
+  ropts.target_rel_ci = 0.0;
+  const sim::ReplicatedResult r =
+      sim::simulate_replications(sim::PolicyKind::kCsCq, clean_config(), sopts, ropts);
+  EXPECT_EQ(r.replications.size(), 3u);
+}
+
+TEST(SimAdaptive, UnreachableTargetExtendsToTheCap) {
+  sim::SimOptions sopts;
+  sopts.total_completions = 5000;
+  sim::ReplicationOptions ropts;
+  ropts.replications = 2;
+  ropts.target_rel_ci = 1e-9;  // unreachable: must stop at max_replications
+  ropts.max_replications = 6;
+  const sim::ReplicatedResult r =
+      sim::simulate_replications(sim::PolicyKind::kCsCq, clean_config(), sopts, ropts);
+  EXPECT_EQ(r.replications.size(), 6u);
+  EXPECT_GT(r.shorts.ci95, 0.0);
+}
+
+TEST(SimAdaptive, ExpiredBudgetStillRunsTheInitialBatch) {
+  sim::SimOptions sopts;
+  sopts.total_completions = 5000;
+  sim::ReplicationOptions ropts;
+  ropts.replications = 2;
+  ropts.target_rel_ci = 1e-9;
+  ropts.max_replications = 64;
+  ropts.budget = RunBudget::with_timeout_ms(0);  // expired before the first run
+  const sim::ReplicatedResult r =
+      sim::simulate_replications(sim::PolicyKind::kCsCq, clean_config(), sopts, ropts);
+  // The initial batch always completes; the expired budget only stops the
+  // adaptive extension.
+  EXPECT_EQ(r.replications.size(), 2u);
+}
+
+TEST(SimAdaptive, MalformedOptionsThrowInvalidInput) {
+  sim::ReplicationOptions ropts;
+  ropts.replications = 0;
+  EXPECT_THROW((void)sim::simulate_replications(sim::PolicyKind::kCsCq, clean_config(),
+                                                sim::SimOptions{}, ropts),
+               InvalidInputError);
+  ropts = sim::ReplicationOptions{};
+  ropts.target_rel_ci = 0.5;
+  ropts.max_replications = ropts.replications - 1;  // cap below the batch
+  EXPECT_THROW((void)sim::simulate_replications(sim::PolicyKind::kCsCq, clean_config(),
+                                                sim::SimOptions{}, ropts),
+               InvalidInputError);
+}
+
+}  // namespace
+}  // namespace csq

@@ -6,11 +6,14 @@
 #   werror      whole tree under -Wall -Wextra -Werror
 #   asan-ubsan  ASan+UBSan build, tier1 suite under it   (CSQ_SKIP_ASAN=1)
 #   tsan        TSan build, `ctest -L parallel` under it (CSQ_SKIP_TSAN=1)
+#   chaos       fault-injection build (ASan+UBSan, -DCSQ_FAULT_INJECTION=ON),
+#               `ctest -L chaos` under it                (CSQ_SKIP_CHAOS=1)
 #   clang-tidy  src/ against .clang-tidy, if clang-tidy is installed
 #   csq-lint    project invariants: csq_lint --selftest + repo scan
 #
 # usage: tools/check_warnings.sh [build-dir] [tsan-build-dir] [asan-build-dir]
-#        (defaults: build-werror, build-tsan, build-asan)
+#        (defaults: build-werror, build-tsan, build-asan; the chaos stage
+#        builds in build-chaos)
 set -u
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -60,7 +63,19 @@ else
   note "PASS  tsan        (parallel suite clean under ThreadSanitizer)"
 fi
 
-# --- stage 4: clang-tidy (optional tool) ------------------------------------
+# --- stage 4: chaos (fault injection under ASan+UBSan) ----------------------
+if [ "${CSQ_SKIP_CHAOS:-0}" = "1" ]; then
+  note "SKIP  chaos       (CSQ_SKIP_CHAOS=1)"
+else
+  chaos_dir="$repo_root/build-chaos"
+  cmake -B "$chaos_dir" -S "$repo_root" -DCSQ_FAULT_INJECTION=ON -DCSQ_SANITIZE=ON \
+    -DCSQ_WERROR=ON >/dev/null || fail "chaos (configure)"
+  cmake --build "$chaos_dir" -j || fail "chaos (build)"
+  (cd "$chaos_dir" && ctest -L chaos --output-on-failure) || fail "chaos (chaos suite)"
+  note "PASS  chaos       (fault-injected ladder clean under ASan+UBSan)"
+fi
+
+# --- stage 5: clang-tidy (optional tool) ------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is exported by the werror configure above.
   find "$repo_root/src" -name '*.cc' -print0 \
@@ -71,7 +86,7 @@ else
   note "SKIP  clang-tidy  (not installed)"
 fi
 
-# --- stage 5: csq_lint ------------------------------------------------------
+# --- stage 6: csq_lint ------------------------------------------------------
 cmake --build "$build_dir" -j --target csq_lint || fail "csq-lint (build)"
 "$build_dir/tools/csq_lint" --selftest >/dev/null || fail "csq-lint (selftest)"
 "$build_dir/tools/csq_lint" --root "$repo_root" || fail "csq-lint (repo scan)"

@@ -1,23 +1,32 @@
 // csq_cli — command-line front end for the cyclesteal library.
 //
 //   csq_cli analyze   --policy cscq|csid|dedicated [workload flags]
+//                     [--resilient] (cscq only: exact -> truncated ->
+//                     simulation degradation ladder)
 //   csq_cli simulate  --policy cscq|csid|dedicated|cscq-norename|mg2-fcfs|
 //                              mg2-sjf|lwr|tags|round-robin
 //                     [workload flags] [--completions N] [--seed N]
-//                     [--tags-cutoff X]
+//                     [--tags-cutoff X] [--reps N] [--target-ci X]
+//                     [--max-reps N]
 //   csq_cli sweep     --x rho_s|rho_l --from A --to B --points N
-//                     [workload flags] [--csv]
+//                     [workload flags] [--csv] [--resilient]
 //   csq_cli stability [--points N]
 //
 // Workload flags: --rho-s X --rho-l X --mean-s X --mean-l X --scv-l X
 // (defaults 0.9, 0.5, 1, 1, 1; shorts exponential as in the paper).
 //
 // Global flags: --json-errors (emit structured diagnostics as JSON on
-// stdout), --verify none|basic|full (self-check level for analytic results).
+// stdout), --verify none|basic|full (self-check level for analytic results),
+// --timeout-ms X (wall-clock RunBudget for the command; exceeded deadlines
+// exit 7 unless --resilient degrades to a cheaper answer first), --fault
+// site:count:kind[,site:count:kind...] (arm deterministic fault-injection
+// sites; requires a -DCSQ_FAULT_INJECTION=ON build, see core/faultpoint.h).
 //
 // Exit codes follow the error taxonomy: 0 ok, 1 internal error, 2 invalid
 // input, 3 unstable (outside the stability region), 4 solver not converged,
-// 5 ill-conditioned system, 6 result failed self-verification.
+// 5 ill-conditioned system, 6 result failed self-verification, 7 deadline
+// exceeded, 8 cancelled.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -82,27 +91,63 @@ VerifyLevel verify_level(const Args& a) {
   throw InvalidInputError("unknown --verify level: " + v + " (want none|basic|full)");
 }
 
-int cmd_analyze(const Args& a) {
-  const SystemConfig c = workload(a);
-  const std::string p = a.text("policy", "cscq");
-  const VerifyLevel verify = verify_level(a);
-  PolicyMetrics m;
-  if (p == "cscq") {
-    m = analyze(Policy::kCsCq, c, /*busy_period_moments=*/3, verify);
-  } else if (p == "csid") {
-    m = analyze(Policy::kCsId, c, /*busy_period_moments=*/3, verify);
-  } else if (p == "dedicated") {
-    m = analyze(Policy::kDedicated, c, /*busy_period_moments=*/3, verify);
-  } else {
-    std::cerr << "unknown analytic policy: " << p << "\n";
-    return 2;
-  }
+// The command's RunBudget: inert without --timeout-ms.
+RunBudget run_budget(const Args& a) {
+  if (!a.has("timeout-ms")) return {};
+  return RunBudget::with_timeout_ms(a.number("timeout-ms", 0.0));
+}
+
+void print_metrics(const PolicyMetrics& m) {
   Table t({"class", "E[T]", "E[W]", "E[N]"});
   t.add_row({"short", format_cell(m.shorts.mean_response), format_cell(m.shorts.mean_wait),
              format_cell(m.shorts.mean_number)});
   t.add_row({"long", format_cell(m.longs.mean_response), format_cell(m.longs.mean_wait),
              format_cell(m.longs.mean_number)});
   t.print(std::cout);
+}
+
+int cmd_analyze(const Args& a) {
+  const SystemConfig c = workload(a);
+  const std::string p = a.text("policy", "cscq");
+  const VerifyLevel verify = verify_level(a);
+  const RunBudget budget = run_budget(a);
+  if (a.has("resilient")) {
+    if (p != "cscq") {
+      std::cerr << "--resilient applies to --policy cscq only\n";
+      return 2;
+    }
+    analysis::ResilientOptions opts;
+    opts.budget = budget;
+    opts.verify = verify;
+    const analysis::ResilientResult r = analysis::analyze_resilient(c, opts);
+    print_metrics(r.metrics);
+    std::cout << "rung: " << analysis::rung_name(r.rung_used);
+    if (r.rung_used == analysis::Rung::kTruncated)
+      std::cout << " (caps " << r.truncation_cap << ", stranded mass "
+                << format_cell(r.truncation_mass) << ")";
+    if (r.rung_used == analysis::Rung::kSimulation)
+      std::cout << " (" << r.replications_used << " replications, ci95 short "
+                << format_cell(r.ci_half_width_short) << ", long "
+                << format_cell(r.ci_half_width_long) << ")";
+    std::cout << "\n";
+    for (const analysis::RungAttempt& at : r.attempts)
+      if (!at.succeeded)
+        std::cout << "  " << analysis::rung_name(at.rung) << ": "
+                  << error_code_name(at.status.code) << " — " << at.status.message << "\n";
+    return 0;
+  }
+  PolicyMetrics m;
+  if (p == "cscq") {
+    m = analyze(Policy::kCsCq, c, /*busy_period_moments=*/3, verify, budget);
+  } else if (p == "csid") {
+    m = analyze(Policy::kCsId, c, /*busy_period_moments=*/3, verify, budget);
+  } else if (p == "dedicated") {
+    m = analyze(Policy::kDedicated, c, /*busy_period_moments=*/3, verify, budget);
+  } else {
+    std::cerr << "unknown analytic policy: " << p << "\n";
+    return 2;
+  }
+  print_metrics(m);
   return 0;
 }
 
@@ -130,12 +175,17 @@ int cmd_simulate(const Args& a) {
   o.tags_cutoff = a.number("tags-cutoff", o.tags_cutoff);
   Table t({"class", "E[T]", "ci95", "completions"});
   const int reps = static_cast<int>(a.number("reps", 1));
-  if (reps > 1) {
+  if (reps > 1 || a.has("target-ci")) {
     // Independent replications with deterministic per-replication substreams:
-    // results are identical for any --threads value.
+    // results are identical for any --threads value (except the adaptive
+    // replication *count* under --timeout-ms; see sim::ReplicationOptions).
     sim::ReplicationOptions ropts;
     ropts.replications = reps;
     ropts.threads = static_cast<int>(a.number("threads", 1));
+    ropts.budget = run_budget(a);
+    ropts.target_rel_ci = a.number("target-ci", 0.0);
+    ropts.max_replications =
+        static_cast<int>(a.number("max-reps", std::max(ropts.max_replications, reps)));
     const sim::ReplicatedResult r = sim::simulate_replications(it->second, workload(a), o, ropts);
     t.add_row({"short", format_cell(r.shorts.mean_response), format_cell(r.shorts.ci95),
                std::to_string(r.shorts.completions)});
@@ -161,6 +211,8 @@ int cmd_sweep(const Args& a) {
   // any --threads value (0 = all hardware threads).
   SweepOptions opts;
   opts.threads = static_cast<int>(a.number("threads", 1));
+  opts.budget = run_budget(a);
+  opts.resilient = a.has("resilient");
   std::vector<SweepRow> rows;
   if (axis == "rho_s") {
     rows = sweep_rho_short(a.number("rho-l", 0.5), a.number("mean-s", 1.0),
@@ -173,10 +225,13 @@ int cmd_sweep(const Args& a) {
     return 2;
   }
   Table t({axis, "ded_short", "csid_short", "cscq_short", "ded_long", "csid_long",
-           "cscq_long"});
+           "cscq_long", "ded_status", "csid_status", "cscq_status"});
   for (const SweepRow& r : rows)
-    t.add_row({r.x, r.dedicated_short, r.csid_short, r.cscq_short, r.dedicated_long,
-               r.csid_long, r.cscq_long});
+    t.add_row({format_cell(r.x), format_cell(r.dedicated_short), format_cell(r.csid_short),
+               format_cell(r.cscq_short), format_cell(r.dedicated_long),
+               format_cell(r.csid_long), format_cell(r.cscq_long),
+               point_status_name(r.dedicated_status), point_status_name(r.csid_status),
+               point_status_name(r.cscq_status)});
   if (a.has("csv"))
     t.write_csv(std::cout);
   else
@@ -203,14 +258,20 @@ void usage() {
       "usage: csq_cli <analyze|simulate|sweep|stability> [--flags]\n"
       "  workload: --rho-s X --rho-l X --mean-s X --mean-l X --scv-l X\n"
       "  analyze:  --policy cscq|csid|dedicated [--verify none|basic|full]\n"
+      "            [--resilient] (cscq: exact->truncated->simulation ladder)\n"
       "  simulate: --policy cscq|csid|dedicated|cscq-norename|mg2-fcfs|mg2-sjf|\n"
       "                     lwr|tags|round-robin  [--completions N] [--seed N]\n"
-      "                     [--tags-cutoff X]\n"
+      "                     [--tags-cutoff X] [--reps N] [--target-ci X]\n"
+      "                     [--max-reps N]\n"
       "  sweep:    --x rho_s|rho_l --from A --to B --points N [--csv]\n"
+      "            [--resilient]\n"
       "  stability: [--points N] [--csv]\n"
       "  global:   --json-errors (structured error JSON on stdout)\n"
+      "            --timeout-ms X (wall-clock budget; deadline exit = 7)\n"
+      "            --fault site:count:kind[,...] (needs CSQ_FAULT_INJECTION)\n"
       "exit codes: 0 ok, 1 internal, 2 invalid input, 3 unstable,\n"
-      "            4 not converged, 5 ill-conditioned, 6 verification failed\n";
+      "            4 not converged, 5 ill-conditioned, 6 verification failed,\n"
+      "            7 deadline exceeded, 8 cancelled\n";
 }
 
 // Exit code per taxonomy code (documented in usage()).
@@ -222,6 +283,8 @@ int exit_code(ErrorCode code) {
     case ErrorCode::kNotConverged: return 4;
     case ErrorCode::kIllConditioned: return 5;
     case ErrorCode::kVerificationFailed: return 6;
+    case ErrorCode::kDeadlineExceeded: return 7;
+    case ErrorCode::kCancelled: return 8;
     case ErrorCode::kInternal: return 1;
   }
   return 1;
@@ -251,6 +314,20 @@ int main(int argc, char** argv) {
   }
   const bool json_errors = a.has("json-errors");
   try {
+    if (a.has("fault")) {
+      // Arm before dispatch so every command can be chaos-tested. Rejected
+      // with InvalidInputError when fault injection is not compiled in.
+      std::string specs = a.text("fault", "");
+      std::size_t start = 0;
+      while (start <= specs.size()) {
+        const std::size_t comma = specs.find(',', start);
+        const std::string one =
+            specs.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+        if (!one.empty()) fault::arm(fault::parse_arm_spec(one));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
     if (a.command == "analyze") return cmd_analyze(a);
     if (a.command == "simulate") return cmd_simulate(a);
     if (a.command == "sweep") return cmd_sweep(a);

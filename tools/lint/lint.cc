@@ -213,6 +213,8 @@ const std::vector<RuleInfo>& rules() {
       {"error-docs", "headers must document the taxonomy errors their .cc throws"},
       {"catch-all-swallow", "catch (...) must rethrow or convert to SolverStatus"},
       {"banned-identifier", "assert()/rand()/srand()/gets() are banned (CSQ_ASSERT, sim::Rng)"},
+      {"fault-site-naming",
+       "fault sites are literal module.sub.action strings, registered exactly once"},
       {"suppression", "csq-lint: allow(...) comments must name a known rule and give a reason"},
   };
   return kRules;
@@ -560,6 +562,72 @@ void rule_error_docs(const std::vector<SourceFile>& files, std::vector<Finding>*
   }
 }
 
+// A fault site is module.sub.action: exactly three '.'-separated segments,
+// each a lowercase identifier ([a-z][a-z0-9_]*).
+[[nodiscard]] bool valid_fault_site(const std::string& site) {
+  int segments = 0;
+  std::size_t begin = 0;
+  while (begin <= site.size()) {
+    std::size_t end = site.find('.', begin);
+    if (end == std::string::npos) end = site.size();
+    if (end == begin) return false;  // empty segment
+    if (site[begin] < 'a' || site[begin] > 'z') return false;
+    for (std::size_t i = begin; i < end; ++i) {
+      const char c = site[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+      if (!ok) return false;
+    }
+    ++segments;
+    if (end == site.size()) break;
+    begin = end + 1;
+  }
+  return segments == 3;
+}
+
+// fault-site-naming (cross-file): every CSQ_FAULT_POINT /
+// CSQ_FAULT_POINT_MATRIX site must be a literal "module.sub.action" string,
+// and each site must be registered at exactly one call site repo-wide —
+// duplicate registrations make fault::hits() counts and single-shot arming
+// ambiguous.
+void rule_fault_site_naming(const std::vector<SourceFile>& files,
+                            std::vector<Finding>* out) {
+  struct FirstSeen {
+    std::string rel;
+    int line = 0;
+  };
+  std::map<std::string, FirstSeen> seen;
+  for (const SourceFile& f : files) {
+    if (starts_with(f.rel, "tests/")) continue;
+    const Tokens& t = f.tokens;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent ||
+          (t[i].text != "CSQ_FAULT_POINT" && t[i].text != "CSQ_FAULT_POINT_MATRIX"))
+        continue;
+      if (t[i + 1].text != "(") continue;
+      if (t[i + 2].kind != TokKind::kString) {
+        out->push_back({f.path, t[i].line, "fault-site-naming",
+                        t[i].text + " site must be a string literal so the site "
+                            "catalogue is statically enumerable"});
+        continue;
+      }
+      // Strip the quotes the tokenizer preserves.
+      const std::string site = t[i + 2].text.substr(1, t[i + 2].text.size() - 2);
+      if (!valid_fault_site(site)) {
+        out->push_back({f.path, t[i].line, "fault-site-naming",
+                        "fault site \"" + site + "\" must be module.sub.action "
+                            "(three lowercase dot-separated segments)"});
+        continue;
+      }
+      const auto [it, inserted] = seen.emplace(site, FirstSeen{f.rel, t[i].line});
+      if (!inserted)
+        out->push_back({f.path, t[i].line, "fault-site-naming",
+                        "fault site \"" + site + "\" already registered at " +
+                            it->second.rel + ":" + std::to_string(it->second.line) +
+                            " — each site must appear exactly once"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& config) {
@@ -588,6 +656,7 @@ std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& con
   // suppression comment on the header's first line covers them.
   std::vector<Finding> cross;
   rule_error_docs(files, &cross);
+  rule_fault_site_naming(files, &cross);
   for (Finding& fd : cross) {
     bool suppressed = false;
     for (SourceFile& f : files) {

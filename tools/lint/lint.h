@@ -19,6 +19,9 @@
 //   catch-all-swallow  (R7) catch (...) must rethrow or convert to Status
 //   banned-identifier  (R8) assert()/rand()/srand() are banned (CSQ_ASSERT,
 //                           sim::Rng)
+//   fault-site-naming  (R9) CSQ_FAULT_POINT sites must be literal
+//                           module.sub.action strings, each registered
+//                           exactly once repo-wide
 //   suppression        (meta) malformed `csq-lint: allow(...)` comments
 //
 // Findings print as `file:line: [rule-id] message`. A finding on line L is
@@ -118,7 +121,8 @@ struct Config {
   // Exception types permitted after a `throw` keyword (last path component).
   std::vector<std::string> allowed_throw_types = {
       "InvalidInputError",  "UnstableError",       "NotConvergedError",
-      "IllConditionedError", "VerificationFailedError", "InternalError"};
+      "IllConditionedError", "VerificationFailedError", "InternalError",
+      "DeadlineExceededError", "CancelledError"};
   // Identifiers banned everywhere (rule banned-identifier).
   std::vector<std::string> banned_identifiers = {"assert", "rand", "srand", "gets"};
 };

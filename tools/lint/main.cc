@@ -38,6 +38,8 @@ using csq::lint::SourceFile;
     case csq::ErrorCode::kNotConverged: return 4;
     case csq::ErrorCode::kIllConditioned: return 5;
     case csq::ErrorCode::kVerificationFailed: return 6;
+    case csq::ErrorCode::kDeadlineExceeded: return 7;
+    case csq::ErrorCode::kCancelled: return 8;
     case csq::ErrorCode::kInternal: return 1;
   }
   return 1;
