@@ -15,7 +15,7 @@ int main() {
   const double scv_long = 8.0;
   std::cout << "=== Figure 5: longs ~ Coxian (C^2 = 8), rho_L = " << rho_l << " ===\n\n";
 
-  const std::vector<double> grid = linspace(0.05, 1.45, 29);
+  const std::vector<double> grid = fig_grid_rho_short();
   for (const auto& p : bench::panels()) {
     const auto rows = sweep_rho_short(rho_l, p.mean_short, p.mean_long, scv_long, grid);
     bench::print_sweep(std::string("-- E[T] short jobs, ") + p.label, "rho_S", rows, true);

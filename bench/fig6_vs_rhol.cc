@@ -20,9 +20,9 @@ int main() {
             << " (longs C^2 = 8) ===\n\n";
 
   // Shorts: only meaningful below the CS-CQ frontier rho_L = 0.5.
-  const std::vector<double> grid_s = linspace(0.01, 0.49, 25);
+  const std::vector<double> grid_s = fig_grid_rho_long_shorts();
   // Longs: stable for all rho_L < 1 under every policy.
-  const std::vector<double> grid_l = linspace(0.02, 0.96, 25);
+  const std::vector<double> grid_l = fig_grid_rho_long_longs();
   for (const auto& p : bench::panels()) {
     const auto rows_s = sweep_rho_long(rho_s, p.mean_short, p.mean_long, scv_long, grid_s);
     bench::print_sweep(std::string("-- E[T] short jobs, ") + p.label, "rho_L", rows_s, true);

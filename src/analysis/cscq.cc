@@ -8,6 +8,7 @@
 
 #include "core/faultpoint.h"
 #include "core/numeric.h"
+#include "obs/trace.h"
 
 namespace csq::analysis {
 
@@ -25,6 +26,8 @@ const dist::PhaseType& require_exponential_shorts(const SystemConfig& config) {
 }  // namespace
 
 CscqResult analyze_cscq(const SystemConfig& config, const CscqOptions& opts) {
+  CSQ_OBS_SPAN("analysis.cscq.analyze");
+  const obs::DeltaScope obs_scope;
   config.validate();
   const double mu_s = require_exponential_shorts(config).rate();
   const double ls = config.lambda_short;
@@ -159,6 +162,7 @@ CscqResult analyze_cscq(const SystemConfig& config, const CscqOptions& opts) {
   const dist::Moments setup{w2 / delta, 2.0 * w2 / (delta * delta),
                             6.0 * w2 / (delta * delta * delta)};
   res.metrics.longs = class_metrics_from_response(mg1::setup_response(ll, xl, setup), ll, xl.m1);
+  res.obs_metrics = obs_scope.delta();
   return res;
 }
 

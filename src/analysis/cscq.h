@@ -30,6 +30,7 @@
 
 #include "core/config.h"
 #include "dist/moment_match.h"
+#include "obs/obs.h"
 #include "qbd/qbd.h"
 
 namespace csq::analysis {
@@ -53,6 +54,9 @@ struct CscqResult {
   dist::FitReport fit_batch;
   double qbd_mass_error = 0.0;  // |total stationary mass - 1|
   qbd::SolveStats solve_stats;  // R-solver stage, residual, condition estimate
+  // Obs counter increments during this call (process-global; see
+  // src/obs/obs.h for the concurrent-solve attribution caveat).
+  obs::MetricsDelta obs_metrics;
 
   // Short-job queue-length distribution (the chain tracks it exactly):
   // P(N_S = n) ~ c * decay^n asymptotically, and the 99th percentile of the

@@ -7,6 +7,7 @@
 #include "transforms/busy_period.h"
 
 #include "core/numeric.h"
+#include "obs/trace.h"
 
 namespace csq::analysis {
 
@@ -24,6 +25,8 @@ const dist::PhaseType& require_exponential_shorts(const SystemConfig& config) {
 }  // namespace
 
 CsidResult analyze_csid(const SystemConfig& config, const CsidOptions& opts) {
+  CSQ_OBS_SPAN("analysis.csid.analyze");
+  const obs::DeltaScope obs_scope;
   config.validate();
   const double mu_s = require_exponential_shorts(config).rate();
   const double ls = config.lambda_short;
@@ -121,6 +124,7 @@ CsidResult analyze_csid(const SystemConfig& config, const CsidOptions& opts) {
     shorts = class_metrics_from_response(xs.m1, 0.0, xs.m1);
   }
   res.metrics.shorts = shorts;
+  res.obs_metrics = obs_scope.delta();
   return res;
 }
 

@@ -26,6 +26,7 @@
 
 #include "core/config.h"
 #include "dist/moment_match.h"
+#include "obs/obs.h"
 #include "qbd/qbd.h"
 
 namespace csq::analysis {
@@ -47,6 +48,7 @@ struct CsidResult {
   dist::FitReport fit_single;
   dist::FitReport fit_batch;
   qbd::SolveStats solve_stats;     // R-solver stage, residual, condition estimate
+  obs::MetricsDelta obs_metrics;   // counter increments during this call
 };
 
 // Throws csq::UnstableError (a std::domain_error) outside the CS-ID

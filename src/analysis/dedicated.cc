@@ -1,10 +1,12 @@
 #include "analysis/dedicated.h"
 
 #include "mg1/mg1.h"
+#include "obs/trace.h"
 
 namespace csq::analysis {
 
 PolicyMetrics analyze_dedicated(const SystemConfig& config) {
+  CSQ_OBS_SPAN("analysis.dedicated.analyze");
   config.validate();
   const dist::Moments xs = config.short_size->moments();
   const dist::Moments xl = config.long_size->moments();

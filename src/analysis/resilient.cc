@@ -8,6 +8,7 @@
 #include "analysis/stability.h"
 #include "core/solver.h"
 #include "msim/multi_sim.h"
+#include "obs/trace.h"
 
 namespace csq::analysis {
 
@@ -37,6 +38,8 @@ Diagnostics ladder_diagnostics(const SystemConfig& config, const ResilientOption
 }  // namespace
 
 ResilientResult analyze_resilient(const SystemConfig& config, const ResilientOptions& opts) {
+  CSQ_OBS_SPAN("analysis.resilient.ladder");
+  const obs::DeltaScope obs_scope;
   config.validate();
   if (!(opts.exact_budget_fraction > 0.0) || !(opts.exact_budget_fraction <= 1.0))
     throw InvalidInputError("analyze_resilient: exact_budget_fraction must be in (0, 1]");
@@ -57,6 +60,7 @@ ResilientResult analyze_resilient(const SystemConfig& config, const ResilientOpt
   // CancelledError aborts the ladder (the caller asked to stop); so does
   // UnstableError, which the entry check makes unreachable in practice.
   const auto attempt = [&](Rung rung, const auto& body) -> bool {
+    CSQ_OBS_COUNT("resilient.attempts.count");
     RungAttempt a;
     a.rung = rung;
     const std::int64_t t0 = timebase::now_ns();
@@ -74,6 +78,8 @@ ResilientResult analyze_resilient(const SystemConfig& config, const ResilientOpt
     }
     a.elapsed_ms = static_cast<double>(timebase::now_ns() - t0) / 1e6;
     res.attempts.push_back(std::move(a));
+    if (res.attempts.back().succeeded)
+      CSQ_OBS_GAUGE_SET("resilient.rung.used", static_cast<int>(rung));
     return res.attempts.back().succeeded;
   };
 
@@ -109,7 +115,10 @@ ResilientResult analyze_resilient(const SystemConfig& config, const ResilientOpt
       res.solve_stats = r.solve_stats;
       res.rung_used = Rung::kExact;
     });
-    if (ok) return res;
+    if (ok) {
+      res.obs_metrics = obs_scope.delta();
+      return res;
+    }
   }
 
   // --- rung 2: truncated finite CTMC with growing caps ---------------------
@@ -145,7 +154,10 @@ ResilientResult analyze_resilient(const SystemConfig& config, const ResilientOpt
       res.truncation_cap = cap;
       res.truncation_mass = mass;
     });
-    if (ok) return res;
+    if (ok) {
+      res.obs_metrics = obs_scope.delta();
+      return res;
+    }
     // A caps-independent rejection (e.g. non-exponential longs) will not be
     // cured by growing the truncation; fall through to simulation at once.
     if (res.attempts.back().status.code == ErrorCode::kInvalidInput) break;
@@ -178,7 +190,10 @@ ResilientResult analyze_resilient(const SystemConfig& config, const ResilientOpt
     res.ci_half_width_long = mr.longs.ci95;
     res.replications_used = static_cast<int>(mr.replications.size());
   });
-  if (ok) return res;
+  if (ok) {
+    res.obs_metrics = obs_scope.delta();
+    return res;
+  }
 
   // Every rung failed. Prefer the budget's typed error when it was the
   // limiting factor; otherwise report the exhausted ladder with its trail.

@@ -43,6 +43,7 @@
 #include "core/config.h"
 #include "core/deadline.h"
 #include "core/status.h"
+#include "obs/obs.h"
 #include "qbd/qbd.h"
 #include "sim/simulator.h"
 
@@ -98,6 +99,9 @@ struct ResilientResult {
   // Truncated rung only: accepted caps and the worst stranded mass.
   int truncation_cap = 0;
   double truncation_mass = 0.0;
+  // Obs counter increments across the whole ladder walk (every rung
+  // attempted, not just the one that held).
+  obs::MetricsDelta obs_metrics;
 };
 
 [[nodiscard]] ResilientResult analyze_resilient(const SystemConfig& config,

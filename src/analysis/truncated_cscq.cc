@@ -4,6 +4,7 @@
 #include "core/faultpoint.h"
 #include "core/status.h"
 #include "ctmc/sparse.h"
+#include "obs/trace.h"
 #include "ctmc/stationary.h"
 #include "dist/phase_type.h"
 
@@ -23,6 +24,8 @@ double exponential_rate(const dist::DistPtr& d, const char* what) {
 
 TruncatedCscqResult analyze_cscq_truncated(const SystemConfig& config,
                                            const TruncatedCscqOptions& opts) {
+  CSQ_OBS_SPAN("analysis.truncated.analyze");
+  const obs::DeltaScope obs_scope;
   config.validate();
   const double mu_s = exponential_rate(config.short_size, "short");
   const double mu_l = exponential_rate(config.long_size, "long");
@@ -121,6 +124,7 @@ TruncatedCscqResult analyze_cscq_truncated(const SystemConfig& config,
                                                    ls, mean_xs);
   res.metrics.longs = class_metrics_from_response(ll > 0.0 ? mean_longs / ll : mean_xl,
                                                   ll, mean_xl);
+  res.obs_metrics = obs_scope.delta();
   return res;
 }
 

@@ -21,6 +21,7 @@
 
 #include "core/config.h"
 #include "core/deadline.h"
+#include "obs/obs.h"
 
 namespace csq::analysis {
 
@@ -43,6 +44,7 @@ struct TruncatedCscqResult {
   double mass_at_long_cap = 0.0;
   bool converged = false;
   int sweeps = 0;
+  obs::MetricsDelta obs_metrics;   // counter increments during this call
 };
 
 // Throws std::invalid_argument unless both size distributions are

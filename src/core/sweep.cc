@@ -9,6 +9,8 @@
 #include "core/solver.h"
 #include "core/status.h"
 #include "mg1/mg1.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "parallel/task_pool.h"
 
 namespace csq {
@@ -50,6 +52,12 @@ std::vector<double> linspace_open(double lo, double hi, int n) {
   return v;
 }
 
+std::vector<double> fig_grid_rho_short() { return linspace(0.05, 1.45, 29); }
+
+std::vector<double> fig_grid_rho_long_shorts() { return linspace(0.01, 0.49, 25); }
+
+std::vector<double> fig_grid_rho_long_longs() { return linspace(0.02, 0.96, 25); }
+
 namespace {
 
 // How a failed in-region analysis shows up in the status byte.
@@ -67,6 +75,8 @@ SweepRow evaluate_point(double rho_short, double rho_long, double mean_short,
                         const SweepOptions& opts) {
   SweepRow row;
   row.x = x;
+  CSQ_OBS_SPAN("sweep.point.evaluate");
+  CSQ_OBS_COUNT("sweep.points.evaluated");
   const SystemConfig config =
       SystemConfig::paper_setup(rho_short, rho_long, mean_short, mean_long, long_scv);
   // One budget poll per point: a point that started runs to completion, so
@@ -146,6 +156,13 @@ SweepRow evaluate_point(double rho_short, double rho_long, double mean_short,
     if (std::isnan(row.cscq_long))
       row.cscq_long = analysis::cscq_long_response_saturated(config);
   }
+  // A point "failed" when any in-region policy lost its value to a solver
+  // failure or deadline (out-of-region kUnstable is expected, not a failure).
+  const auto lost = [](PointStatus s) {
+    return s == PointStatus::kFailed || s == PointStatus::kTimedOut;
+  };
+  if (lost(row.dedicated_status) || lost(row.csid_status) || lost(row.cscq_status))
+    CSQ_OBS_COUNT("sweep.points.failed");
   return row;
 }
 

@@ -83,6 +83,22 @@ struct SweepOptions {
 // yields the single midpoint {(lo+hi)/2}, never the boundary {lo}.
 [[nodiscard]] std::vector<double> linspace_open(double lo, double hi, int n);
 
+// Canonical operating-point grids for the paper's figure series. The fig4/5/6
+// benches, the golden regression suite (tests/test_golden_figures.cc) and ad
+// hoc sweeps all pull from these three builders, so the x-axes cannot drift
+// apart between a bench rerun and the pinned golden values.
+
+// Figures 4-5 x-axis: rho_S from 0.05 to 1.45 in steps of 0.05 (29 points).
+[[nodiscard]] std::vector<double> fig_grid_rho_short();
+
+// Figure 6 short-job panels: rho_L from 0.01 to 0.49 (25 points), strictly
+// below the CS-CQ frontier rho_L = 2 - rho_S = 0.5 at the figure's rho_S = 1.5.
+[[nodiscard]] std::vector<double> fig_grid_rho_long_shorts();
+
+// Figure 6 long-job panels: rho_L from 0.02 to 0.96 (25 points) — the long
+// host is stable for any rho_L < 1 regardless of policy.
+[[nodiscard]] std::vector<double> fig_grid_rho_long_longs();
+
 // Figures 4 and 5: response time vs rho_S at fixed rho_L.
 [[nodiscard]] std::vector<SweepRow> sweep_rho_short(double rho_long, double mean_short,
                                                     double mean_long, double long_scv,

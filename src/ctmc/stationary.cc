@@ -10,6 +10,10 @@
 
 #include "core/numeric.h"
 
+#include "obs/obs.h"
+
+#include "obs/trace.h"
+
 namespace csq::ctmc {
 
 StationaryResult stationary(const Generator& q, const StationaryOptions& opts) {
@@ -17,6 +21,7 @@ StationaryResult stationary(const Generator& q, const StationaryOptions& opts) {
   if (opts.omega <= 0.0 || opts.omega >= 2.0)
     throw InvalidInputError("ctmc::stationary: omega must be in (0, 2)");
   const std::size_t n = q.size();
+  CSQ_OBS_SPAN("ctmc.stationary.solve");
   StationaryResult res;
   res.pi.assign(n, 1.0 / static_cast<double>(n));
   for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
@@ -58,6 +63,7 @@ StationaryResult stationary(const Generator& q, const StationaryOptions& opts) {
       break;
     }
   }
+  CSQ_OBS_COUNT_N("ctmc.stationary.sweeps", res.sweeps);
   return res;
 }
 

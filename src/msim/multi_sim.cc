@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <stdexcept>
@@ -13,6 +14,8 @@
 
 #include "core/faultpoint.h"
 #include "core/status.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace csq::msim {
 
@@ -222,6 +225,8 @@ MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
         .sample(rng);
   };
 
+  CSQ_OBS_SPAN("msim.engine.run");
+  std::uint64_t events = 0;
   double next_arrival[2] = {draw_gap(JobClass::kShort), draw_gap(JobClass::kLong)};
   std::size_t completions = 0;
   const auto warmup =
@@ -231,6 +236,7 @@ MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
   double last_event = 0.0;
 
   while (completions < opts.total_completions) {
+    ++events;
     double t = next_arrival[0];
     int ev = 0;  // 0/1 arrivals, 2+s completion on server s
     if (next_arrival[1] < t) {
@@ -268,6 +274,8 @@ MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
     }
   }
 
+  CSQ_OBS_COUNT_N("msim.engine.events", events);
+
   MultiResult res;
   res.shorts = {resp_short.count(), resp_short.mean(), resp_short.ci95_halfwidth()};
   res.longs = {resp_long.count(), resp_long.mean(), resp_long.ci95_halfwidth()};
@@ -293,6 +301,8 @@ MultiReplicatedResult simulate_multi_replications(MultiPolicy policy,
   const std::size_t n = static_cast<std::size_t>(ropts.replications);
   MultiReplicatedResult out;
   const auto run_batch = [&](std::size_t first, std::size_t count) {
+    CSQ_OBS_COUNT("msim.reps.rounds");
+    CSQ_OBS_COUNT_N("msim.reps.total", count);
     std::vector<MultiResult> batch =
         par::parallel_map(count, ropts.threads, [&](std::size_t i) {
           CSQ_FAULT_POINT("msim.replication.start");

@@ -1,0 +1,114 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+#include "core/deadline.h"
+
+namespace csq::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+std::atomic<std::size_t> g_dropped{0};
+
+std::mutex& buffer_mu() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<TraceEvent>& buffer() {
+  static std::vector<TraceEvent> events;
+  return events;
+}
+
+// Small sequential thread ids in first-recording order, so traces from a
+// pool run read as lanes 0..n rather than opaque native handles.
+int this_thread_tid() {
+  static std::atomic<int> next{0};
+  thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+int& this_thread_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+void set_tracing(bool on) { g_tracing.store(on, std::memory_order_relaxed); }
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+std::vector<TraceEvent> trace_events() {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(buffer_mu());
+    out = buffer();
+  }
+  std::sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+std::size_t trace_dropped() { return g_dropped.load(std::memory_order_relaxed); }
+
+void clear_trace() {
+  std::lock_guard<std::mutex> lock(buffer_mu());
+  buffer().clear();
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json() {
+  const std::vector<TraceEvent> events = trace_events();
+  std::int64_t epoch_ns = 0;
+  if (!events.empty()) epoch_ns = events.front().start_ns;
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    // Microseconds with nanosecond decimals; ts relative to the first span
+    // so the viewer opens at t=0.
+    const double ts_us = static_cast<double>(e.start_ns - epoch_ns) / 1000.0;
+    const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+    out << "\n  {\"name\": \"" << e.name << "\", \"cat\": \"csq\", \"ph\": \"X\""
+        << ", \"ts\": " << ts_us << ", \"dur\": " << dur_us
+        << ", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"args\": {\"depth\": " << e.depth << "}}";
+  }
+  out << "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out.str();
+}
+
+Span::Span(const char* name) {
+  if (!tracing_enabled()) return;
+  name_ = name;
+  depth_ = this_thread_depth()++;
+  start_ns_ = timebase::now_ns();
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  --this_thread_depth();
+  TraceEvent e;
+  e.name = name_;
+  e.start_ns = start_ns_;
+  e.dur_ns = timebase::now_ns() - start_ns_;
+  e.tid = this_thread_tid();
+  e.depth = depth_;
+  std::lock_guard<std::mutex> lock(buffer_mu());
+  if (buffer().size() >= kMaxTraceEvents) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer().push_back(std::move(e));
+}
+
+}  // namespace csq::obs

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/status.h"
+#include "obs/obs.h"
 
 namespace csq::par {
 
@@ -138,6 +139,7 @@ TaskPool::RangeTask* TaskPool::find_task(std::size_t self) {
     if (RangeTask* t = workers_[victim]->deque.steal()) {
       pending_.fetch_sub(1, std::memory_order_seq_cst);
       ++me.steals;
+      CSQ_OBS_COUNT("pool.tasks.stolen");
       return t;
     }
   }
@@ -177,6 +179,7 @@ void TaskPool::execute(RangeTask* task, std::size_t self) {
     }
   }
   ++workers_[self]->executed;
+  CSQ_OBS_COUNT("pool.tasks.executed");
 
   if (first_error) {
     std::lock_guard<std::mutex> lk(job->m);
@@ -216,6 +219,7 @@ void TaskPool::worker_loop(std::size_t self) {
       if (pending_.load(std::memory_order_seq_cst) == 0 &&
           !stop_.load(std::memory_order_seq_cst)) {
         ++me.suspensions;
+        CSQ_OBS_COUNT("pool.workers.suspended");
         wake_cv_.wait(lk, [&] {
           return stop_.load(std::memory_order_seq_cst) ||
                  pending_.load(std::memory_order_seq_cst) > 0;

@@ -13,6 +13,10 @@
 
 #include "core/numeric.h"
 
+#include "obs/obs.h"
+
+#include "obs/trace.h"
+
 namespace csq::qbd {
 
 namespace {
@@ -129,6 +133,7 @@ double spectral_radius_estimate(const Matrix& m, int max_iterations, double tole
   // and can never certify 1e-12. ~55 squarings of these small dense R
   // matrices are cheaper than a few hundred power steps.
   const std::size_t n = m.rows();
+  CSQ_OBS_SPAN("qbd.solve.spectral");
   bool converged = false;
   int iterations = 0;
   double estimate = 0.0;
@@ -177,6 +182,7 @@ double spectral_radius_estimate(const Matrix& m, int max_iterations, double tole
   }
   if (converged_out) *converged_out = converged;
   if (iterations_out) *iterations_out = iterations;
+  CSQ_OBS_COUNT_N("qbd.spectral.squarings", iterations);
   return estimate;
 }
 
@@ -328,6 +334,10 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   Workspace local_ws;
   Workspace& ws = workspace ? *workspace : local_ws;
   SolveStats stats;
+  CSQ_OBS_COUNT("qbd.solve.calls");
+  // A warm workspace keeps the iteration allocation-free; count the solves
+  // that had to (re)shape scratch so sweeps can verify buffer reuse.
+  if (ws.r2.rows() != m || ws.r2.cols() != m) CSQ_OBS_COUNT("qbd.workspace.resizes");
 
   // Accept R when it solves its equation to near the rate scale's precision.
   const double scale =
@@ -369,6 +379,8 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
 
   // Successful exit: record residual + spectral radius, reject sp(R) >= 1.
   const auto finish = [&](Matrix r, RMethod method, int iterations) -> Matrix {
+    CSQ_OBS_GAUGE_SET("solver.fallback.stage", static_cast<int>(method));
+    if (method != RMethod::kFunctionalIteration) CSQ_OBS_COUNT("solver.fallback.engaged");
     stats.method = method;
     stats.iterations = iterations;
     stats.residual = r_residual(a0, a1, a2, r);
@@ -390,8 +402,12 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
 
   // Stage 1: functional iteration (linear convergence; stalls near the
   // stability boundary where sp(R) -> 1).
-  const IterationOutcome fi = functional_iteration(a0, a1_inv, a2, opts.tolerance,
-                                                   opts.max_iterations, ws, opts.budget);
+  const IterationOutcome fi = [&] {
+    CSQ_OBS_SPAN("qbd.solve.fi");
+    return functional_iteration(a0, a1_inv, a2, opts.tolerance, opts.max_iterations, ws,
+                                opts.budget);
+  }();
+  CSQ_OBS_COUNT_N("qbd.fi.iterations", fi.iterations);
   stats.trail.push_back(std::string("functional_iteration: ") +
                         (fi.converged      ? "converged"
                          : fi.diverged     ? "diverged"
@@ -443,8 +459,12 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   // Stage 3: relaxed-tolerance functional iteration — rescues configs where
   // the update plateaus just above the requested tolerance from rounding.
   const double relaxed_tol = opts.tolerance * opts.fallback_tolerance_factor;
-  const IterationOutcome relaxed = functional_iteration(a0, a1_inv, a2, relaxed_tol,
-                                                        opts.max_iterations, ws, opts.budget);
+  const IterationOutcome relaxed = [&] {
+    CSQ_OBS_SPAN("qbd.solve.relaxed");
+    return functional_iteration(a0, a1_inv, a2, relaxed_tol, opts.max_iterations, ws,
+                                opts.budget);
+  }();
+  CSQ_OBS_COUNT_N("qbd.relaxed.iterations", relaxed.iterations);
   stats.trail.push_back(std::string("relaxed_iteration (tol ") + fmt(relaxed_tol) +
                         "): " + (relaxed.converged ? "converged" : "failed") + " after " +
                         std::to_string(relaxed.iterations) + " iterations");
@@ -473,6 +493,7 @@ Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
   const std::size_t m = a0.rows();
   Workspace local_ws;
   Workspace& ws = workspace ? *workspace : local_ws;
+  CSQ_OBS_SPAN("qbd.solve.logred");
   const Matrix neg_a1_inv = linalg::inverse((-1.0) * a1);
   Matrix h = neg_a1_inv * a0;  // "up" probability block
   Matrix l = neg_a1_inv * a2;  // "down" probability block
@@ -508,6 +529,7 @@ Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
   }
   if (steps_out) *steps_out = steps;
   if (last_update_out) *last_update_out = t.max_abs();
+  CSQ_OBS_COUNT_N("qbd.logred.doublings", steps);
   return g;
 }
 
@@ -603,12 +625,16 @@ Solution solve(const Model& model, const Options& opts) {
   rhs[0] = 1.0;
   opts.budget.check("qbd::solve/boundary", stats.to_diagnostics());
   CSQ_FAULT_POINT("qbd.solve.boundary");
-  const linalg::Lu lu(e.transpose());
-  stats.boundary_condition = lu.condition_estimate();
-  if (stats.boundary_condition > 1e12)
-    stats.trail.push_back("boundary system ill-conditioned (cond ~ " +
-                          fmt(stats.boundary_condition) + "); iterative refinement applied");
-  const std::vector<double> x = lu.solve_refined(rhs);
+  std::vector<double> x;
+  {
+    CSQ_OBS_SPAN("qbd.solve.boundary");
+    const linalg::Lu lu(e.transpose());
+    stats.boundary_condition = lu.condition_estimate();
+    if (stats.boundary_condition > 1e12)
+      stats.trail.push_back("boundary system ill-conditioned (cond ~ " +
+                            fmt(stats.boundary_condition) + "); iterative refinement applied");
+    x = lu.solve_refined(rhs);
+  }
 
   Solution sol;
   sol.r = r;

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
 
@@ -11,6 +12,8 @@
 
 #include "core/faultpoint.h"
 #include "core/status.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace csq::sim {
 
@@ -65,6 +68,8 @@ void Engine::record_completion(const Job& job) {
 }
 
 SimResult Engine::run(Policy& policy) {
+  CSQ_OBS_SPAN("sim.engine.run");
+  std::uint64_t events = 0;
   dist::MapProcess::State map_state;
   if (config_.short_arrivals) map_state = config_.short_arrivals->stationary_state(rng_);
   const auto draw_interarrival = [this, &map_state](JobClass cls) {
@@ -84,6 +89,7 @@ SimResult Engine::run(Policy& policy) {
   next_arrival_[1] = draw_interarrival(JobClass::kLong);
 
   while (completions_ < opts_.total_completions) {
+    ++events;
     // Next event: one of two arrivals or two completions.
     double t = next_arrival_[0];
     int ev = 0;  // 0,1: arrival short/long; 2,3: completion on server 0/1
@@ -123,6 +129,8 @@ SimResult Engine::run(Policy& policy) {
       policy.on_server_free(*this, s);
     }
   }
+
+  CSQ_OBS_COUNT_N("sim.engine.events", events);
 
   SimResult res;
   res.shorts = {resp_short_.count(), resp_short_.mean(), resp_short_.ci95_halfwidth()};
@@ -181,6 +189,8 @@ ReplicatedResult simulate_replications(PolicyKind kind, const SystemConfig& conf
   // runs it is irrelevant — and each worker writes only its own slot, so
   // each batch is thread-count invariant.
   const auto run_batch = [&](std::size_t first, std::size_t count) {
+    CSQ_OBS_COUNT("sim.reps.rounds");
+    CSQ_OBS_COUNT_N("sim.reps.total", count);
     std::vector<SimResult> batch =
         par::parallel_map(count, ropts.threads, [&](std::size_t i) {
           CSQ_FAULT_POINT("sim.replication.start");

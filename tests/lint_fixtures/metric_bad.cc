@@ -1,0 +1,12 @@
+// Fixture: seeds four metric-naming violations (lines 7, 8, 10, 11).
+#include "obs/obs.h"
+
+constexpr const char* kName = "a.b.c";
+
+void f(double v) {
+  CSQ_OBS_COUNT("qbd.solve");              // two segments
+  CSQ_OBS_SPAN("Qbd.Solve.Fi");            // uppercase segments
+  CSQ_OBS_COUNT("dup.metric.name");        // first registration: fine
+  CSQ_OBS_COUNT_N("dup.metric.name", 3);   // duplicate registration
+  CSQ_OBS_HIST(kName, v);                  // not a string literal
+}

@@ -1,0 +1,11 @@
+// Fixture: clean twin of metric_bad.cc — well-formed, unique metric names.
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+void g(double v, int stage) {
+  CSQ_OBS_SPAN("module.sub.metric");
+  CSQ_OBS_COUNT("module.sub.calls");
+  CSQ_OBS_COUNT_N("module.sub.items", 4);
+  CSQ_OBS_GAUGE_SET("module.sub.stage", stage);
+  CSQ_OBS_HIST("module.sub.latency", v);
+}

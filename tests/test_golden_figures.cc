@@ -1,0 +1,161 @@
+// Golden pins for the paper's figure operating points (Figures 3-6).
+//
+// Every number below was produced by this repository's own exact analysis
+// (analyze_cscq / analyze_csid / analyze_dedicated) and committed as a
+// golden: the suite does not re-derive the values, it detects drift. A
+// change that moves any pinned mean response by more than one part in 10^6
+// fails `ctest -L golden` and must either be fixed or re-pin the goldens in
+// the same commit with an explanation.
+//
+// The operating points cover both workloads the paper plots: exponential
+// long jobs (Figures 3-4) and 2-stage Coxian longs with C^2 = 8
+// (Figures 5-6), at short loads below, near, and beyond the Dedicated
+// frontier rho_S = 1. Points where a policy is outside its stability region
+// pin the *rejection* instead (UnstableError), so frontier drift is caught
+// too.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "analysis/cscq.h"
+#include "analysis/csid.h"
+#include "analysis/dedicated.h"
+#include "core/config.h"
+#include "core/status.h"
+#include "core/sweep.h"
+
+namespace {
+
+using namespace csq;
+
+// Relative tolerance for a pinned value: tight enough that a perturbed
+// busy-period moment, phase-type fit, or QBD tolerance shows up, loose
+// enough to absorb compiler/libm variation across rebuilds.
+constexpr double kRelTol = 1e-6;
+
+void expect_golden(double actual, double golden) {
+  EXPECT_NEAR(actual, golden, std::abs(golden) * kRelTol);
+}
+
+struct PinnedPoint {
+  const char* tag;  // figure + operating point, for failure messages
+  double rho_s, rho_l, mean_l, scv_l;
+  // NaN = policy unstable at this point (the pin is the rejection).
+  double cscq_short, cscq_long;
+  double csid_short, csid_long;
+  double ded_short, ded_long;
+};
+
+constexpr double kUnstable = std::numeric_limits<double>::quiet_NaN();
+
+// clang-format off
+const PinnedPoint kPins[] = {
+    // Figure 3: equal mean sizes (1/1), exponential, rho_L = 0.5, at the
+    // Dedicated frontier rho_S = 1 (the paper's headline comparison).
+    {"fig3 rho_S=1.0 rho_L=0.5 exp 1/1", 1.0, 0.5, 1.0, 1.0,
+     2.5384248764725692, 2.2414250503734587,
+     3.8077995749228268, 2.5,
+     kUnstable, kUnstable},
+    // Figure 4 panel (b): shorts/longs 1/10, exponential, rho_L = 0.5.
+    {"fig4 rho_S=0.5 rho_L=0.5 exp 1/10", 0.5, 0.5, 10.0, 1.0,
+     1.4677035546350075, 20.055058775844572,
+     1.5195780267208951, 20.333333333333332,
+     2.0, 20.0},
+    {"fig4 rho_S=0.9 rho_L=0.5 exp 1/10", 0.9, 0.5, 10.0, 1.0,
+     3.0969795568265628, 20.169075232550227,
+     3.5790878244835156, 20.473684210526315,
+     10.000000000000002, 20.0},
+    {"fig4 rho_S=1.2 rho_L=0.5 exp 1/10", 1.2, 0.5, 10.0, 1.0,
+     10.073928471209303, 20.31217344791121,
+     25.396424461300626, 20.545454545454547,
+     kUnstable, kUnstable},
+    // Figure 5 panel (b): Coxian longs with C^2 = 8.
+    {"fig5 rho_S=0.9 rho_L=0.5 cx8 1/10", 0.9, 0.5, 10.0, 8.0,
+     3.6374514323514329, 55.164318062857497,
+     4.0284627350986479, 55.473684210526315,
+     10.000000000000002, 55.0},
+    {"fig5 rho_S=1.2 rho_L=0.5 cx8 1/10", 1.2, 0.5, 10.0, 8.0,
+     29.738322977613084, 55.309330542908015,
+     69.425760788463748, 55.545454545454547,
+     kUnstable, kUnstable},
+    // Figure 6: rho_S = 1.5 fixed, response vs rho_L. CS-ID's frontier at
+    // rho_S = 1.5 is rho_L = 1/6, so it is pinned stable at 0.1 and pinned
+    // *unstable* at 0.3; CS-CQ holds until rho_L = 0.5.
+    {"fig6 rho_S=1.5 rho_L=0.1 cx8 1/10", 1.5, 0.1, 10.0, 8.0,
+     7.0126134838035137, 15.342556280052438,
+     44.677320580689049, 15.599999999999998,
+     kUnstable, kUnstable},
+    {"fig6 rho_S=1.5 rho_L=0.3 cx8 1/10", 1.5, 0.3, 10.0, 8.0,
+     37.606977625377851, 29.686401508313619,
+     kUnstable, kUnstable,
+     kUnstable, kUnstable},
+};
+// clang-format on
+
+class GoldenFigures : public ::testing::TestWithParam<PinnedPoint> {};
+
+TEST_P(GoldenFigures, CscqMatchesPin) {
+  const PinnedPoint& p = GetParam();
+  SCOPED_TRACE(p.tag);
+  const SystemConfig c = SystemConfig::paper_setup(p.rho_s, p.rho_l, 1.0, p.mean_l, p.scv_l);
+  if (std::isnan(p.cscq_short)) {
+    EXPECT_THROW((void)analysis::analyze_cscq(c), UnstableError);
+    return;
+  }
+  const analysis::CscqResult r = analysis::analyze_cscq(c);
+  expect_golden(r.metrics.shorts.mean_response, p.cscq_short);
+  expect_golden(r.metrics.longs.mean_response, p.cscq_long);
+}
+
+TEST_P(GoldenFigures, CsidMatchesPin) {
+  const PinnedPoint& p = GetParam();
+  SCOPED_TRACE(p.tag);
+  const SystemConfig c = SystemConfig::paper_setup(p.rho_s, p.rho_l, 1.0, p.mean_l, p.scv_l);
+  if (std::isnan(p.csid_short)) {
+    EXPECT_THROW((void)analysis::analyze_csid(c), UnstableError);
+    return;
+  }
+  const analysis::CsidResult r = analysis::analyze_csid(c);
+  expect_golden(r.metrics.shorts.mean_response, p.csid_short);
+  expect_golden(r.metrics.longs.mean_response, p.csid_long);
+}
+
+TEST_P(GoldenFigures, DedicatedMatchesPin) {
+  const PinnedPoint& p = GetParam();
+  SCOPED_TRACE(p.tag);
+  const SystemConfig c = SystemConfig::paper_setup(p.rho_s, p.rho_l, 1.0, p.mean_l, p.scv_l);
+  if (std::isnan(p.ded_short)) {
+    EXPECT_THROW((void)analysis::analyze_dedicated(c), UnstableError);
+    return;
+  }
+  const PolicyMetrics m = analysis::analyze_dedicated(c);
+  expect_golden(m.shorts.mean_response, p.ded_short);
+  expect_golden(m.longs.mean_response, p.ded_long);
+}
+
+INSTANTIATE_TEST_SUITE_P(OperatingPoints, GoldenFigures, ::testing::ValuesIn(kPins),
+                         [](const ::testing::TestParamInfo<PinnedPoint>& info) {
+                           return "Point" + std::to_string(info.index);
+                         });
+
+// The shared sweep grids are part of the golden surface too: the figure
+// drivers and any pinned sweep consumers must sample identical abscissae.
+TEST(GoldenGrids, FigureGridsArePinned) {
+  const std::vector<double> rs = fig_grid_rho_short();
+  ASSERT_EQ(rs.size(), 29u);
+  EXPECT_DOUBLE_EQ(rs.front(), 0.05);
+  EXPECT_DOUBLE_EQ(rs.back(), 1.45);
+  const std::vector<double> rls = fig_grid_rho_long_shorts();
+  ASSERT_EQ(rls.size(), 25u);
+  EXPECT_DOUBLE_EQ(rls.front(), 0.01);
+  EXPECT_DOUBLE_EQ(rls.back(), 0.49);
+  const std::vector<double> rll = fig_grid_rho_long_longs();
+  ASSERT_EQ(rll.size(), 25u);
+  EXPECT_DOUBLE_EQ(rll.front(), 0.02);
+  EXPECT_DOUBLE_EQ(rll.back(), 0.96);
+}
+
+}  // namespace

@@ -196,6 +196,35 @@ TEST(LintRules, FaultSiteNamingSkipsTests) {
   EXPECT_TRUE(lint_one("faultsite_bad.cc", "tests/faultsite_bad.cc").empty());
 }
 
+TEST(LintRules, MetricNaming) {
+  const std::vector<Finding> fs = lint_one("metric_bad.cc", "src/x/metric_bad.cc");
+  ASSERT_EQ(fs.size(), 4u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "metric-naming");
+  EXPECT_EQ(fs[0].line, 7);   // two segments
+  EXPECT_EQ(fs[1].line, 8);   // uppercase segments
+  EXPECT_EQ(fs[2].line, 10);  // duplicate registration
+  EXPECT_EQ(fs[3].line, 11);  // non-literal name
+  EXPECT_NE(fs[0].message.find("module.sub.metric"), std::string::npos);
+  EXPECT_NE(fs[2].message.find("already registered"), std::string::npos);
+  EXPECT_TRUE(lint_one("metric_clean.cc", "src/x/metric_clean.cc").empty());
+}
+
+TEST(LintRules, MetricNamingCrossFileDuplicate) {
+  // The same metric registered in two different files is still a duplicate.
+  std::vector<SourceFile> two = {fixture("metric_clean.cc", "src/a/metric_clean.cc"),
+                                 fixture("metric_clean.cc", "src/b/metric_clean.cc")};
+  const std::vector<Finding> fs = csq::lint::run_rules(two);
+  ASSERT_EQ(fs.size(), 5u);
+  for (const Finding& f : fs) {
+    EXPECT_EQ(f.rule, "metric-naming");
+    EXPECT_NE(f.message.find("already registered at src/a/"), std::string::npos);
+  }
+}
+
+TEST(LintRules, MetricNamingSkipsTests) {
+  EXPECT_TRUE(lint_one("metric_bad.cc", "tests/metric_bad.cc").empty());
+}
+
 // --- Suppressions ----------------------------------------------------------
 
 TEST(LintSuppress, AllowWithReasonCoversNextLine) {
@@ -220,10 +249,11 @@ TEST(LintSuppress, SelftestPasses) {
 
 TEST(LintRegistry, CatalogIsStable) {
   const std::vector<csq::lint::RuleInfo>& rs = csq::lint::rules();
-  ASSERT_EQ(rs.size(), 10u);
+  ASSERT_EQ(rs.size(), 11u);
   EXPECT_STREQ(rs[0].id, "raw-throw");
   EXPECT_STREQ(rs[8].id, "fault-site-naming");
-  EXPECT_STREQ(rs[9].id, "suppression");
+  EXPECT_STREQ(rs[9].id, "metric-naming");
+  EXPECT_STREQ(rs[10].id, "suppression");
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+// Metamorphic / property tests for the exact analysis, cross-checked
+// against the simulator and the obs counters.
+//
+// Unlike the golden pins (tests/test_golden_figures.cc), nothing here is a
+// committed number: each test asserts a *relation* the paper proves or the
+// architecture guarantees — cycle stealing cannot hurt the short class,
+// response times are monotone in offered load, analysis and simulation
+// agree within simulation noise, and the obs counters attached to every
+// result actually reflect the work performed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cscq.h"
+#include "analysis/csid.h"
+#include "analysis/dedicated.h"
+#include "core/config.h"
+#include "obs/obs.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace csq;
+
+// --- Dominance: shorts can only gain from cycle stealing --------------------
+
+// Paper, Section 1: "the short jobs benefit immensely ... while the long
+// jobs are only slightly penalized." The benefit direction is a theorem:
+// under CS-CQ the shorts get a second (partial) server, so their mean
+// response can never exceed Dedicated's at the same loads.
+TEST(Properties, CscqShortsNeverWorseThanDedicated) {
+  for (const double rho_l : {0.3, 0.5}) {
+    for (const double rho_s : {0.3, 0.6, 0.9}) {
+      SCOPED_TRACE("rho_s=" + std::to_string(rho_s) + " rho_l=" + std::to_string(rho_l));
+      const SystemConfig c = SystemConfig::paper_setup(rho_s, rho_l, 1.0, 10.0, 1.0);
+      const double cscq = analysis::analyze_cscq(c).metrics.shorts.mean_response;
+      const double ded = analysis::analyze_dedicated(c).shorts.mean_response;
+      EXPECT_LE(cscq, ded * (1.0 + 1e-9));
+    }
+  }
+}
+
+// CS-CQ also dominates CS-ID for shorts (the central queue lets a short
+// grab the long host even when a long is merely queued, not in service).
+TEST(Properties, CscqShortsNeverWorseThanCsid) {
+  for (const double rho_s : {0.5, 0.9, 1.2}) {
+    SCOPED_TRACE("rho_s=" + std::to_string(rho_s));
+    const SystemConfig c = SystemConfig::paper_setup(rho_s, 0.5, 1.0, 10.0, 1.0);
+    const double cscq = analysis::analyze_cscq(c).metrics.shorts.mean_response;
+    const double csid = analysis::analyze_csid(c).metrics.shorts.mean_response;
+    EXPECT_LE(cscq, csid * (1.0 + 1e-9));
+  }
+}
+
+// --- Monotonicity in offered load -------------------------------------------
+
+TEST(Properties, CscqResponsesMonotoneInRhoS) {
+  double prev_short = 0.0;
+  double prev_long = 0.0;
+  for (const double rho_s : {0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4}) {
+    SCOPED_TRACE("rho_s=" + std::to_string(rho_s));
+    const SystemConfig c = SystemConfig::paper_setup(rho_s, 0.5, 1.0, 10.0, 1.0);
+    const PolicyMetrics m = analysis::analyze_cscq(c).metrics;
+    // Short response strictly grows with short load; the long penalty grows
+    // too (more stolen cycles to hand back), though far more slowly.
+    EXPECT_GT(m.shorts.mean_response, prev_short);
+    EXPECT_GE(m.longs.mean_response, prev_long);
+    prev_short = m.shorts.mean_response;
+    prev_long = m.longs.mean_response;
+  }
+}
+
+TEST(Properties, CscqShortResponseMonotoneInRhoL) {
+  // More long-job load means fewer stealable cycles: shorts slow down.
+  double prev = 0.0;
+  for (const double rho_l : {0.1, 0.3, 0.5, 0.7}) {
+    SCOPED_TRACE("rho_l=" + std::to_string(rho_l));
+    const SystemConfig c = SystemConfig::paper_setup(0.9, rho_l, 1.0, 10.0, 1.0);
+    const double t = analysis::analyze_cscq(c).metrics.shorts.mean_response;
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+// --- Analysis vs simulation --------------------------------------------------
+
+struct AgreementConfig {
+  double rho_s, rho_l, mean_l, scv_l;
+};
+
+class AnalysisSimAgreement : public ::testing::TestWithParam<AgreementConfig> {};
+
+TEST_P(AnalysisSimAgreement, MeansAgreeWithinSimNoise) {
+  const AgreementConfig& g = GetParam();
+  const SystemConfig c = SystemConfig::paper_setup(g.rho_s, g.rho_l, 1.0, g.mean_l, g.scv_l);
+  const PolicyMetrics m = analysis::analyze_cscq(c).metrics;
+
+  const obs::DeltaScope obs_scope;
+  sim::SimOptions sopts;
+  sopts.total_completions = 200000;
+  sim::ReplicationOptions ropts;
+  ropts.replications = 4;
+  const sim::ReplicatedResult s = sim::simulate_replications(sim::PolicyKind::kCsCq, c, sopts, ropts);
+
+  EXPECT_NEAR(m.shorts.mean_response, s.shorts.mean_response,
+              0.05 * s.shorts.mean_response + 2.0 * s.shorts.ci95);
+  EXPECT_NEAR(m.longs.mean_response, s.longs.mean_response,
+              0.05 * s.longs.mean_response + 2.0 * s.longs.ci95);
+
+  // The replication loop is instrumented: one round of exactly
+  // `replications` runs, each contributing at least total_completions
+  // arrival+completion events.
+  const obs::MetricsDelta d = obs_scope.delta();
+  if (obs::compiled_in()) {
+    EXPECT_EQ(d.value("sim.reps.rounds"), 1);
+    EXPECT_EQ(d.value("sim.reps.total"), ropts.replications);
+    EXPECT_GT(d.value("sim.engine.events"),
+              static_cast<std::int64_t>(ropts.replications * sopts.total_completions));
+  } else {
+    EXPECT_TRUE(d.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreeConfigs, AnalysisSimAgreement,
+                         ::testing::Values(AgreementConfig{0.9, 0.5, 1.0, 1.0},
+                                           AgreementConfig{0.9, 0.5, 10.0, 1.0},
+                                           AgreementConfig{1.1, 0.5, 10.0, 8.0}),
+                         [](const ::testing::TestParamInfo<AgreementConfig>& info) {
+                           return "Config" + std::to_string(info.index);
+                         });
+
+// --- Results carry their own obs attribution ---------------------------------
+
+TEST(Properties, AnalysisResultsCarryObsMetrics) {
+  const SystemConfig c = SystemConfig::paper_setup(0.9, 0.5, 1.0, 10.0, 1.0);
+  const analysis::CscqResult cq = analysis::analyze_cscq(c);
+  const analysis::CsidResult id = analysis::analyze_csid(c);
+  if (!obs::compiled_in()) {
+    EXPECT_TRUE(cq.obs_metrics.empty());
+    EXPECT_TRUE(id.obs_metrics.empty());
+    return;
+  }
+  // Each exact analysis runs exactly one QBD solve and reports it.
+  EXPECT_EQ(cq.obs_metrics.value("qbd.solve.calls"), 1);
+  EXPECT_EQ(id.obs_metrics.value("qbd.solve.calls"), 1);
+  EXPECT_GT(cq.obs_metrics.value("qbd.fi.iterations") +
+                cq.obs_metrics.value("qbd.relaxed.iterations") +
+                cq.obs_metrics.value("qbd.logred.doublings"),
+            0);
+}
+
+}  // namespace

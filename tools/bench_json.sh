@@ -27,16 +27,41 @@ if [ ! -x "$bench_bin" ]; then
 fi
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+obs=$(mktemp)
+trap 'rm -f "$raw" "$obs"' EXIT
 "$bench_bin" --benchmark_format=json --benchmark_out_format=json "$@" >"$raw"
 
+# Obs counter snapshot for a reference CS-CQ analysis (deterministic, so it
+# diffs cleanly): solver stage iteration counts ride along with the timings
+# and flag algorithmic drift that wall-clock noise would hide. Empty when
+# the CLI is not built or obs is compiled out.
+cli_bin="$build_dir/tools/csq_cli"
+if [ -x "$cli_bin" ]; then
+  "$cli_bin" analyze --policy cscq --rho-s 1.1 --rho-l 0.5 --metrics >"$obs" 2>/dev/null \
+    || : >"$obs"
+else
+  : >"$obs"
+fi
+
 normalize() {
-  python3 - "$raw" <<'EOF'
+  python3 - "$raw" "$obs" <<'EOF'
 import json
 import sys
 
 with open(sys.argv[1]) as f:
     doc = json.load(f)
+
+obs_metrics = {}
+try:
+    with open(sys.argv[2]) as f:
+        text = f.read()
+    # --metrics prints the JSON object after a human-readable report; the
+    # object starts at the first '{'.
+    brace = text.find("{")
+    if brace >= 0:
+        obs_metrics = json.loads(text[brace:])
+except (OSError, ValueError):
+    obs_metrics = {}
 
 ctx = doc.get("context", {})
 keep_ctx = ("num_cpus", "mhz_per_cpu", "cpu_scaling_enabled", "caches",
@@ -61,7 +86,8 @@ for b in doc.get("benchmarks", []):
             row[k] = v
     benchmarks.append(row)
 
-json.dump({"context": context, "benchmarks": benchmarks},
+json.dump({"context": context, "benchmarks": benchmarks,
+           "obs_metrics": obs_metrics},
           sys.stdout, indent=2, sort_keys=True)
 sys.stdout.write("\n")
 EOF

@@ -8,6 +8,10 @@
 #   tsan        TSan build, `ctest -L parallel` under it (CSQ_SKIP_TSAN=1)
 #   chaos       fault-injection build (ASan+UBSan, -DCSQ_FAULT_INJECTION=ON),
 #               `ctest -L chaos` under it                (CSQ_SKIP_CHAOS=1)
+#   obs         `ctest -L obs` under the TSan build (counter/span thread
+#               safety), plus a -DCSQ_OBS=OFF -Werror build proving the
+#               compiled-out configuration stays warning-free
+#                                                        (CSQ_SKIP_OBS=1)
 #   clang-tidy  src/ against .clang-tidy, if clang-tidy is installed
 #   csq-lint    project invariants: csq_lint --selftest + repo scan
 #
@@ -75,7 +79,30 @@ else
   note "PASS  chaos       (fault-injected ladder clean under ASan+UBSan)"
 fi
 
-# --- stage 5: clang-tidy (optional tool) ------------------------------------
+# --- stage 5: obs (thread safety + compiled-out build) -----------------------
+if [ "${CSQ_SKIP_OBS:-0}" = "1" ]; then
+  note "SKIP  obs         (CSQ_SKIP_OBS=1)"
+else
+  if [ "${CSQ_SKIP_TSAN:-0}" = "1" ]; then
+    note "SKIP  obs-tsan    (needs the tsan stage's build)"
+  else
+    # Counters are bumped from pool workers and spans close concurrently:
+    # run the obs suite under the TSan build from stage 3.
+    cmake --build "$tsan_dir" -j --target csq_obs_tests || fail "obs (tsan build)"
+    (cd "$tsan_dir" && ctest -L obs --output-on-failure) || fail "obs (suite under TSan)"
+  fi
+  # The zero-overhead contract: the whole tree (including the obs suite,
+  # which branches on obs::compiled_in()) must build warning-free with the
+  # macros compiled out.
+  obs_off_dir="$repo_root/build-obs-off"
+  cmake -B "$obs_off_dir" -S "$repo_root" -DCSQ_OBS=OFF -DCSQ_WERROR=ON >/dev/null \
+    || fail "obs (CSQ_OBS=OFF configure)"
+  cmake --build "$obs_off_dir" -j || fail "obs (CSQ_OBS=OFF build)"
+  (cd "$obs_off_dir" && ctest -L obs --output-on-failure) || fail "obs (suite with obs off)"
+  note "PASS  obs         (TSan-clean counters/spans; CSQ_OBS=OFF builds and passes)"
+fi
+
+# --- stage 6: clang-tidy (optional tool) ------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is exported by the werror configure above.
   find "$repo_root/src" -name '*.cc' -print0 \
@@ -86,7 +113,7 @@ else
   note "SKIP  clang-tidy  (not installed)"
 fi
 
-# --- stage 6: csq_lint ------------------------------------------------------
+# --- stage 7: csq_lint ------------------------------------------------------
 cmake --build "$build_dir" -j --target csq_lint || fail "csq-lint (build)"
 "$build_dir/tools/csq_lint" --selftest >/dev/null || fail "csq-lint (selftest)"
 "$build_dir/tools/csq_lint" --root "$repo_root" || fail "csq-lint (repo scan)"

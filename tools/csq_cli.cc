@@ -16,7 +16,11 @@
 // (defaults 0.9, 0.5, 1, 1, 1; shorts exponential as in the paper).
 //
 // Global flags: --json-errors (emit structured diagnostics as JSON on
-// stdout), --verify none|basic|full (self-check level for analytic results),
+// stdout), --metrics[=file] (flat JSON dump of the obs counters after the
+// command; stdout without a file), --trace=file (record solver-stage spans
+// and write Chrome trace-event JSON — load in chrome://tracing; see
+// docs/observability.md), --verify none|basic|full (self-check level for
+// analytic results),
 // --timeout-ms X (wall-clock RunBudget for the command; exceeded deadlines
 // exit 7 unless --resilient degrades to a cheaper answer first), --fault
 // site:count:kind[,site:count:kind...] (arm deterministic fault-injection
@@ -28,6 +32,7 @@
 // exceeded, 8 cancelled.
 #include <algorithm>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -68,6 +73,13 @@ Args parse(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) throw InvalidInputError("expected --flag, got " + key);
     key = key.substr(2);
+    // --key=value binds tighter than the next-token form, so values that
+    // start with "--" (or look like flags) stay expressible.
+    const std::size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      a.flags[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       a.flags[key] = argv[++i];
     } else {
@@ -267,6 +279,8 @@ void usage() {
       "            [--resilient]\n"
       "  stability: [--points N] [--csv]\n"
       "  global:   --json-errors (structured error JSON on stdout)\n"
+      "            --metrics[=file] (obs counter dump; docs/observability.md)\n"
+      "            --trace=file (Chrome trace-event JSON of solver spans)\n"
       "            --timeout-ms X (wall-clock budget; deadline exit = 7)\n"
       "            --fault site:count:kind[,...] (needs CSQ_FAULT_INJECTION)\n"
       "exit codes: 0 ok, 1 internal, 2 invalid input, 3 unstable,\n"
@@ -302,6 +316,41 @@ int report_error(const SolverStatus& status, bool json) {
   return exit_code(status.code);
 }
 
+[[nodiscard]] bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << content;
+  return out.good();
+}
+
+// --metrics[=file] and --trace=file run after the command (even a failed
+// one: a trace of the run that errored is exactly the interesting trace).
+// Returns 0, or exit code 2 when a requested file cannot be written.
+int write_observability(const Args& a) {
+  int rc = 0;
+  if (a.has("metrics")) {
+    const std::string dest = a.text("metrics", "1");
+    const std::string json = obs::Registry::instance().metrics_json();
+    if (dest == "1") {
+      std::cout << json;
+    } else if (!write_file(dest, json)) {
+      std::cerr << "error: cannot write metrics file '" << dest << "'\n";
+      rc = 2;
+    }
+  }
+  if (a.has("trace")) {
+    const std::string dest = a.text("trace", "1");
+    if (dest == "1") {
+      std::cerr << "error: --trace needs a file name (--trace=out.json)\n";
+      rc = 2;
+    } else if (!write_file(dest, obs::chrome_trace_json())) {
+      std::cerr << "error: cannot write trace file '" << dest << "'\n";
+      rc = 2;
+    }
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -313,6 +362,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   const bool json_errors = a.has("json-errors");
+  // Switch tracing on before dispatch so every solver-stage span records.
+  if (a.has("trace")) obs::set_tracing(true);
+  int rc = 0;
   try {
     if (a.has("fault")) {
       // Arm before dispatch so every command can be chaos-tested. Rejected
@@ -328,22 +380,28 @@ int main(int argc, char** argv) {
         start = comma + 1;
       }
     }
-    if (a.command == "analyze") return cmd_analyze(a);
-    if (a.command == "simulate") return cmd_simulate(a);
-    if (a.command == "sweep") return cmd_sweep(a);
-    if (a.command == "stability") return cmd_stability(a);
-    // Hidden maintenance flag: proves the csq_lint suppression parser on the
-    // installed binary (the CI matrix runs it before trusting lint output).
-    if (a.command == "--lint-selftest") {
-      bool ok = false;
-      std::cout << lint::suppression_selftest(&ok);
-      return ok ? 0 : exit_code(ErrorCode::kVerificationFailed);
-    }
-    usage();
-    return a.command.empty() ? 1 : 2;
+    const auto dispatch = [&]() -> int {
+      if (a.command == "analyze") return cmd_analyze(a);
+      if (a.command == "simulate") return cmd_simulate(a);
+      if (a.command == "sweep") return cmd_sweep(a);
+      if (a.command == "stability") return cmd_stability(a);
+      // Hidden maintenance flag: proves the csq_lint suppression parser on
+      // the installed binary (the CI matrix runs it before trusting lint
+      // output).
+      if (a.command == "--lint-selftest") {
+        bool ok = false;
+        std::cout << lint::suppression_selftest(&ok);
+        return ok ? 0 : exit_code(ErrorCode::kVerificationFailed);
+      }
+      usage();
+      return a.command.empty() ? 1 : 2;
+    };
+    rc = dispatch();
   } catch (const Error& e) {
-    return report_error(e.status(), json_errors);
+    rc = report_error(e.status(), json_errors);
   } catch (const std::exception& e) {
-    return report_error(status_from_exception(e), json_errors);
+    rc = report_error(status_from_exception(e), json_errors);
   }
+  const int obs_rc = write_observability(a);
+  return rc != 0 ? rc : obs_rc;
 }

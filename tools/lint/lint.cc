@@ -215,6 +215,8 @@ const std::vector<RuleInfo>& rules() {
       {"banned-identifier", "assert()/rand()/srand()/gets() are banned (CSQ_ASSERT, sim::Rng)"},
       {"fault-site-naming",
        "fault sites are literal module.sub.action strings, registered exactly once"},
+      {"metric-naming",
+       "obs metric/span names are literal module.sub.metric strings, registered exactly once"},
       {"suppression", "csq-lint: allow(...) comments must name a known rule and give a reason"},
   };
   return kRules;
@@ -628,6 +630,55 @@ void rule_fault_site_naming(const std::vector<SourceFile>& files,
   }
 }
 
+// metric-naming (cross-file): every CSQ_OBS_COUNT / CSQ_OBS_COUNT_N /
+// CSQ_OBS_GAUGE_SET / CSQ_OBS_HIST / CSQ_OBS_SPAN name must be a literal
+// "module.sub.metric" string (same grammar as fault sites), and each name
+// must appear at exactly one call site repo-wide — counters, gauges,
+// histograms and spans share one namespace, so the docs/observability.md
+// catalog maps every name to a single source location. tests/ are exempt
+// (unit tests register scratch metrics freely).
+void rule_metric_naming(const std::vector<SourceFile>& files, std::vector<Finding>* out) {
+  static const char* const kObsMacros[] = {"CSQ_OBS_COUNT", "CSQ_OBS_COUNT_N",
+                                           "CSQ_OBS_GAUGE_SET", "CSQ_OBS_HIST",
+                                           "CSQ_OBS_SPAN"};
+  struct FirstSeen {
+    std::string rel;
+    int line = 0;
+  };
+  std::map<std::string, FirstSeen> seen;
+  for (const SourceFile& f : files) {
+    if (starts_with(f.rel, "tests/")) continue;
+    const Tokens& t = f.tokens;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      bool is_obs = false;
+      for (const char* m : kObsMacros)
+        if (t[i].text == m) is_obs = true;
+      if (!is_obs) continue;
+      if (t[i + 1].text != "(") continue;
+      if (t[i + 2].kind != TokKind::kString) {
+        out->push_back({f.path, t[i].line, "metric-naming",
+                        t[i].text + " name must be a string literal so the metric "
+                            "catalogue is statically enumerable"});
+        continue;
+      }
+      const std::string name = t[i + 2].text.substr(1, t[i + 2].text.size() - 2);
+      if (!valid_fault_site(name)) {
+        out->push_back({f.path, t[i].line, "metric-naming",
+                        "metric name \"" + name + "\" must be module.sub.metric "
+                            "(three lowercase dot-separated segments)"});
+        continue;
+      }
+      const auto [it, inserted] = seen.emplace(name, FirstSeen{f.rel, t[i].line});
+      if (!inserted)
+        out->push_back({f.path, t[i].line, "metric-naming",
+                        "metric name \"" + name + "\" already registered at " +
+                            it->second.rel + ":" + std::to_string(it->second.line) +
+                            " — each name must appear exactly once"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& config) {
@@ -657,6 +708,7 @@ std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& con
   std::vector<Finding> cross;
   rule_error_docs(files, &cross);
   rule_fault_site_naming(files, &cross);
+  rule_metric_naming(files, &cross);
   for (Finding& fd : cross) {
     bool suppressed = false;
     for (SourceFile& f : files) {

@@ -22,6 +22,9 @@
 //   fault-site-naming  (R9) CSQ_FAULT_POINT sites must be literal
 //                           module.sub.action strings, each registered
 //                           exactly once repo-wide
+//   metric-naming      (R10) CSQ_OBS_* metric/span names must be literal
+//                           module.sub.metric strings, each registered
+//                           exactly once repo-wide (src/obs/obs.h catalog)
 //   suppression        (meta) malformed `csq-lint: allow(...)` comments
 //
 // Findings print as `file:line: [rule-id] message`. A finding on line L is
@@ -109,7 +112,7 @@ struct RuleInfo {
   const char* summary;  // one-line description for --list-rules / docs
 };
 
-// Every registered rule, in catalog (R1..R8 + meta) order.
+// Every registered rule, in catalog (R1..R10 + meta) order.
 [[nodiscard]] const std::vector<RuleInfo>& rules();
 
 struct Config {
