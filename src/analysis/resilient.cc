@@ -96,7 +96,9 @@ ResilientResult analyze_resilient(const SystemConfig& config, const ResilientOpt
   };
 
   // --- rung 1: exact QBD analysis ------------------------------------------
-  if (opts.budget.interrupted()) {
+  if (opts.start_rung > Rung::kExact) {
+    // Skipped by request (the caller already ran the exact analysis).
+  } else if (opts.budget.interrupted()) {
     deadline_skip(Rung::kExact, "analyze_resilient/exact");
   } else {
     CscqOptions copts;
@@ -122,7 +124,8 @@ ResilientResult analyze_resilient(const SystemConfig& config, const ResilientOpt
   }
 
   // --- rung 2: truncated finite CTMC with growing caps ---------------------
-  for (const int cap : opts.truncation_caps) {
+  for (const int cap : opts.start_rung > Rung::kTruncated ? std::vector<int>{}
+                                                          : opts.truncation_caps) {
     if (opts.budget.interrupted()) {
       deadline_skip(Rung::kTruncated, "analyze_resilient/truncated");
       break;

@@ -67,6 +67,11 @@ struct RungAttempt {
 struct ResilientOptions {
   // Overall ladder budget (see the contract above). Default: unlimited.
   RunBudget budget;
+  // First rung to try. A caller that already ran (and failed) the exact
+  // analysis itself — the serve layer's retry loop — starts at kTruncated
+  // instead of paying for the exact solve a second time; earlier rungs are
+  // simply not attempted (they leave no trail entry).
+  Rung start_rung = Rung::kExact;
   // Fraction of the remaining budget granted to the exact rung (its slice);
   // the rest is left for the fallbacks.
   double exact_budget_fraction = 0.5;

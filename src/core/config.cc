@@ -1,6 +1,8 @@
 #include "core/config.h"
 
+#include <cstdio>
 #include <memory>
+#include <string>
 
 #include "core/status.h"
 
@@ -46,6 +48,60 @@ SystemConfig SystemConfig::paper_setup(double rho_short, double rho_long, double
 ClassMetrics class_metrics_from_response(double mean_response, double lambda,
                                          double mean_size) {
   return {mean_response, mean_response - mean_size, lambda * mean_response};
+}
+
+namespace {
+
+// Hexfloat rendering: exact, locale-independent, and equal iff the doubles
+// are bit-identical (modulo -0.0 == 0.0, which the analysis cannot tell
+// apart either).
+std::string hexf(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+void append_dist(std::string* key, const char* tag, const dist::Distribution& d) {
+  *key += tag;
+  *key += "{m1=" + hexf(d.moment(1)) + ",m2=" + hexf(d.moment(2)) +
+          ",m3=" + hexf(d.moment(3)) + "}";
+}
+
+}  // namespace
+
+std::string canonical_key(const SystemConfig& config) {
+  config.validate();
+  std::string key;
+  key.reserve(160);
+  key += "lamS=" + hexf(config.effective_lambda_short());
+  key += "|lamL=" + hexf(config.lambda_long);
+  key += "|";
+  append_dist(&key, "S", *config.short_size);
+  key += "|";
+  append_dist(&key, "L", *config.long_size);
+  if (config.short_arrivals) {
+    // A MAP replaces the Poisson stream: fold its full (D0, D1) identity in,
+    // element by element — two MAPs with equal mean rate but different
+    // burstiness must not collide.
+    key += "|MAP{";
+    const linalg::Matrix& d0 = config.short_arrivals->d0();
+    const linalg::Matrix& d1 = config.short_arrivals->d1();
+    for (std::size_t i = 0; i < d0.rows(); ++i)
+      for (std::size_t j = 0; j < d0.cols(); ++j)
+        key += hexf(d0(i, j)) + "," + hexf(d1(i, j)) + ";";
+    key += "}";
+  }
+  return key;
+}
+
+std::uint64_t config_hash(const SystemConfig& config) {
+  // FNV-1a 64-bit over the canonical key.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : canonical_key(config)) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
 }
 
 }  // namespace csq

@@ -3,7 +3,9 @@
 // Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 
 #include "dist/distribution.h"
 #include "dist/map_process.h"
@@ -62,5 +64,18 @@ struct PolicyMetrics {
 // Build ClassMetrics from a mean response time.
 [[nodiscard]] ClassMetrics class_metrics_from_response(double mean_response, double lambda,
                                                        double mean_size);
+
+// Canonical textual identity of a config, suitable as a memo-cache key: the
+// arrival rates and the first three raw moments of each size distribution
+// (plus the MAP identity when one is set), every double rendered in hexfloat
+// so two configs share a key iff they are bit-identical inputs to the
+// analysis. Two distributions with equal moments canonicalize equally — by
+// design, since the analytic solvers consume only the moments.
+// Throws csq::InvalidInputError (via validate()) on malformed configs.
+[[nodiscard]] std::string canonical_key(const SystemConfig& config);
+
+// FNV-1a 64-bit hash of canonical_key() — a compact shard/bucket identity
+// for the serve-layer solver cache.
+[[nodiscard]] std::uint64_t config_hash(const SystemConfig& config);
 
 }  // namespace csq

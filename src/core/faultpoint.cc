@@ -31,6 +31,7 @@ ErrorCode code_from_name(const std::string& name) {
   if (name == "Internal") return ErrorCode::kInternal;
   if (name == "DeadlineExceeded") return ErrorCode::kDeadlineExceeded;
   if (name == "Cancelled") return ErrorCode::kCancelled;
+  if (name == "Overloaded") return ErrorCode::kOverloaded;
   throw InvalidInputError("unknown ErrorCode in fault spec: '" + name + "'");
 }
 

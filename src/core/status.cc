@@ -53,6 +53,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kInternal: return "Internal";
     case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
     case ErrorCode::kCancelled: return "Cancelled";
+    case ErrorCode::kOverloaded: return "Overloaded";
   }
   return "?";
 }
@@ -68,6 +69,7 @@ const char* error_class_name(ErrorCode code) {
     case ErrorCode::kInternal: return "InternalError";
     case ErrorCode::kDeadlineExceeded: return "DeadlineExceededError";
     case ErrorCode::kCancelled: return "CancelledError";
+    case ErrorCode::kOverloaded: return "OverloadedError";
   }
   return "?";
 }
@@ -158,6 +160,10 @@ DeadlineExceededError::DeadlineExceededError(const std::string& message, Diagnos
 CancelledError::CancelledError(const std::string& message, Diagnostics diagnostics)
     : std::runtime_error(message), Error(ErrorCode::kCancelled, message, std::move(diagnostics)) {}
 
+OverloadedError::OverloadedError(const std::string& message, Diagnostics diagnostics)
+    : std::runtime_error(message),
+      Error(ErrorCode::kOverloaded, message, std::move(diagnostics)) {}
+
 void throw_error(ErrorCode code, const std::string& message, Diagnostics diagnostics) {
   switch (code) {
     case ErrorCode::kInvalidInput: throw InvalidInputError(message, std::move(diagnostics));
@@ -170,6 +176,7 @@ void throw_error(ErrorCode code, const std::string& message, Diagnostics diagnos
     case ErrorCode::kDeadlineExceeded:
       throw DeadlineExceededError(message, std::move(diagnostics));
     case ErrorCode::kCancelled: throw CancelledError(message, std::move(diagnostics));
+    case ErrorCode::kOverloaded: throw OverloadedError(message, std::move(diagnostics));
     case ErrorCode::kOk:
     case ErrorCode::kInternal: break;
   }

@@ -30,6 +30,7 @@ enum class ErrorCode {
   kInternal,             // anything else (should not happen)
   kDeadlineExceeded,     // a RunBudget wall-clock deadline expired mid-solve
   kCancelled,            // a cooperative CancelToken was triggered
+  kOverloaded,           // admission control shed the request (serve layer)
 };
 
 // Stable identifier for the code ("Ok", "InvalidInput", ...).
@@ -145,6 +146,15 @@ class DeadlineExceededError : public std::runtime_error, public Error {
 class CancelledError : public std::runtime_error, public Error {
  public:
   explicit CancelledError(const std::string& message, Diagnostics diagnostics = {});
+};
+
+// Admission control shed the request: the serving tier was at its queue-depth
+// or in-flight-cost limit and rejected the work instead of queueing it
+// unboundedly (src/serve/). Transient by definition — the caller should back
+// off and retry; diagnostics.notes carry a "retry_after_ms=<hint>" entry.
+class OverloadedError : public std::runtime_error, public Error {
+ public:
+  explicit OverloadedError(const std::string& message, Diagnostics diagnostics = {});
 };
 
 // Throw the exception type matching `code` (kOk/kInternal -> InternalError).

@@ -85,6 +85,13 @@ Histogram& Registry::histogram(const std::string& name) {
   return entry(name, MetricKind::kHistogram).histogram;
 }
 
+std::int64_t Registry::counter_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != MetricKind::kCounter) return 0;
+  return it->second.counter.value();
+}
+
 std::vector<MetricRow> Registry::snapshot() const {
   std::vector<MetricRow> rows;
   std::lock_guard<std::mutex> lock(mu_);

@@ -145,6 +145,12 @@ class Registry {
   // All registered metrics, sorted by name.
   [[nodiscard]] std::vector<MetricRow> snapshot() const;
 
+  // Current value of the named counter, or 0 when it was never registered
+  // (including every -DCSQ_OBS=OFF build). Read-only: never registers the
+  // name — safe for assertions and load-shedding heuristics that must not
+  // pollute the catalog.
+  [[nodiscard]] std::int64_t counter_value(const std::string& name) const;
+
   // Flat JSON object, one member per metric (histograms nest
   // {count,sum,min,max}). Shape documented in docs/observability.md.
   [[nodiscard]] std::string metrics_json() const;

@@ -1,0 +1,51 @@
+#include "serve/backoff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace csq::serve {
+
+void RetryPolicy::validate() const {
+  if (max_attempts < 1)
+    throw InvalidInputError("RetryPolicy: max_attempts must be >= 1");
+  if (!(base_delay_ms >= 0.0) || !std::isfinite(base_delay_ms))
+    throw InvalidInputError("RetryPolicy: base_delay_ms must be finite and >= 0");
+  if (!(multiplier >= 1.0) || !std::isfinite(multiplier))
+    throw InvalidInputError("RetryPolicy: multiplier must be finite and >= 1");
+  if (!(max_delay_ms >= base_delay_ms) || !std::isfinite(max_delay_ms))
+    throw InvalidInputError("RetryPolicy: max_delay_ms must be finite and >= base_delay_ms");
+  if (!(jitter_fraction >= 0.0) || !(jitter_fraction < 1.0))
+    throw InvalidInputError("RetryPolicy: jitter_fraction must be in [0, 1)");
+}
+
+bool transient(ErrorCode code) {
+  return code == ErrorCode::kNotConverged || code == ErrorCode::kIllConditioned;
+}
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+double backoff_delay_ms(const RetryPolicy& policy, const std::string& key, int retry) {
+  policy.validate();
+  if (retry < 1) throw InvalidInputError("backoff_delay_ms: retry must be >= 1");
+  const double exponential =
+      policy.base_delay_ms * std::pow(policy.multiplier, static_cast<double>(retry - 1));
+  const double capped = std::min(exponential, policy.max_delay_ms);
+  // Hash -> uniform in [1 - j, 1 + j): top 53 bits as a double in [0, 1).
+  const std::uint64_t h = fnv1a(key + "#" + std::to_string(retry));
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return capped * (1.0 - policy.jitter_fraction + 2.0 * policy.jitter_fraction * unit);
+}
+
+}  // namespace csq::serve

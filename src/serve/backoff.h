@@ -1,0 +1,47 @@
+// Retry policy for transient solver failures: capped exponential backoff
+// with deterministic jitter.
+//
+// "Transient" means the failure class where an immediate retry has a real
+// chance of succeeding — NotConverged and IllConditioned (a borderline solve
+// may converge with the process under different memory/load conditions, and
+// under fault injection the faulted first attempt is followed by a healthy
+// site). InvalidInput, Unstable and VerificationFailed are deterministic
+// properties of the request and are never retried; Deadline/Cancelled mean
+// the caller no longer wants the answer.
+//
+// Jitter is deterministic by design: it is drawn from an FNV-1a hash of the
+// request id and the attempt number, not from a process RNG, so a replayed
+// request script produces bit-identical retry schedules (the soak suite
+// depends on this) while distinct requests still decorrelate their retries.
+//
+// Throws csq::InvalidInputError (validate() on malformed policies).
+#pragma once
+
+#include <string>
+
+#include "core/status.h"
+
+namespace csq::serve {
+
+struct RetryPolicy {
+  // Total attempts of the primary solve (1 = no retries).
+  int max_attempts = 3;
+  double base_delay_ms = 1.0;    // delay before the first retry
+  double multiplier = 2.0;       // growth per retry
+  double max_delay_ms = 50.0;    // cap on any single delay
+  double jitter_fraction = 0.25; // delay is scaled by 1 +/- this, hashed
+
+  // Throws csq::InvalidInputError on non-positive/non-finite parameters.
+  void validate() const;
+};
+
+// True when `code` is worth retrying under this policy's semantics.
+[[nodiscard]] bool transient(ErrorCode code);
+
+// Delay in ms before retry number `retry` (1-based: the delay after the
+// first failed attempt is retry == 1) of the request identified by `key`.
+// Deterministic in (policy, key, retry).
+[[nodiscard]] double backoff_delay_ms(const RetryPolicy& policy, const std::string& key,
+                                      int retry);
+
+}  // namespace csq::serve

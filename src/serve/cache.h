@@ -1,0 +1,71 @@
+// LRU memo-cache of verified analysis results, keyed on the canonical
+// config identity (Request::cache_key, built on csq::canonical_key).
+//
+// Poison-resistance is the design constraint: only *verified exact* results
+// may be inserted — the server never caches a degraded-ladder answer, a
+// partially-converged solve, or anything produced while a fault was armed
+// (a faulted solve throws before reaching the insert). The fault site
+// `serve.cache.insert` sits ahead of the mutation, so an injected failure
+// leaves the cache untouched and the response unaffected (the server drops
+// the insert and still answers from the fresh solve).
+//
+// Thread-safety: every method takes the internal mutex; safe from all
+// worker threads. Capacity 0 disables the cache entirely (lookup always
+// misses, insert is dropped) so a server can run memo-free.
+//
+// Throws nothing of its own; an armed serve.cache.insert fault throws the
+// taxonomy error it was armed with out of insert().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "core/config.h"
+
+namespace csq::serve {
+
+class SolverCache {
+ public:
+  explicit SolverCache(std::size_t capacity) : capacity_(capacity) {}
+
+  // The cached metrics for `key`, bumping it to most-recently-used; nullopt
+  // on a miss. Counts serve.cache.hits / serve.cache.misses.
+  [[nodiscard]] std::optional<PolicyMetrics> lookup(const std::string& key);
+
+  // Insert (or refresh) a verified result, evicting the least-recently-used
+  // entry when full. Fault site serve.cache.insert fires before any
+  // mutation. No-op at capacity 0.
+  void insert(const std::string& key, const PolicyMetrics& metrics);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  // Lifetime hit/miss/insert/evict tallies (local mirrors of the obs
+  // counters, available in -DCSQ_OBS=OFF builds too).
+  struct Stats {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t inserts = 0;
+    std::int64_t evictions = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  void clear();
+
+ private:
+  using Entry = std::pair<std::string, PolicyMetrics>;
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  Stats stats_;
+};
+
+}  // namespace csq::serve

@@ -1,0 +1,341 @@
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace csq::serve {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what, std::size_t at) {
+  throw InvalidInputError("json: " + what + " at byte " + std::to_string(at));
+}
+
+// Single-pass recursive-descent parser over the request line. Positions are
+// byte offsets into the original text so error messages point at the spot.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) bad("trailing characters after value", pos_);
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) bad("unexpected end of input", pos_);
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) bad(std::string("expected '") + c + "'", pos_);
+    ++pos_;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value(int depth) {
+    if (depth > kMaxJsonDepth) bad("nesting too deep", pos_);
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return JsonValue::make_string(string());
+      case 't': return literal("true", JsonValue::make_bool(true));
+      case 'f': return literal("false", JsonValue::make_bool(false));
+      case 'n': return literal("null", JsonValue::make_null());
+      default: return number();
+    }
+  }
+
+  JsonValue literal(const char* word, JsonValue v) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p)
+        bad(std::string("invalid literal (expected \"") + word + "\")", pos_);
+      ++pos_;
+    }
+    return v;
+  }
+
+  JsonValue object(int depth) {
+    expect('{');
+    std::vector<std::pair<std::string, JsonValue>> members;
+    skip_ws();
+    if (consume('}')) return JsonValue::make_object(std::move(members));
+    while (true) {
+      skip_ws();
+      if (peek() != '"') bad("expected object key string", pos_);
+      std::string key = string();
+      // Duplicate keys are ambiguous (which value wins?) — reject them so a
+      // request can never smuggle a second "rho_s" past validation.
+      for (const std::pair<std::string, JsonValue>& m : members)
+        if (m.first == key) bad("duplicate object key \"" + key + "\"", pos_);
+      skip_ws();
+      expect(':');
+      members.emplace_back(std::move(key), value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect('}');
+      return JsonValue::make_object(std::move(members));
+    }
+  }
+
+  JsonValue array(int depth) {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (consume(']')) return JsonValue::make_array(std::move(items));
+    while (true) {
+      items.push_back(value(depth + 1));
+      skip_ws();
+      if (consume(',')) continue;
+      expect(']');
+      return JsonValue::make_array(std::move(items));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) bad("unterminated string", pos_);
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (c == '\\') {
+        ++pos_;
+        escape(&out);
+        continue;
+      }
+      if (c < 0x20) bad("raw control character in string", pos_);
+      out.push_back(static_cast<char>(c));
+      ++pos_;
+    }
+  }
+
+  void escape(std::string* out) {
+    if (pos_ >= text_.size()) bad("unterminated escape", pos_);
+    const char c = text_[pos_++];
+    switch (c) {
+      case '"': out->push_back('"'); return;
+      case '\\': out->push_back('\\'); return;
+      case '/': out->push_back('/'); return;
+      case 'b': out->push_back('\b'); return;
+      case 'f': out->push_back('\f'); return;
+      case 'n': out->push_back('\n'); return;
+      case 'r': out->push_back('\r'); return;
+      case 't': out->push_back('\t'); return;
+      case 'u': unicode_escape(out); return;
+      default: bad("invalid escape", pos_ - 1);
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) bad("truncated \\u escape", pos_);
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') v |= static_cast<unsigned>(c - 'A' + 10);
+      else bad("invalid \\u escape digit", pos_ - 1);
+    }
+    return v;
+  }
+
+  void unicode_escape(std::string* out) {
+    unsigned cp = hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate — need the pair
+      if (!(consume('\\') && consume('u'))) bad("unpaired surrogate", pos_);
+      const unsigned lo = hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) bad("invalid low surrogate", pos_);
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      bad("unpaired low surrogate", pos_);
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (consume('-')) { /* sign */ }
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+      bad("invalid number", start);
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (consume('.')) {
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        bad("digits required after decimal point", pos_);
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9')
+        bad("digits required in exponent", pos_);
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') bad("invalid number", start);
+    if (!std::isfinite(v)) bad("number out of range", start);
+    return JsonValue::make_number(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void kind_error(const std::string& where, const char* wanted) {
+  throw InvalidInputError("field \"" + where + "\" must be " + wanted);
+}
+
+}  // namespace
+
+double JsonValue::as_number(const std::string& where) const {
+  if (kind_ != Kind::kNumber) kind_error(where, "a number");
+  return number_;
+}
+
+bool JsonValue::as_bool(const std::string& where) const {
+  if (kind_ != Kind::kBool) kind_error(where, "a boolean");
+  return bool_;
+}
+
+const std::string& JsonValue::as_string(const std::string& where) const {
+  if (kind_ != Kind::kString) kind_error(where, "a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array(const std::string& where) const {
+  if (kind_ != Kind::kArray) kind_error(where, "an array");
+  return items_;
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+std::vector<std::string> JsonValue::keys() const {
+  std::vector<std::string> out;
+  out.reserve(members_.size());
+  for (const auto& [k, v] : members_) out.push_back(k);
+  return out;
+}
+
+JsonValue JsonValue::make_null() { return JsonValue{}; }
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse(); }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(raw);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+}  // namespace csq::serve

@@ -1,0 +1,85 @@
+// Minimal JSON for the serving tier: a recursive-descent parser producing a
+// small value tree, plus the escaping/number-formatting helpers the response
+// builders use. Dependency-free by design (matching the rest of the tree)
+// and deliberately strict: the server treats every parse failure as a
+// malformed request and answers with an InvalidInput taxonomy error, so the
+// parser must reject garbage rather than guess.
+//
+// Scope: RFC 8259 values (objects, arrays, strings with \uXXXX escapes,
+// numbers, true/false/null), UTF-8 passed through verbatim, no comments, no
+// trailing commas. Depth is capped (kMaxDepth) so a hostile request cannot
+// recurse the stack away.
+//
+// Throws csq::InvalidInputError (parse errors, wrong-kind accessor calls).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace csq::serve {
+
+// Nesting depth beyond which parsing fails (hostile-input stack guard).
+inline constexpr int kMaxJsonDepth = 64;
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+
+  // Checked accessors: throw InvalidInputError when the kind mismatches,
+  // naming `where` so request-field errors read well.
+  [[nodiscard]] double as_number(const std::string& where) const;
+  [[nodiscard]] bool as_bool(const std::string& where) const;
+  [[nodiscard]] const std::string& as_string(const std::string& where) const;
+  [[nodiscard]] const std::vector<JsonValue>& as_array(const std::string& where) const;
+
+  // Object member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  // Member names present in an object (insertion order), for
+  // unknown-field diagnostics.
+  [[nodiscard]] std::vector<std::string> keys() const;
+
+  static JsonValue make_null();
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                             // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;   // kObject
+};
+
+// Parse exactly one JSON value spanning the whole input (trailing
+// non-whitespace is an error). Throws csq::InvalidInputError with a byte
+// offset on malformed input.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+// Escape a string for embedding between double quotes in JSON output.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+// Compact round-trippable-ish number formatting ("%.12g", matching the
+// Diagnostics JSON in core/status.cc); NaN/inf become null (JSON has no
+// non-finite numbers).
+[[nodiscard]] std::string json_number(double v);
+
+}  // namespace csq::serve

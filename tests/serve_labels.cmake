@@ -1,0 +1,9 @@
+# Included by CTest after gtest discovery has registered the non-chaos serve
+# suite (this include is appended between the two csq_serve_tests discovery
+# calls, so csq_serve_tests_TESTS holds exactly that list — the ServeChaos
+# discovery overwrites it afterwards and keeps its single `chaos` label).
+# gtest_discover_tests' serializer cannot carry a multi-label list, so the
+# full label set is applied here.
+foreach(t IN LISTS csq_serve_tests_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "tier1;serve")
+endforeach()

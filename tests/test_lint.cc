@@ -225,6 +225,54 @@ TEST(LintRules, MetricNamingSkipsTests) {
   EXPECT_TRUE(lint_one("metric_bad.cc", "tests/metric_bad.cc").empty());
 }
 
+TEST(LintRules, ServeHygieneBad) {
+  // Default Config has an empty serve_metric_docs, so the serve.* metric is
+  // also flagged as undocumented.
+  const std::vector<Finding> fs =
+      lint_one("serve_hygiene_bad.cc", "src/serve/serve_hygiene_bad.cc");
+  ASSERT_EQ(fs.size(), 5u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "serve-hygiene");
+  EXPECT_EQ(fs[0].line, 11);  // std::exit
+  EXPECT_EQ(fs[1].line, 12);  // std::abort
+  EXPECT_EQ(fs[2].line, 13);  // pending_.push_back
+  EXPECT_EQ(fs[3].line, 14);  // reply_queue->emplace_back
+  EXPECT_EQ(fs[4].line, 15);  // undocumented serve.* metric
+  EXPECT_NE(fs[0].message.find("must not call exit()"), std::string::npos);
+  EXPECT_NE(fs[2].message.find("bounded admit path"), std::string::npos);
+  EXPECT_NE(fs[4].message.find("docs/serving.md"), std::string::npos);
+}
+
+TEST(LintRules, ServeHygieneAppliesToServeBinary) {
+  // tools/csq_serve.cc is request-handler code too.
+  const std::vector<Finding> fs =
+      lint_one("serve_hygiene_bad.cc", "tools/csq_serve.cc");
+  ASSERT_EQ(fs.size(), 5u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "serve-hygiene");
+}
+
+TEST(LintRules, ServeHygieneScopedToServePaths) {
+  // Outside serve paths the same file is not the rule's business.
+  EXPECT_TRUE(lint_one("serve_hygiene_bad.cc", "src/x/serve_hygiene_bad.cc").empty());
+}
+
+TEST(LintRules, ServeHygieneCleanWithCatalog) {
+  Config cfg;
+  cfg.serve_metric_docs = "| `serve.fixture.documented` | counter | fixture metric |";
+  EXPECT_TRUE(
+      lint_one("serve_hygiene_clean.cc", "src/serve/serve_hygiene_clean.cc", cfg).empty());
+}
+
+TEST(LintRules, ServeHygieneMissingCatalogFlagsMetric) {
+  // The clean twin's admit-path push is suppressed with a reason, but its
+  // metric still needs a catalog entry: an empty catalog means one finding.
+  const std::vector<Finding> fs =
+      lint_one("serve_hygiene_clean.cc", "src/serve/serve_hygiene_clean.cc");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "serve-hygiene");
+  EXPECT_NE(fs[0].message.find("serve.fixture.documented"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("not documented"), std::string::npos);
+}
+
 // --- Suppressions ----------------------------------------------------------
 
 TEST(LintSuppress, AllowWithReasonCoversNextLine) {
@@ -249,11 +297,12 @@ TEST(LintSuppress, SelftestPasses) {
 
 TEST(LintRegistry, CatalogIsStable) {
   const std::vector<csq::lint::RuleInfo>& rs = csq::lint::rules();
-  ASSERT_EQ(rs.size(), 11u);
+  ASSERT_EQ(rs.size(), 12u);
   EXPECT_STREQ(rs[0].id, "raw-throw");
   EXPECT_STREQ(rs[8].id, "fault-site-naming");
   EXPECT_STREQ(rs[9].id, "metric-naming");
-  EXPECT_STREQ(rs[10].id, "suppression");
+  EXPECT_STREQ(rs[10].id, "serve-hygiene");
+  EXPECT_STREQ(rs[11].id, "suppression");
 }
 
 }  // namespace

@@ -5,9 +5,13 @@
 #
 #   werror      whole tree under -Wall -Wextra -Werror
 #   asan-ubsan  ASan+UBSan build, tier1 suite under it   (CSQ_SKIP_ASAN=1)
-#   tsan        TSan build, `ctest -L parallel` under it (CSQ_SKIP_TSAN=1)
+#   tsan        TSan build, `ctest -L parallel` and `ctest -L serve` under it
+#                                                        (CSQ_SKIP_TSAN=1)
 #   chaos       fault-injection build (ASan+UBSan, -DCSQ_FAULT_INJECTION=ON),
 #               `ctest -L chaos` under it                (CSQ_SKIP_CHAOS=1)
+#   serve       csq_serve end-to-end under ASan: SIGTERM mid-load must drain
+#               cleanly (exit 0) and flush the metrics file
+#                                                        (CSQ_SKIP_SERVE=1)
 #   obs         `ctest -L obs` under the TSan build (counter/span thread
 #               safety), plus a -DCSQ_OBS=OFF -Werror build proving the
 #               compiled-out configuration stays warning-free
@@ -64,7 +68,14 @@ else
     || fail "tsan (configure)"
   cmake --build "$tsan_dir" -j --target csq_parallel_tests || fail "tsan (build)"
   (cd "$tsan_dir" && ctest -L parallel --output-on-failure) || fail "tsan (parallel suite)"
-  note "PASS  tsan        (parallel suite clean under ThreadSanitizer)"
+  # The server's submit/worker/drain handshake is the other cross-thread
+  # surface: run the serve suite (soak included) under the same build. The
+  # serve label also carries the sh tests that exec the csq_serve binary, so
+  # build both targets.
+  cmake --build "$tsan_dir" -j --target csq_serve_tests csq_serve \
+    || fail "tsan (serve build)"
+  (cd "$tsan_dir" && ctest -L serve --output-on-failure) || fail "tsan (serve suite)"
+  note "PASS  tsan        (parallel + serve suites clean under ThreadSanitizer)"
 fi
 
 # --- stage 4: chaos (fault injection under ASan+UBSan) ----------------------
@@ -79,7 +90,45 @@ else
   note "PASS  chaos       (fault-injected ladder clean under ASan+UBSan)"
 fi
 
-# --- stage 5: obs (thread safety + compiled-out build) -----------------------
+# --- stage 5: serve (SIGTERM drain end-to-end under ASan) --------------------
+if [ "${CSQ_SKIP_SERVE:-0}" = "1" ]; then
+  note "SKIP  serve       (CSQ_SKIP_SERVE=1)"
+elif [ "${CSQ_SKIP_ASAN:-0}" = "1" ]; then
+  note "SKIP  serve       (needs the asan stage's build)"
+else
+  cmake --build "$asan_dir" -j --target csq_serve || fail "serve (build)"
+  serve_tmp=$(mktemp -d)
+  # Drip a mixed request stream (valid analyzes + hostile lines) and SIGTERM
+  # the server mid-load. The drain contract: every admitted request is still
+  # answered, the metrics file is flushed, and the exit code is 0 — under
+  # ASan, so a leaked worker or use-after-drain fails the stage too.
+  (
+    i=0
+    while [ "$i" -lt 40 ]; do
+      printf '{"id":"s%d","op":"analyze","rho_s":0.5,"rho_l":0.5}\n' "$i"
+      printf 'not json\n'
+      i=$((i + 1))
+      sleep 0.05
+    done
+  ) | "$asan_dir/tools/csq_serve" --workers 2 \
+        --metrics="$serve_tmp/metrics.json" > "$serve_tmp/responses.ndjson" &
+  serve_pid=$!
+  sleep 1
+  kill -TERM "$serve_pid" 2>/dev/null
+  wait "$serve_pid"
+  serve_rc=$?
+  [ "$serve_rc" -eq 0 ] || fail "serve (SIGTERM drain exited $serve_rc, want 0)"
+  grep -q 'serve.requests.admitted' "$serve_tmp/metrics.json" \
+    || fail "serve (metrics file missing serve.requests.admitted)"
+  grep -q '"ok":true' "$serve_tmp/responses.ndjson" \
+    || fail "serve (no successful responses before the drain)"
+  grep -q '"ok":false' "$serve_tmp/responses.ndjson" \
+    || fail "serve (hostile lines produced no error responses)"
+  rm -rf "$serve_tmp"
+  note "PASS  serve       (SIGTERM mid-load drained cleanly under ASan, metrics flushed)"
+fi
+
+# --- stage 6: obs (thread safety + compiled-out build) -----------------------
 if [ "${CSQ_SKIP_OBS:-0}" = "1" ]; then
   note "SKIP  obs         (CSQ_SKIP_OBS=1)"
 else
@@ -102,7 +151,7 @@ else
   note "PASS  obs         (TSan-clean counters/spans; CSQ_OBS=OFF builds and passes)"
 fi
 
-# --- stage 6: clang-tidy (optional tool) ------------------------------------
+# --- stage 7: clang-tidy (optional tool) ------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is exported by the werror configure above.
   find "$repo_root/src" -name '*.cc' -print0 \
@@ -113,7 +162,7 @@ else
   note "SKIP  clang-tidy  (not installed)"
 fi
 
-# --- stage 7: csq_lint ------------------------------------------------------
+# --- stage 8: csq_lint ------------------------------------------------------
 cmake --build "$build_dir" -j --target csq_lint || fail "csq-lint (build)"
 "$build_dir/tools/csq_lint" --selftest >/dev/null || fail "csq-lint (selftest)"
 "$build_dir/tools/csq_lint" --root "$repo_root" || fail "csq-lint (repo scan)"

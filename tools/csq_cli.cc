@@ -73,10 +73,16 @@ Args parse(int argc, char** argv) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) throw InvalidInputError("expected --flag, got " + key);
     key = key.substr(2);
+    if (key.empty() || key[0] == '=')
+      throw InvalidInputError("malformed flag \"" + std::string(argv[i]) +
+                              "\": empty flag name");
     // --key=value binds tighter than the next-token form, so values that
     // start with "--" (or look like flags) stay expressible.
     const std::size_t eq = key.find('=');
     if (eq != std::string::npos) {
+      if (eq + 1 == key.size())
+        throw InvalidInputError("malformed flag \"" + std::string(argv[i]) +
+                                "\": empty value (drop the '=' for a boolean flag)");
       a.flags[key.substr(0, eq)] = key.substr(eq + 1);
       continue;
     }
@@ -285,7 +291,7 @@ void usage() {
       "            --fault site:count:kind[,...] (needs CSQ_FAULT_INJECTION)\n"
       "exit codes: 0 ok, 1 internal, 2 invalid input, 3 unstable,\n"
       "            4 not converged, 5 ill-conditioned, 6 verification failed,\n"
-      "            7 deadline exceeded, 8 cancelled\n";
+      "            7 deadline exceeded, 8 cancelled, 9 overloaded (csq_serve)\n";
 }
 
 // Exit code per taxonomy code (documented in usage()).
@@ -299,6 +305,7 @@ int exit_code(ErrorCode code) {
     case ErrorCode::kVerificationFailed: return 6;
     case ErrorCode::kDeadlineExceeded: return 7;
     case ErrorCode::kCancelled: return 8;
+    case ErrorCode::kOverloaded: return 9;
     case ErrorCode::kInternal: return 1;
   }
   return 1;

@@ -217,6 +217,9 @@ const std::vector<RuleInfo>& rules() {
        "fault sites are literal module.sub.action strings, registered exactly once"},
       {"metric-naming",
        "obs metric/span names are literal module.sub.metric strings, registered exactly once"},
+      {"serve-hygiene",
+       "serve code must not exit/abort or bypass the bounded admit path; serve.* metrics "
+       "must be in the docs catalog"},
       {"suppression", "csq-lint: allow(...) comments must name a known rule and give a reason"},
   };
   return kRules;
@@ -679,6 +682,72 @@ void rule_metric_naming(const std::vector<SourceFile>& files, std::vector<Findin
   }
 }
 
+// serve-hygiene (R11): request-handler code (Config::serve_paths — the serve
+// layer and the csq_serve binary) must degrade, never die, and never grow
+// the request queue outside the bounded admit gate:
+//   (a) no process-terminating calls (exit/abort/terminate/...): a handler
+//       converts failures into taxonomy error responses;
+//   (b) no push_back/emplace_back/push on an identifier that names a queue
+//       ("queue"/"pending"): all enqueueing goes through the single admit
+//       path that checks queue_depth and max_inflight_cost first (that one
+//       site carries a csq-lint allow with its justification);
+//   (c) every serve.* obs metric/span registered here must appear in the
+//       serve metric catalog (docs/serving.md, passed in
+//       Config::serve_metric_docs) so the serving dashboard surface and the
+//       docs cannot drift apart.
+void rule_serve_hygiene(const SourceFile& f, const Config& config,
+                        std::vector<Finding>* out) {
+  bool in_scope = false;
+  for (const std::string& p : config.serve_paths)
+    if (starts_with(f.rel, p)) in_scope = true;
+  if (!in_scope) return;
+
+  static const char* const kObsMacros[] = {"CSQ_OBS_COUNT", "CSQ_OBS_COUNT_N",
+                                           "CSQ_OBS_GAUGE_SET", "CSQ_OBS_HIST",
+                                           "CSQ_OBS_SPAN"};
+  const auto names_queue = [](const std::string& ident) {
+    return ident.find("queue") != std::string::npos ||
+           ident.find("pending") != std::string::npos;
+  };
+
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    // (a) process-terminating calls.
+    if (i + 1 < t.size() && t[i + 1].text == "(") {
+      for (const std::string& banned : config.serve_banned_calls)
+        if (t[i].text == banned)
+          out->push_back({f.path, t[i].line, "serve-hygiene",
+                          "request-handler code must not call " + banned +
+                              "() — convert the failure into a taxonomy error "
+                              "response instead"});
+    }
+    // (b) queue growth outside the admit gate.
+    if (i + 3 < t.size() && names_queue(t[i].text) &&
+        (t[i + 1].text == "." || t[i + 1].text == "->") &&
+        (t[i + 2].text == "push_back" || t[i + 2].text == "emplace_back" ||
+         t[i + 2].text == "push") &&
+        t[i + 3].text == "(")
+      out->push_back({f.path, t[i].line, "serve-hygiene",
+                      "push onto request queue \"" + t[i].text +
+                          "\" outside the bounded admit path — admission must "
+                          "check queue depth and in-flight cost first"});
+    // (c) serve.* metrics must be in the docs catalog.
+    bool is_obs = false;
+    for (const char* m : kObsMacros)
+      if (t[i].text == m) is_obs = true;
+    if (is_obs && i + 2 < t.size() && t[i + 1].text == "(" &&
+        t[i + 2].kind == TokKind::kString) {
+      const std::string name = t[i + 2].text.substr(1, t[i + 2].text.size() - 2);
+      if (starts_with(name, "serve.") &&
+          config.serve_metric_docs.find(name) == std::string::npos)
+        out->push_back({f.path, t[i].line, "serve-hygiene",
+                        "serve metric \"" + name + "\" is not documented in the " +
+                            config.serve_metric_docs_name + " metric catalog"});
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& config) {
@@ -693,6 +762,7 @@ std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& con
     rule_header_hygiene(f, &file_findings);
     rule_catch_all(f, &file_findings);
     rule_banned_identifier(f, config, &file_findings);
+    rule_serve_hygiene(f, config, &file_findings);
     for (Finding& fd : file_findings) {
       bool suppressed = false;
       for (Suppression& s : sups)

@@ -25,6 +25,12 @@
 //   metric-naming      (R10) CSQ_OBS_* metric/span names must be literal
 //                           module.sub.metric strings, each registered
 //                           exactly once repo-wide (src/obs/obs.h catalog)
+//   serve-hygiene      (R11) request-handler code (src/serve/,
+//                           tools/csq_serve.cc) must not terminate the
+//                           process or push onto a request queue outside
+//                           the bounded admit path, and every serve.*
+//                           metric must appear in the docs/serving.md
+//                           metric catalog
 //   suppression        (meta) malformed `csq-lint: allow(...)` comments
 //
 // Findings print as `file:line: [rule-id] message`. A finding on line L is
@@ -125,9 +131,22 @@ struct Config {
   std::vector<std::string> allowed_throw_types = {
       "InvalidInputError",  "UnstableError",       "NotConvergedError",
       "IllConditionedError", "VerificationFailedError", "InternalError",
-      "DeadlineExceededError", "CancelledError"};
+      "DeadlineExceededError", "CancelledError", "OverloadedError"};
   // Identifiers banned everywhere (rule banned-identifier).
   std::vector<std::string> banned_identifiers = {"assert", "rand", "srand", "gets"};
+  // serve-hygiene (R11): repo-relative prefixes holding request-handler code.
+  std::vector<std::string> serve_paths = {"src/serve/", "tools/csq_serve.cc"};
+  // Process-terminating calls banned inside serve paths (a handler converts
+  // failures to taxonomy responses; it never takes the process down).
+  std::vector<std::string> serve_banned_calls = {"exit",       "_exit",    "_Exit",
+                                                 "quick_exit", "abort",    "terminate"};
+  // Contents of the serve metric catalog (docs/serving.md), loaded by
+  // tools/lint/main.cc. Every serve.* obs name registered in a serve path
+  // must appear in this text; when it is empty (catalog missing) every
+  // serve.* metric is flagged as undocumented.
+  std::string serve_metric_docs;
+  // Catalog file named in serve-hygiene findings.
+  std::string serve_metric_docs_name = "docs/serving.md";
 };
 
 // Run every rule over `files`, apply suppressions, and return the surviving

@@ -40,6 +40,7 @@ using csq::lint::SourceFile;
     case csq::ErrorCode::kVerificationFailed: return 6;
     case csq::ErrorCode::kDeadlineExceeded: return 7;
     case csq::ErrorCode::kCancelled: return 8;
+    case csq::ErrorCode::kOverloaded: return 9;
     case csq::ErrorCode::kInternal: return 1;
   }
   return 1;
@@ -111,7 +112,14 @@ int run(int argc, char** argv) {
   std::vector<SourceFile> files;
   for (const std::string& t : targets) collect(root / t, root, &files);
 
-  const std::vector<Finding> findings = csq::lint::run_rules(files);
+  // serve-hygiene (R11): the serve metric catalog the serve.* names are
+  // checked against. A missing catalog file leaves the text empty, which
+  // flags every serve.* metric — the catalog is part of the contract.
+  csq::lint::Config config;
+  const fs::path serve_docs = root / config.serve_metric_docs_name;
+  if (fs::is_regular_file(serve_docs)) config.serve_metric_docs = slurp(serve_docs);
+
+  const std::vector<Finding> findings = csq::lint::run_rules(files, config);
   for (const Finding& f : findings) std::cout << csq::lint::format_finding(f) << "\n";
   if (findings.empty()) {
     std::cerr << "csq_lint: " << files.size() << " files clean\n";
