@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "analysis/batch.h"
 #include "analysis/cscq.h"
 #include "analysis/stability.h"
 #include "analysis/csid.h"
@@ -71,16 +72,40 @@ const SystemConfig& config() {
 }
 
 void BM_AnalyzeCscq(benchmark::State& state) {
+  // Steady-state cost: the workspace (buffers + cached block patterns)
+  // persists across iterations, as it does across a sweep's points.
+  qbd::Workspace ws;
+  analysis::CscqOptions opts;
+  opts.workspace = &ws;
   AllocScope allocs(state);
-  for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_cscq(config()));
+  for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_cscq(config(), opts));
 }
 BENCHMARK(BM_AnalyzeCscq);
 
 void BM_AnalyzeCsid(benchmark::State& state) {
+  qbd::Workspace ws;
+  analysis::CsidOptions opts;
+  opts.workspace = &ws;
   AllocScope allocs(state);
-  for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_csid(config()));
+  for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_csid(config(), opts));
 }
 BENCHMARK(BM_AnalyzeCsid);
+
+void BM_AnalyzeBatch30(benchmark::State& state) {
+  // A figure panel's worth of CS-CQ points through the batch entry point:
+  // one workspace and the fit memo amortized over all 30 solves.
+  std::vector<analysis::BatchRequest> items;
+  for (double rho_s : linspace(1.45 / 30.0, 1.45, 30)) {
+    analysis::BatchRequest req;
+    req.policy = Policy::kCsCq;
+    req.config = SystemConfig::paper_setup(rho_s, 0.5, 1.0, 1.0, 8.0);
+    if (analysis::cscq_stable(req.config.rho_short(), req.config.rho_long()))
+      items.push_back(req);
+  }
+  AllocScope allocs(state);
+  for (auto _ : state) benchmark::DoNotOptimize(analysis::analyze_batch(items));
+}
+BENCHMARK(BM_AnalyzeBatch30)->Unit(benchmark::kMillisecond);
 
 void BM_SweepPanel30Points(benchmark::State& state) {
   // One figure panel: 30 sweep points, all three policies, evaluated through

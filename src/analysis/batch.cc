@@ -1,0 +1,31 @@
+#include "analysis/batch.h"
+
+#include "obs/obs.h"
+#include "qbd/qbd.h"
+
+namespace csq::analysis {
+
+std::vector<AnalyzeOutcome> analyze_batch(const std::vector<BatchRequest>& items,
+                                          const RunBudget& budget) {
+  std::vector<AnalyzeOutcome> out;
+  out.reserve(items.size());
+  // One workspace for the whole batch: the first solve sizes the buffers
+  // and the pattern analysis reuses the index vectors' capacity from then
+  // on, so items after the first run allocation-free inside the QBD loop.
+  qbd::Workspace ws;
+  for (const BatchRequest& req : items) {
+    CSQ_OBS_COUNT("analysis.batch.items");
+    if (budget.interrupted()) {
+      AnalyzeOutcome timed_out;
+      timed_out.status.code = ErrorCode::kDeadlineExceeded;
+      timed_out.status.message = "analyze_batch: budget interrupted";
+      out.push_back(std::move(timed_out));
+      continue;
+    }
+    out.push_back(try_analyze(req.policy, req.config, req.busy_period_moments,
+                              req.verify, budget, &ws));
+  }
+  return out;
+}
+
+}  // namespace csq::analysis

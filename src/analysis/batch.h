@@ -1,0 +1,43 @@
+// Batched analytic solves sharing one QBD workspace.
+//
+// A figure sweep, a serve session, or a calibration loop issues dozens of
+// analyze() calls whose QBD chains share block structure (the phase counts
+// depend on busy_period_moments, not on the load point). Run standalone,
+// every call allocates its own iteration scratch, re-analyzes the block
+// sparsity patterns, and re-fits the same busy-period moment triples.
+// analyze_batch() amortizes all three: one qbd::Workspace (buffers + cached
+// BlockPatterns, see qbd/qbd.h) serves the whole batch, and the phase-type
+// fit memo in dist/moment_match.cc turns repeated Coxian fits into lookups.
+//
+// Semantics match a loop of try_analyze() calls exactly — workspace reuse
+// never changes results (the equivalence is pinned by the kernel test
+// suite and the golden figure tests, which run both ways). Failures are
+// per-item: outcome i carries the status for items[i]; one diverging
+// config does not abort its neighbours. The batch budget is polled once
+// per item, so a deadline degrades coverage item-by-item like a sweep.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/deadline.h"
+#include "core/solver.h"
+
+namespace csq::analysis {
+
+// One analytic request: which policy to analyze at which operating point.
+struct BatchRequest {
+  Policy policy = Policy::kCsCq;
+  SystemConfig config;
+  int busy_period_moments = 3;
+  VerifyLevel verify = VerifyLevel::kBasic;
+};
+
+// Evaluate every request in order, reusing one QBD workspace across the
+// batch. Outcome i corresponds to items[i]; items that fail (unstable,
+// not converged, budget interrupted) report through their status instead
+// of throwing. Exports the obs counter analysis.batch.items.
+[[nodiscard]] std::vector<AnalyzeOutcome> analyze_batch(
+    const std::vector<BatchRequest>& items, const RunBudget& budget = {});
+
+}  // namespace csq::analysis

@@ -65,7 +65,8 @@ SolverStatus verify_metrics(const PolicyMetrics& metrics, const SystemConfig& co
 }
 
 PolicyMetrics analyze(Policy policy, const SystemConfig& config, int busy_period_moments,
-                      VerifyLevel verify, const RunBudget& budget) {
+                      VerifyLevel verify, const RunBudget& budget,
+                      qbd::Workspace* workspace) {
   budget.check("analyze");
   PolicyMetrics metrics;
   switch (policy) {
@@ -77,6 +78,7 @@ PolicyMetrics analyze(Policy policy, const SystemConfig& config, int busy_period
       opts.busy_period_moments = busy_period_moments;
       opts.qbd.verify = verify;
       opts.qbd.budget = budget;
+      opts.workspace = workspace;
       metrics = analysis::analyze_csid(config, opts).metrics;
       break;
     }
@@ -85,6 +87,7 @@ PolicyMetrics analyze(Policy policy, const SystemConfig& config, int busy_period
       opts.busy_period_moments = busy_period_moments;
       opts.qbd.verify = verify;
       opts.qbd.budget = budget;
+      opts.workspace = workspace;
       metrics = analysis::analyze_cscq(config, opts).metrics;
       break;
     }
@@ -97,10 +100,10 @@ PolicyMetrics analyze(Policy policy, const SystemConfig& config, int busy_period
 
 AnalyzeOutcome try_analyze(Policy policy, const SystemConfig& config,
                            int busy_period_moments, VerifyLevel verify,
-                           const RunBudget& budget) noexcept {
+                           const RunBudget& budget, qbd::Workspace* workspace) noexcept {
   AnalyzeOutcome out;
   try {
-    out.metrics = analyze(policy, config, busy_period_moments, verify, budget);
+    out.metrics = analyze(policy, config, busy_period_moments, verify, budget, workspace);
   } catch (const Error& e) {
     out.status = e.status();
   } catch (const std::exception& e) {

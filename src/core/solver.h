@@ -7,6 +7,10 @@
 
 namespace csq {
 
+namespace qbd {
+struct Workspace;  // qbd/qbd.h — scratch buffers + cached block patterns
+}
+
 enum class Policy { kDedicated, kCsId, kCsCq };
 
 [[nodiscard]] const char* policy_label(Policy p);
@@ -21,11 +25,15 @@ enum class Policy { kDedicated, kCsId, kCsCq };
 // nonnegative metrics; kFull adds Little's-law consistency) — failures throw
 // csq::VerificationFailedError. `budget` bounds the underlying QBD solve;
 // csq::DeadlineExceededError / csq::CancelledError propagate from it with
-// partial SolveStats.
+// partial SolveStats. `workspace` (optional) is handed to the underlying QBD
+// solve so repeated calls reuse its scratch buffers and cached block
+// patterns; reuse never changes results (analysis/batch.h is the loop-level
+// wrapper that manages one for you).
 [[nodiscard]] PolicyMetrics analyze(Policy policy, const SystemConfig& config,
                                     int busy_period_moments = 3,
                                     VerifyLevel verify = VerifyLevel::kBasic,
-                                    const RunBudget& budget = {});
+                                    const RunBudget& budget = {},
+                                    qbd::Workspace* workspace = nullptr);
 
 // Non-throwing variant: classifies any failure into a SolverStatus instead
 // of propagating exceptions. `metrics` is meaningful iff `status.ok()`.
@@ -39,7 +47,8 @@ struct AnalyzeOutcome {
 [[nodiscard]] AnalyzeOutcome try_analyze(Policy policy, const SystemConfig& config,
                                          int busy_period_moments = 3,
                                          VerifyLevel verify = VerifyLevel::kBasic,
-                                         const RunBudget& budget = {}) noexcept;
+                                         const RunBudget& budget = {},
+                                         qbd::Workspace* workspace = nullptr) noexcept;
 
 // Self-checks on a computed PolicyMetrics: every metric finite, responses
 // positive, waits/numbers nonnegative (up to rounding); kFull additionally

@@ -97,7 +97,14 @@ SweepRow evaluate_point(double rho_short, double rho_long, double mean_short,
       // still fail to solve (UnstableError from sp(R) rounding to 1,
       // NotConvergedError, ...). Such a point keeps its NaN columns; the
       // rest of the sweep is unaffected.
-      const AnalyzeOutcome out = try_analyze(p, config, 3, VerifyLevel::kBasic, opts.budget);
+      //
+      // Each pool worker evaluates many points; a thread-local QBD
+      // workspace amortizes solver scratch and pattern analysis across all
+      // of them without sharing anything between workers, so sweep output
+      // stays bit-identical for every thread count.
+      thread_local qbd::Workspace sweep_ws;
+      const AnalyzeOutcome out =
+          try_analyze(p, config, 3, VerifyLevel::kBasic, opts.budget, &sweep_ws);
       if (out.ok()) {
         m = out.metrics;
         have_value = true;

@@ -1,13 +1,57 @@
 #include "dist/moment_match.h"
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "core/status.h"
+#include "obs/obs.h"
 
 namespace csq::dist {
 
 namespace {
+
+// Memo key: the exact bit patterns of the target moments plus the requested
+// moment count. Keying on bits (not values) keeps the cache a pure
+// memoization — two calls hit the same entry only when fit_ph would have
+// performed the identical computation, so cached and fresh results are
+// indistinguishable (fit_ph is deterministic in its inputs).
+struct FitKey {
+  std::uint64_t m1, m2, m3;
+  int max_moments;
+
+  bool operator==(const FitKey&) const = default;
+};
+
+struct FitKeyHash {
+  std::size_t operator()(const FitKey& k) const {
+    std::uint64_t h = 0x9e3779b97f4a7c15ull ^ static_cast<std::uint64_t>(k.max_moments);
+    for (std::uint64_t v : {k.m1, k.m2, k.m3}) {
+      h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct FitEntry {
+  PhaseType ph;
+  FitReport report;
+};
+
+// The 3-moment Coxian fit runs a 4096-point grid scan plus bisection
+// (~17 us), and a sweep or batch re-fits the same few distributions for
+// every config. thread_local keeps the cache lock-free; the size cap bounds
+// memory on adversarial workloads (clearing is cheap and merely re-pays one
+// fit per distinct key).
+constexpr std::size_t kFitCacheCap = 4096;
+
+std::unordered_map<FitKey, FitEntry, FitKeyHash>& fit_cache() {
+  thread_local std::unordered_map<FitKey, FitEntry, FitKeyHash> cache;
+  return cache;
+}
 
 // g(x) from the reduced 3-moment Coxian-2 system; see fit_coxian2_3moments.
 double reduced_g(double x, const Moments& m, double* y_out, double* p_out) {
@@ -99,33 +143,52 @@ PhaseType fit_ph(const Moments& target, int max_moments, FitReport* report) {
   if (max_moments < 1 || max_moments > 3)
     throw InvalidInputError("fit_ph: max_moments must be 1..3");
 
+  const FitKey key{std::bit_cast<std::uint64_t>(target.m1),
+                   std::bit_cast<std::uint64_t>(target.m2),
+                   std::bit_cast<std::uint64_t>(target.m3), max_moments};
+  auto& cache = fit_cache();
+  if (const auto it = cache.find(key); it != cache.end()) {
+    CSQ_OBS_COUNT("dist.fit.cache_hits");
+    if (report) *report = it->second.report;
+    return it->second.ph;
+  }
+  CSQ_OBS_COUNT("dist.fit.cache_misses");
+
+  FitReport local_report{max_moments, 1, false};
+  const auto memoize = [&](PhaseType ph) -> PhaseType {
+    if (cache.size() >= kFitCacheCap) cache.clear();
+    cache.emplace(key, FitEntry{ph, local_report});
+    if (report) *report = local_report;
+    return ph;
+  };
+
   if (max_moments == 1) {
-    if (report) report->moments_matched = 1;
-    return PhaseType::exponential(1.0 / target.m1);
+    local_report.moments_matched = 1;
+    return memoize(PhaseType::exponential(1.0 / target.m1));
   }
 
   const double scv = target.scv();
   if (scv < -1e-9) throw InvalidInputError("fit_ph: m2 < m1^2 is not realizable");
 
   const auto two_moment = [&]() -> PhaseType {
-    if (report) report->moments_matched = 2;
+    local_report.moments_matched = 2;
     if (std::abs(scv - 1.0) < 1e-9) {
-      if (report) report->moments_matched = 3;  // exponential matches all of them
+      local_report.moments_matched = 3;  // exponential matches all of them
       return PhaseType::exponential(1.0 / target.m1);
     }
     if (scv < 1.0) return fit_mixed_erlang(target.m1, std::max(scv, 1e-9));
     return PhaseType::coxian_mean_scv(target.m1, scv);
   };
 
-  if (max_moments == 2) return two_moment();
+  if (max_moments == 2) return memoize(two_moment());
 
   double mu1 = 0, mu2 = 0, p = 0;
   if (fit_coxian2_3moments(target, &mu1, &mu2, &p)) {
-    if (report) report->moments_matched = 3;
-    return PhaseType::coxian({mu1, mu2}, {p});
+    local_report.moments_matched = 3;
+    return memoize(PhaseType::coxian({mu1, mu2}, {p}));
   }
-  if (report) report->used_fallback = true;
-  return two_moment();
+  local_report.used_fallback = true;
+  return memoize(two_moment());
 }
 
 }  // namespace csq::dist

@@ -30,6 +30,14 @@ struct FitReport {
 // Throws std::invalid_argument for non-realizable inputs (m1 <= 0, m2 < m1^2
 // beyond numerical slack, ...). `report`, when non-null, records what was
 // actually matched (used by the moment-matching ablation bench).
+//
+// Results are memoized per thread, keyed on the exact bit patterns of
+// (m1, m2, m3, max_moments): sweeps and batches re-fit the same few
+// distributions for every config, and the 3-moment Coxian fit's root search
+// is the analysis path's single most expensive scalar computation. Cached
+// returns are copies of the originally computed fit, so memoization is
+// observationally invisible (cache hit/miss traffic is exported as the
+// dist.fit.cache_hits / dist.fit.cache_misses counters).
 [[nodiscard]] PhaseType fit_ph(const Moments& target, int max_moments = 3,
                                FitReport* report = nullptr);
 

@@ -60,11 +60,8 @@ Lu::Lu(Matrix a) : a_(std::move(a)), lu_(a_) {
   }
 }
 
-std::vector<double> Lu::solve(std::vector<double> b) const {
+void Lu::substitute(std::vector<double>& x) const {
   const std::size_t n = lu_.rows();
-  if (b.size() != n) throw InvalidInputError("Lu::solve: size mismatch");
-  std::vector<double> x(n);
-  for (std::size_t i = 0; i < n; ++i) x[i] = b[static_cast<std::size_t>(perm_[i])];
   // Forward substitution (L has unit diagonal).
   for (std::size_t i = 1; i < n; ++i)
     for (std::size_t j = 0; j < i; ++j) x[i] -= lu_(i, j) * x[j];
@@ -73,6 +70,14 @@ std::vector<double> Lu::solve(std::vector<double> b) const {
     for (std::size_t j = ii + 1; j < n; ++j) x[ii] -= lu_(ii, j) * x[j];
     x[ii] /= lu_(ii, ii);
   }
+}
+
+std::vector<double> Lu::solve(std::vector<double> b) const {
+  const std::size_t n = lu_.rows();
+  if (b.size() != n) throw InvalidInputError("Lu::solve: size mismatch");
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[static_cast<std::size_t>(perm_[i])];
+  substitute(x);
   return x;
 }
 
@@ -110,12 +115,38 @@ double Lu::determinant() const {
   return d;
 }
 
+Matrix Lu::inverse() const {
+  const std::size_t n = lu_.rows();
+  Matrix inv(n, n);
+  std::vector<double> x(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = static_cast<std::size_t>(perm_[i]) == c ? 1.0 : 0.0;
+    substitute(x);
+    for (std::size_t r = 0; r < n; ++r) inv(r, c) = x[r];
+  }
+  return inv;
+}
+
 double Lu::condition_estimate() const {
   if (cond_ >= 0.0) return cond_;
-  // The matrices here are small, so the exact ||A^{-1}||_1 via n solves is
-  // affordable and beats a Hager-style estimate in reliability.
-  const Matrix inv = solve(Matrix::identity(lu_.rows()));
-  cond_ = norm1(a_) * norm1(inv);
+  // The matrices here are small, so the exact ||A^{-1}||_1 via n unit-vector
+  // solves is affordable and beats a Hager-style estimate in reliability.
+  // The columns stream through one reused buffer — the boundary stage calls
+  // this once per analyze, so the n heap-allocating solves it used to make
+  // showed up in the allocation profile.
+  const std::size_t n = lu_.rows();
+  std::vector<double> x(n);
+  double inv_norm = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = static_cast<std::size_t>(perm_[i]) == c ? 1.0 : 0.0;
+    substitute(x);
+    double col = 0.0;
+    for (std::size_t i = 0; i < n; ++i) col += std::abs(x[i]);
+    inv_norm = std::max(inv_norm, col);
+  }
+  cond_ = norm1(a_) * inv_norm;
   return cond_;
 }
 
@@ -136,6 +167,6 @@ std::vector<double> solve_left(const Matrix& a, const std::vector<double>& b) {
   return Lu(a.transpose()).solve(b);
 }
 
-Matrix inverse(const Matrix& a) { return Lu(a).solve(Matrix::identity(a.rows())); }
+Matrix inverse(const Matrix& a) { return Lu(a).inverse(); }
 
 }  // namespace csq::linalg

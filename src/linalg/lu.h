@@ -31,6 +31,10 @@ class Lu {
 
   [[nodiscard]] double determinant() const;
 
+  // A^{-1}, assembled column-by-column through one reused substitution
+  // buffer (cheaper than solve(Matrix::identity(n)), same values).
+  [[nodiscard]] Matrix inverse() const;
+
   // 1-norm condition number estimate ||A||_1 ||A^{-1}||_1. Computed on first
   // use (the matrices here are tiny, so the extra n solves are cheap) and
   // cached. Values >~ 1e14 mean the solve carries essentially no correct
@@ -42,6 +46,10 @@ class Lu {
                                     const std::vector<double>& b) const;
 
  private:
+  // In-place forward/back substitution; x must already hold the permuted
+  // right-hand side (x[i] = b[perm_[i]]).
+  void substitute(std::vector<double>& x) const;
+
   Matrix a_;                // original matrix (refinement, condition, residual)
   Matrix lu_;               // packed L (unit diagonal, below) and U (on/above)
   std::vector<int> perm_;   // row permutation

@@ -55,8 +55,13 @@ void Histogram::reset() {
 }
 
 Registry& Registry::instance() {
-  static Registry r;
-  return r;
+  // Intentionally immortal (never destroyed): the shared TaskPool's workers
+  // live until static teardown and bump counters from their idle loops, so a
+  // function-local static Registry could be destroyed while they still hold
+  // references. Reachable through this pointer forever, so leak checkers
+  // classify it "still reachable", not leaked.
+  static Registry* r = new Registry();
+  return *r;
 }
 
 Registry::Entry& Registry::entry(const std::string& name, MetricKind kind) {

@@ -1,0 +1,128 @@
+// Bounded lock-free channels for the pool's steal-request protocol.
+//
+// Two shapes, matched to how task_pool.cc uses them:
+//
+//   MpscChannel<T>  — many producers, ONE consumer. Each worker owns one as
+//                     its steal-request mailbox: any other worker may post a
+//                     request; only the owner drains it. Vyukov bounded-
+//                     queue slot sequencing: a producer claims a slot with
+//                     one CAS on the tail ticket, publishes the value with a
+//                     release store of the slot's sequence number; the
+//                     consumer needs no atomics on its head index at all.
+//
+//   SpscSlot<T>     — capacity-one rendezvous, ONE producer, ONE consumer.
+//                     One per (victim, requester) worker pair carries the
+//                     reply to a steal request (a batch of tasks, or a
+//                     decline). The protocol guarantees at most one
+//                     outstanding request per pair, so capacity one is not a
+//                     restriction — it is the proof that replies can never
+//                     collide.
+//
+// Both are TSan-clean by construction: every value handoff is ordered by a
+// release store of the slot state and the matching acquire load on the
+// other side. No spurious failures: try_* return false only when the
+// channel is genuinely full/empty at the linearization point.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace csq::par {
+
+// Many-producer / single-consumer bounded channel. Capacity is fixed at
+// construction; try_push fails (returns false) when full. The single
+// consumer calls try_pop / maybe_nonempty; calling them from two threads
+// concurrently is a contract violation.
+template <typename T>
+class MpscChannel {
+ public:
+  explicit MpscChannel(std::size_t capacity) : slots_(capacity) {
+    for (std::size_t i = 0; i < slots_.size(); ++i)
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  MpscChannel(const MpscChannel&) = delete;
+  MpscChannel& operator=(const MpscChannel&) = delete;
+
+  // Producer side. Claims a ticket with CAS, then publishes with a release
+  // store — after which exactly one consumer pop can observe the value.
+  bool try_push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos % slots_.size()];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      if (seq == pos) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed))
+          break;  // ticket claimed; pos unchanged by the failed-CAS reload
+      } else if (seq < pos) {
+        return false;  // slot still holds a value one lap behind: full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);  // lost a race; retry
+      }
+    }
+    Slot& slot = slots_[pos % slots_.size()];
+    slot.value = std::move(value);
+    slot.seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. head_ is plain: only the single consumer touches it.
+  bool try_pop(T& out) {
+    Slot& slot = slots_[head_ % slots_.size()];
+    if (slot.seq.load(std::memory_order_acquire) != head_ + 1) return false;
+    out = std::move(slot.value);
+    slot.seq.store(head_ + slots_.size(), std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  // Cheap consumer-side peek (one acquire load); may race with concurrent
+  // pushes, so false only means "empty at the moment of the load".
+  [[nodiscard]] bool maybe_nonempty() const {
+    const Slot& slot = slots_[head_ % slots_.size()];
+    return slot.seq.load(std::memory_order_acquire) == head_ + 1;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+  std::vector<Slot> slots_;
+  std::atomic<std::size_t> tail_{0};  // producers' ticket counter
+  std::size_t head_ = 0;              // single consumer only
+};
+
+// Single-producer / single-consumer capacity-one channel. The producer may
+// push only after the previous value was consumed (enforced here by
+// returning false, guaranteed never to trigger by the pool's one-
+// outstanding-request-per-pair protocol).
+template <typename T>
+class SpscSlot {
+ public:
+  SpscSlot() = default;
+  SpscSlot(const SpscSlot&) = delete;
+  SpscSlot& operator=(const SpscSlot&) = delete;
+
+  bool try_push(T value) {
+    if (full_.load(std::memory_order_acquire)) return false;
+    value_ = std::move(value);
+    full_.store(true, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(T& out) {
+    if (!full_.load(std::memory_order_acquire)) return false;
+    out = std::move(value_);
+    full_.store(false, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::atomic<bool> full_{false};
+  T value_{};
+};
+
+}  // namespace csq::par

@@ -1,6 +1,7 @@
 #include "parallel/task_pool.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <stdexcept>
 
@@ -11,9 +12,16 @@ namespace csq::par {
 
 namespace {
 
-// Backoff ladder bounds (see worker_loop): spin -> yield -> suspend.
+// Idle ladder bounds (see worker_loop): spin -> yield -> suspend.
 constexpr int kSpinBound = 64;
 constexpr int kYieldBound = 16;
+
+// Adaptive steal backoff: after a full round of declines the requester
+// pauses for `backoff` relax-spins, doubling (bounded) each dry round and
+// resetting to the floor whenever work arrives. Keeps a two-worker pool
+// from hammering each other's mailboxes while one long task finishes.
+constexpr int kBackoffFloor = 8;
+constexpr int kBackoffCap = 4096;
 
 inline void cpu_relax() {
 #if defined(__x86_64__) || defined(__i386__)
@@ -44,12 +52,16 @@ int resolve_threads(int threads) {
 
 TaskPool::TaskPool(int threads) {
   if (threads < 1) throw InvalidInputError("TaskPool: need >= 1 thread");
-  workers_.reserve(static_cast<std::size_t>(threads));
+  const std::size_t k = static_cast<std::size_t>(threads);
+  workers_.reserve(k);
   for (int i = 0; i < threads; ++i) {
-    auto w = std::make_unique<Worker>();
+    // Mailbox capacity k: at most one outstanding request per other worker
+    // (k - 1), so pushes can never find the mailbox full.
+    auto w = std::make_unique<Worker>(k);
     w->victim_state = 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(i + 1) + 1;
     workers_.push_back(std::move(w));
   }
+  reply_slots_ = std::make_unique<SpscSlot<Reply>[]>(k * k);
   for (std::size_t i = 0; i < workers_.size(); ++i)
     workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
 }
@@ -61,19 +73,18 @@ TaskPool::~TaskPool() {
     wake_cv_.notify_all();
   }
   for (auto& w : workers_) w->thread.join();
-  // A pool is only destroyed after every parallel_for returned, so the
-  // queues are empty; drain defensively anyway.
-  for (auto& w : workers_)
-    while (RangeTask* t = w->deque.pop()) delete t;
-  for (RangeTask* t : injected_) delete t;
+  // A pool is only destroyed after every parallel_for returned, so every
+  // queue is empty; tasks are plain values, so nothing to free either way.
 }
 
 PoolStats TaskPool::stats() const {
   PoolStats s;
   for (const auto& w : workers_) {
-    s.tasks_executed += w->executed;
-    s.steals += w->steals;
-    s.suspensions += w->suspensions;
+    s.tasks_executed += w->executed.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.suspensions += w->suspensions.load(std::memory_order_relaxed);
+    s.steal_requests += w->steal_requests.load(std::memory_order_relaxed);
+    s.declines += w->declines.load(std::memory_order_relaxed);
   }
   return s;
 }
@@ -85,7 +96,7 @@ void TaskPool::notify_if_sleepers() {
   }
 }
 
-void TaskPool::enqueue_external(RangeTask* task) {
+void TaskPool::enqueue_external(RangeTask task) {
   pending_.fetch_add(1, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lk(inject_m_);
@@ -94,9 +105,9 @@ void TaskPool::enqueue_external(RangeTask* task) {
   notify_if_sleepers();
 }
 
-void TaskPool::push_local(std::size_t self, RangeTask* task) {
+void TaskPool::push_local(std::size_t self, RangeTask task) {
   pending_.fetch_add(1, std::memory_order_seq_cst);
-  workers_[self]->deque.push(task);
+  workers_[self]->local.push_back(task);
   notify_if_sleepers();
 }
 
@@ -109,55 +120,108 @@ void TaskPool::parallel_for(std::size_t n, const std::function<void(std::size_t)
   job.grain = grain;
   job.budget = budget;
   job.remaining.store(n, std::memory_order_relaxed);
-  enqueue_external(new RangeTask{&job, 0, n});
+  enqueue_external(RangeTask{&job, 0, n});
   std::unique_lock<std::mutex> lk(job.m);
   job.done_cv.wait(lk, [&] { return job.done; });
   if (job.error) std::rethrow_exception(job.error);
 }
 
-TaskPool::RangeTask* TaskPool::find_task(std::size_t self) {
+void TaskPool::service_mailbox(std::size_t self) {
   Worker& me = *workers_[self];
-  if (RangeTask* t = me.deque.pop()) {
-    pending_.fetch_sub(1, std::memory_order_seq_cst);
-    return t;
-  }
-  {
-    std::lock_guard<std::mutex> lk(inject_m_);
-    if (!injected_.empty()) {
-      RangeTask* t = injected_.back();
-      injected_.pop_back();
-      pending_.fetch_sub(1, std::memory_order_seq_cst);
-      return t;
+  StealRequest req;
+  while (me.mailbox.try_pop(req)) {
+    Reply reply;
+    const std::size_t have = me.local.size();
+    if (have >= 2) {
+      // Steal-half: hand over the oldest entries — the front of the stack
+      // holds the largest not-yet-split ranges, so half the entries is
+      // roughly half the remaining indices.
+      const auto give = static_cast<std::ptrdiff_t>(have / 2);
+      reply.tasks.assign(me.local.begin(), me.local.begin() + give);
+      me.local.erase(me.local.begin(), me.local.begin() + give);
+      CSQ_OBS_COUNT("pool.channel.grants");
+    } else {
+      // 0 or 1 tasks: keep what we have (an executing worker refills its
+      // stack by splitting; the requester retries after its backoff).
+      me.declines.fetch_add(1, std::memory_order_relaxed);
+      CSQ_OBS_COUNT("pool.channel.declines");
+    }
+    if (!reply_slot(self, req.requester).try_push(std::move(reply))) {
+      // Unreachable by protocol (one outstanding request per pair, and the
+      // requester always consumes the reply) — but if a reply were ever
+      // dropped here, granted tasks must not be lost: put them back.
+      Reply orphan;
+      (void)reply_slot(self, req.requester).try_pop(orphan);
     }
   }
-  // Explore: one randomized pass over the other workers' deques.
+}
+
+bool TaskPool::try_get_local_or_injected(std::size_t self, RangeTask& out) {
+  Worker& me = *workers_[self];
+  if (!me.local.empty()) {
+    out = me.local.back();
+    me.local.pop_back();
+    pending_.fetch_sub(1, std::memory_order_seq_cst);
+    return true;
+  }
+  std::lock_guard<std::mutex> lk(inject_m_);
+  if (injected_.empty()) return false;
+  out = injected_.back();
+  injected_.pop_back();
+  pending_.fetch_sub(1, std::memory_order_seq_cst);
+  return true;
+}
+
+bool TaskPool::try_steal(std::size_t self) {
+  Worker& me = *workers_[self];
   const std::size_t k = workers_.size();
   const std::size_t start = static_cast<std::size_t>(xorshift64(me.victim_state) % k);
   for (std::size_t i = 0; i < k; ++i) {
     const std::size_t victim = (start + i) % k;
     if (victim == self) continue;
-    if (RangeTask* t = workers_[victim]->deque.steal()) {
-      pending_.fetch_sub(1, std::memory_order_seq_cst);
-      ++me.steals;
+    if (!workers_[victim]->mailbox.try_push(
+            StealRequest{static_cast<std::uint32_t>(self)}))
+      continue;  // mailbox full: victim is swamped with requests, try another
+    me.steal_requests.fetch_add(1, std::memory_order_relaxed);
+    CSQ_OBS_COUNT("pool.channel.requests");
+    notify_if_sleepers();  // the victim may be suspended; its predicate
+                           // includes "my mailbox is nonempty"
+    Reply reply;
+    SpscSlot<Reply>& slot = reply_slot(victim, self);
+    while (!slot.try_pop(reply)) {
+      if (stop_.load(std::memory_order_seq_cst)) return false;
+      // Answer our own mailbox while we wait (we are empty: declines),
+      // so rings of mutually-waiting requesters always drain.
+      service_mailbox(self);
+      cpu_relax();
+    }
+    if (!reply.tasks.empty()) {
+      // Transfer: pending_ stays untouched — the tasks were "in a queue"
+      // on the victim and are "in a queue" here again.
+      me.local.insert(me.local.end(), std::make_move_iterator(reply.tasks.begin()),
+                      std::make_move_iterator(reply.tasks.end()));
+      me.steals.fetch_add(1, std::memory_order_relaxed);
       CSQ_OBS_COUNT("pool.tasks.stolen");
-      return t;
+      return true;
     }
   }
-  return nullptr;
+  return false;
 }
 
-void TaskPool::execute(RangeTask* task, std::size_t self) {
-  Job* job = task->job;
-  std::size_t begin = task->begin;
-  std::size_t end = task->end;
-  delete task;
+void TaskPool::execute(RangeTask task, std::size_t self) {
+  Job* job = task.job;
+  std::size_t begin = task.begin;
+  std::size_t end = task.end;
 
   // Split: keep the lower half, expose the upper half to thieves.
   while (end - begin > job->grain) {
     const std::size_t mid = begin + (end - begin + 1) / 2;
-    push_local(self, new RangeTask{job, mid, end});
+    push_local(self, RangeTask{job, mid, end});
     end = mid;
   }
+  // The stack just grew: answer any queued steal requests before diving
+  // into the (possibly long) body, so thieves wait one split, not one task.
+  service_mailbox(self);
 
   std::exception_ptr first_error;
   if (job->budget.interrupted()) {
@@ -178,7 +242,7 @@ void TaskPool::execute(RangeTask* task, std::size_t self) {
       }
     }
   }
-  ++workers_[self]->executed;
+  workers_[self]->executed.fetch_add(1, std::memory_order_relaxed);
   CSQ_OBS_COUNT("pool.tasks.executed");
 
   if (first_error) {
@@ -196,11 +260,30 @@ void TaskPool::worker_loop(std::size_t self) {
   Worker& me = *workers_[self];
   int spins = 0;
   int yields = 0;
+  int backoff = kBackoffFloor;
   while (!stop_.load(std::memory_order_seq_cst)) {
-    if (RangeTask* t = find_task(self)) {
-      execute(t, self);
+    service_mailbox(self);
+    RangeTask task;
+    if (try_get_local_or_injected(self, task)) {
+      execute(task, self);
       spins = 0;
       yields = 0;
+      backoff = kBackoffFloor;
+      continue;
+    }
+    if (workers_.size() > 1 && pending_.load(std::memory_order_seq_cst) > 0) {
+      if (try_steal(self)) {
+        spins = 0;
+        yields = 0;
+        backoff = kBackoffFloor;
+        continue;
+      }
+      // Every victim declined (they are splitting or finishing up): pause
+      // before the next round so busy workers are not drowned in requests.
+      CSQ_OBS_COUNT("pool.channel.backoffs");
+      for (int p = 0; p < backoff && !stop_.load(std::memory_order_relaxed); ++p)
+        cpu_relax();
+      backoff = std::min(backoff * 2, kBackoffCap);
       continue;
     }
     if (++spins < kSpinBound) {
@@ -212,24 +295,29 @@ void TaskPool::worker_loop(std::size_t self) {
       continue;
     }
     // Suspend. Registering as a sleeper (seq_cst) before re-checking
-    // pending_ closes the race with producers (see header).
+    // pending_ closes the race with producers (see header). The predicate
+    // includes the mailbox so a steal request always wakes its victim.
     sleepers_.fetch_add(1, std::memory_order_seq_cst);
     {
       std::unique_lock<std::mutex> lk(wake_m_);
       if (pending_.load(std::memory_order_seq_cst) == 0 &&
-          !stop_.load(std::memory_order_seq_cst)) {
-        ++me.suspensions;
+          !me.mailbox.maybe_nonempty() && !stop_.load(std::memory_order_seq_cst)) {
+        me.suspensions.fetch_add(1, std::memory_order_relaxed);
         CSQ_OBS_COUNT("pool.workers.suspended");
         wake_cv_.wait(lk, [&] {
           return stop_.load(std::memory_order_seq_cst) ||
-                 pending_.load(std::memory_order_seq_cst) > 0;
+                 pending_.load(std::memory_order_seq_cst) > 0 ||
+                 me.mailbox.maybe_nonempty();
         });
       }
     }
     sleepers_.fetch_sub(1, std::memory_order_seq_cst);
     spins = 0;
     yields = 0;
+    backoff = kBackoffFloor;
   }
+  // Shutdown: any requester still waiting on a reply checks stop_ itself;
+  // leftover mailbox entries need no answer once stop_ is set.
 }
 
 TaskPool& TaskPool::shared(int threads) {

@@ -1,13 +1,20 @@
-// Dependency-free work-stealing thread pool.
+// Dependency-free work-stealing thread pool, channel-based.
 //
-// N workers, each owning a Chase–Lev deque (work_stealing_deque.h). External
-// callers submit index ranges through parallel_for(); a worker executing a
-// range repeatedly splits off its upper half into its own deque until the
-// range is at most `grain` wide, so idle workers pick up the large unsplit
-// halves by stealing from the top. Idle workers run a three-stage backoff —
-// spin, then std::this_thread::yield(), then suspend on a condition variable
-// — so an idle pool costs nothing (the SNIPPETS exemplar's
-// exploit/explore/suspend ladder).
+// N workers, each owning a PRIVATE task stack — no concurrent deque, so the
+// owner's push/pop are plain vector operations with no atomics or fences on
+// the hot path. Work migrates only by message passing (parallel/channel.h):
+// an idle worker posts a steal request into the victim's MPSC mailbox and
+// waits on the (victim, requester) SPSC reply slot; the victim answers
+// between tasks with either half of its stack (steal-half, oldest — i.e.
+// largest — ranges first) or a decline. A requester whose whole sweep of
+// victims declined backs off with an adaptive exponential pause before
+// retrying, and falls through spin -> yield -> condition-variable suspend
+// once nothing is pending anywhere, so an idle pool costs nothing.
+//
+// External callers submit index ranges through parallel_for(); a worker
+// executing a range repeatedly splits off its upper half into its own stack
+// until the range is at most `grain` wide, so steal-half hands thieves the
+// large unsplit ranges.
 //
 // The pool never touches the caller's thread: parallel_for() blocks until
 // every index has been attempted. Exceptions thrown by the body are caught
@@ -28,6 +35,12 @@
 // results. Which indices were attempted under an expiring deadline is
 // timing-dependent; pass an inert budget for bit-identical runs.
 //
+// Liveness: every waiting state answers its own mailbox. A busy victim
+// replies between tasks, an idle requester declines while it waits for its
+// own reply, and a sleeping worker is woken by the requester's notify (the
+// suspend predicate includes "my mailbox is nonempty"), so request cycles
+// always drain and no steal request is ever lost.
+//
 // Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
@@ -43,15 +56,17 @@
 #include <vector>
 
 #include "core/deadline.h"
-#include "parallel/work_stealing_deque.h"
+#include "parallel/channel.h"
 
 namespace csq::par {
 
 // Cumulative activity counters (monotone; read with stats()).
 struct PoolStats {
   std::uint64_t tasks_executed = 0;  // range tasks run (leaves after splits)
-  std::uint64_t steals = 0;          // tasks obtained from another worker's deque
+  std::uint64_t steals = 0;          // granted steal batches received
   std::uint64_t suspensions = 0;     // times a worker fully backed off to the CV
+  std::uint64_t steal_requests = 0;  // requests posted to a victim's mailbox
+  std::uint64_t declines = 0;        // requests answered with no tasks
 };
 
 class TaskPool {
@@ -92,39 +107,74 @@ class TaskPool {
     std::exception_ptr error;  // first failure, guarded by m
   };
 
+  // Plain value: tasks live inside the owning worker's private stack (or a
+  // reply batch in flight) — never on the heap individually.
   struct RangeTask {
-    Job* job;
-    std::size_t begin, end;
+    Job* job = nullptr;
+    std::size_t begin = 0, end = 0;
+  };
+
+  // A steal request names the worker to reply to.
+  struct StealRequest {
+    std::uint32_t requester = 0;
+  };
+
+  // Reply to a steal request: a batch of tasks (grant) or empty (decline).
+  struct Reply {
+    std::vector<RangeTask> tasks;
   };
 
   struct Worker {
-    WorkStealingDeque<RangeTask*> deque;
+    explicit Worker(std::size_t mailbox_capacity) : mailbox(mailbox_capacity) {}
+
+    std::vector<RangeTask> local;  // private LIFO stack; front = largest ranges
+    MpscChannel<StealRequest> mailbox;
     std::thread thread;
     std::uint64_t victim_state = 0;  // xorshift state for victim selection
-    std::uint64_t executed = 0;
-    std::uint64_t steals = 0;
-    std::uint64_t suspensions = 0;
+    // Activity counters: written by the owner only, but read live by
+    // stats() from any thread — relaxed atomics keep that well-defined.
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> suspensions{0};
+    std::atomic<std::uint64_t> steal_requests{0};
+    std::atomic<std::uint64_t> declines{0};
   };
 
   void worker_loop(std::size_t self);
-  RangeTask* find_task(std::size_t self);
-  void execute(RangeTask* task, std::size_t self);
-  void enqueue_external(RangeTask* task);
-  void push_local(std::size_t self, RangeTask* task);
+  // Answer every queued steal request: grant half the private stack (the
+  // oldest entries) or decline. Called between tasks and from every wait
+  // loop, so requests are never left hanging.
+  void service_mailbox(std::size_t self);
+  bool try_get_local_or_injected(std::size_t self, RangeTask& out);
+  // Post one steal request and wait for the reply; true if tasks arrived.
+  bool try_steal(std::size_t self);
+  void execute(RangeTask task, std::size_t self);
+  void enqueue_external(RangeTask task);
+  void push_local(std::size_t self, RangeTask task);
   void notify_if_sleepers();
 
+  [[nodiscard]] SpscSlot<Reply>& reply_slot(std::size_t victim, std::size_t requester) {
+    return reply_slots_[victim * workers_.size() + requester];
+  }
+
   std::vector<std::unique_ptr<Worker>> workers_;
+  // (victim, requester) reply matrix; see parallel/channel.h for why
+  // capacity one per pair suffices.
+  std::unique_ptr<SpscSlot<Reply>[]> reply_slots_;
   std::atomic<bool> stop_{false};
 
-  // External (non-worker) submissions; workers drain it when their own deque
+  // External (non-worker) submissions; workers drain it when their own stack
   // is empty. Mutex-protected: submissions are rare (one per parallel_for).
   std::mutex inject_m_;
-  std::vector<RangeTask*> injected_;
+  std::vector<RangeTask> injected_;
 
   // Suspend/wake machinery. pending_ counts tasks sitting in some queue (not
   // yet claimed); its seq_cst pairing with sleepers_ makes the "new task vs
   // worker going to sleep" race safe (Dekker-style: either the producer sees
-  // the sleeper and notifies, or the sleeper sees pending_ > 0 and stays up).
+  // the sleeper and notifies, or the sleeper sees pending_ > 0 and stays
+  // up). Steal transfers leave pending_ untouched — the tasks stay "in some
+  // queue" end to end, so a granted batch in flight still holds its
+  // requester awake.
   std::atomic<std::int64_t> pending_{0};
   std::atomic<int> sleepers_{0};
   std::mutex wake_m_;

@@ -60,30 +60,64 @@ struct IterationOutcome {
   double last_diff = -1.0;
 };
 
+// Per-solve kernel activity, flushed to the qbd.kernel.* counters once per
+// solve_r call (never per iteration — a counter bump inside the hot loop
+// would cost more than the multiply it measures).
+struct KernelTallies {
+  long pattern_mults = 0;   // structure-dispatched multiplies (non-dense kind)
+  long dense_mults = 0;     // blocked restrict dense multiplies
+  long extrapolations = 0;  // accepted Aitken limit jumps
+  long analyses = 0;        // block patterns classified
+};
+
+// One FI step from `r` into ws.next: F(R) = (A0 + R² A2)(-A1⁻¹), assembled
+// with the pattern kernels (A2's structure cached in ws.pat_a2, A0 added
+// through its pattern). The caller passes -A1⁻¹ so the negation is folded
+// into the constant instead of costing a pass per iteration (IEEE negation
+// commutes with addition exactly, so the iterates are bit-identical to the
+// -(…)A1⁻¹ form). No heap allocation once the buffers are warm.
+void fi_step(const Matrix& r, const Matrix& a0, const Matrix& neg_a1_inv, const Matrix& a2,
+             Workspace& ws, KernelTallies& tally) {
+  linalg::multiply_into_dense(ws.r2, r, r);
+  linalg::multiply_into_pattern(ws.acc, ws.r2, a2, ws.pat_a2);
+  linalg::add_into_pattern(ws.acc, a0, ws.pat_a0);
+  linalg::multiply_into_dense(ws.next, ws.acc, neg_a1_inv);
+  tally.dense_mults += 2;
+  tally.pattern_mults += ws.pat_a2.kind == linalg::PatternKind::kDense ? 0 : 1;
+}
+
 // R <- -(A0 + R² A2) A1^{-1} from R = 0 until the update falls below tol.
 // Each step is assembled in the workspace's scratch buffers, so the loop
 // performs no heap allocation after the first iteration. The budget is
 // polled every 16 iterations (worst-case overshoot: 16 cheap steps).
-IterationOutcome functional_iteration(const Matrix& a0, const Matrix& a1_inv,
+//
+// The iteration converges linearly at rate ~ sp(R), which drags near the
+// stability boundary, so the loop layers a deterministic Aitken jump on
+// top: once the observed update ratio is stable, the geometric limit
+// R* ≈ R + Δ ρ/(1-ρ) is formed elementwise and validated by one genuine FI
+// step — the jump is adopted only when that step's update is smaller than
+// the pre-jump update, so a bad extrapolation costs one step and changes
+// nothing. All decisions depend only on iterate values (never on timing or
+// thread count), keeping solves bit-reproducible.
+IterationOutcome functional_iteration(const Matrix& a0, const Matrix& neg_a1_inv,
                                       const Matrix& a2, double tolerance,
                                       int max_iterations, Workspace& ws,
-                                      const RunBudget& budget) {
+                                      const RunBudget& budget, KernelTallies& tally) {
   IterationOutcome out;
   const std::size_t m = a0.rows();
   out.r = Matrix(m, m);
+  double prev_diff = -1.0;
+  double prev_ratio = -1.0;
+  int next_extrap = 12;  // warm-up: let the linear rate establish itself
   for (int it = 0; it < max_iterations; ++it) {
     if ((it & 15) == 0 && budget.interrupted()) {
       out.interrupted = true;
       return out;
     }
     CSQ_FAULT_POINT_MATRIX("qbd.fi.iterate", &out.r(0, 0), m * m);
-    linalg::multiply_into(ws.r2, out.r, out.r);
-    linalg::multiply_into(ws.acc, ws.r2, a2);
-    ws.acc += a0;
-    linalg::multiply_into(ws.next, ws.acc, a1_inv);
-    ws.next *= -1.0;
+    fi_step(out.r, a0, neg_a1_inv, a2, ws, tally);
     const double diff = linalg::max_abs_diff(ws.next, out.r);
-    std::swap(out.r, ws.next);
+    std::swap(out.r, ws.next);  // out.r = new iterate; ws.next = previous one
     out.iterations = it + 1;
     out.last_diff = diff;
     // A non-finite update (e.g. NaN leaked into an iterate) can never
@@ -97,6 +131,46 @@ IterationOutcome functional_iteration(const Matrix& a0, const Matrix& a1_inv,
       out.converged = true;
       return out;
     }
+
+    const double ratio = prev_diff > 0.0 ? diff / prev_diff : -1.0;
+    if (it + 1 >= next_extrap && prev_ratio > 0.0 && ratio > 0.05 && ratio < 0.995 &&
+        std::abs(ratio - prev_ratio) < 0.02 * ratio) {
+      // Geometric limit jump: cand = R + (R - R_prev) ρ/(1-ρ).
+      const double f = ratio / (1.0 - ratio);
+      ws.cand = out.r;
+      ws.cand.add_scaled(out.r, f);
+      ws.cand.add_scaled(ws.next, -f);
+      // Validate with one genuine step from the candidate; the step is real
+      // work, so it counts against the iteration budget.
+      ++it;
+      fi_step(ws.cand, a0, neg_a1_inv, a2, ws, tally);
+      const double cand_diff = linalg::max_abs_diff(ws.next, ws.cand);
+      out.iterations = it + 1;
+      if (std::isfinite(cand_diff) && cand_diff < diff) {
+        std::swap(out.r, ws.next);  // adopt F(cand): one step past the jump
+        out.last_diff = cand_diff;
+        ++tally.extrapolations;
+        if (cand_diff < tolerance && out.r.max_abs() <= 1e6) {
+          out.converged = true;
+          return out;
+        }
+        // Keep tracking the rate from the post-jump iterate. The asymptotic
+        // ratio is a property of the map, not the iterate, so the pre-jump
+        // estimate stays valid and the next jump only waits for the ratio to
+        // re-stabilize instead of a full warm-up.
+        prev_diff = cand_diff;
+        prev_ratio = ratio;
+        next_extrap = it + 1 + 3;
+        continue;
+      }
+      // Rejected jump: keep the pre-jump iterate, back off before retrying.
+      next_extrap = it + 1 + 32;
+      prev_diff = diff;
+      prev_ratio = ratio;
+      continue;
+    }
+    prev_diff = diff;
+    prev_ratio = ratio;
   }
   return out;
 }
@@ -175,7 +249,7 @@ double spectral_radius_estimate(const Matrix& m, int max_iterations, double tole
       }
       prev = estimate;
       p *= 1.0 / c;
-      linalg::multiply_into(sq, p, p);
+      linalg::multiply_into_dense(sq, p, p);
       std::swap(p, sq);
       scale *= 0.5;
     }
@@ -212,6 +286,7 @@ double Solution::level_probability(std::size_t n) const {
   std::vector<double> v = pi_k;
   std::vector<double> scratch;  // ping-pong buffer: no per-level allocation
   for (std::size_t j = k; j < n; ++j) {
+    // csq-lint: allow(hot-path-generic-mult): row-vector recursion pi <- pi R has no block structure to exploit
     linalg::multiply_into(scratch, v, r);
     std::swap(v, scratch);
   }
@@ -229,13 +304,20 @@ double Solution::level_tail(std::size_t n) const {
   std::vector<double> v = pi_k;
   std::vector<double> scratch;  // ping-pong buffer: no per-level allocation
   for (std::size_t j = k; j <= n; ++j) {
+    // csq-lint: allow(hot-path-generic-mult): row-vector recursion pi <- pi R has no block structure to exploit
     linalg::multiply_into(scratch, v, r);
     std::swap(v, scratch);
   }
   return linalg::sum(v * i_minus_r_inv);
 }
 
-double Solution::tail_decay_rate() const { return spectral_radius_estimate(r); }
+double Solution::tail_decay_rate() const {
+  // solve_r already ran the same estimator (500 squarings, 1e-12) on this R;
+  // reuse its result instead of re-estimating per query. Hand-built
+  // Solutions (tests, cross-checks) have no stats and estimate fresh.
+  if (stats.spectral_radius >= 0.0) return stats.spectral_radius;
+  return spectral_radius_estimate(r);
+}
 
 std::size_t Solution::level_quantile(double q) const {
   if (q <= 0.0 || q >= 1.0)
@@ -251,6 +333,7 @@ std::size_t Solution::level_quantile(double q) const {
   for (std::size_t n = k;; ++n) {
     cdf += linalg::sum(v);
     if (cdf >= q) return n;
+    // csq-lint: allow(hot-path-generic-mult): row-vector recursion pi <- pi R has no block structure to exploit
     linalg::multiply_into(scratch, v, r);
     std::swap(v, scratch);
     if (n > k + 100000000) {
@@ -339,6 +422,24 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   // that had to (re)shape scratch so sweeps can verify buffer reuse.
   if (ws.r2.rows() != m || ws.r2.cols() != m) CSQ_OBS_COUNT("qbd.workspace.resizes");
 
+  // Classify the constant blocks once per solve; every iteration multiply
+  // below dispatches on the cached structure. Tallies flush to the obs
+  // counters exactly once per solve — on success or failure — so the
+  // aggregates stay per-solve, not per-iteration.
+  linalg::analyze_pattern_into(ws.pat_a0, a0);
+  linalg::analyze_pattern_into(ws.pat_a2, a2);
+  KernelTallies tally;
+  tally.analyses = 2;
+  struct TallyFlush {
+    const KernelTallies& t;
+    ~TallyFlush() {
+      CSQ_OBS_COUNT_N("qbd.kernel.pattern_mults", t.pattern_mults);
+      CSQ_OBS_COUNT_N("qbd.kernel.dense_mults", t.dense_mults);
+      CSQ_OBS_COUNT_N("qbd.kernel.extrapolations", t.extrapolations);
+      CSQ_OBS_COUNT_N("qbd.kernel.pattern_analyses", t.analyses);
+    }
+  } tally_flush{tally};
+
   // Accept R when it solves its equation to near the rate scale's precision.
   const double scale =
       std::max(1.0, std::max(a0.max_abs(), std::max(a1.max_abs(), a2.max_abs())));
@@ -398,14 +499,17 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
     return r;
   };
 
-  const Matrix a1_inv = linalg::inverse(a1);
+  // -A1⁻¹ once per solve: the fixed-point map is R <- (A0 + R² A2)(-A1⁻¹),
+  // so folding the sign here saves a negation pass every iteration.
+  Matrix neg_a1_inv = linalg::inverse(a1);
+  neg_a1_inv *= -1.0;
 
   // Stage 1: functional iteration (linear convergence; stalls near the
   // stability boundary where sp(R) -> 1).
   const IterationOutcome fi = [&] {
     CSQ_OBS_SPAN("qbd.solve.fi");
-    return functional_iteration(a0, a1_inv, a2, opts.tolerance, opts.max_iterations, ws,
-                                opts.budget);
+    return functional_iteration(a0, neg_a1_inv, a2, opts.tolerance, opts.max_iterations, ws,
+                                opts.budget, tally);
   }();
   CSQ_OBS_COUNT_N("qbd.fi.iterations", fi.iterations);
   stats.trail.push_back(std::string("functional_iteration: ") +
@@ -414,7 +518,12 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
                          : fi.interrupted  ? "interrupted by budget"
                                            : "iteration budget exhausted") +
                         " after " + std::to_string(fi.iterations) +
-                        " iterations (last update " + fmt(fi.last_diff) + ")");
+                        " iterations (last update " + fmt(fi.last_diff) +
+                        (tally.extrapolations > 0
+                             ? ", " + std::to_string(tally.extrapolations) +
+                                   " accepted extrapolation jumps"
+                             : "") +
+                        ")");
   if (fi.interrupted) throw_interrupted("solve_r/functional_iteration");
   if (fi.converged) return finish(fi.r, RMethod::kFunctionalIteration, fi.iterations);
 
@@ -461,8 +570,8 @@ Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2, const Optio
   const double relaxed_tol = opts.tolerance * opts.fallback_tolerance_factor;
   const IterationOutcome relaxed = [&] {
     CSQ_OBS_SPAN("qbd.solve.relaxed");
-    return functional_iteration(a0, a1_inv, a2, relaxed_tol, opts.max_iterations, ws,
-                                opts.budget);
+    return functional_iteration(a0, neg_a1_inv, a2, relaxed_tol, opts.max_iterations, ws,
+                                opts.budget, tally);
   }();
   CSQ_OBS_COUNT_N("qbd.relaxed.iterations", relaxed.iterations);
   stats.trail.push_back(std::string("relaxed_iteration (tol ") + fmt(relaxed_tol) +
@@ -508,21 +617,21 @@ Matrix solve_g_logred(const Matrix& a0, const Matrix& a1, const Matrix& a2,
       opts.budget.check("qbd::solve_g_logred", std::move(d));
     }
     CSQ_FAULT_POINT("qbd.logred.iterate");
-    linalg::multiply_into(ws.hl, h, l);
-    linalg::multiply_into(ws.lh, l, h);
+    linalg::multiply_into_dense(ws.hl, h, l);
+    linalg::multiply_into_dense(ws.lh, l, h);
     ws.hl += ws.lh;  // U = HL + LH
     // I - U, built in scratch without a fresh identity.
     ws.lh.reshape_zero(m, m);
     for (std::size_t i = 0; i < m; ++i) ws.lh(i, i) = 1.0;
     ws.lh.add_scaled(ws.hl, -1.0);
     const Matrix m2 = linalg::inverse(ws.lh);
-    linalg::multiply_into(ws.hh, h, h);
-    linalg::multiply_into(ws.ll, l, l);
-    linalg::multiply_into(h, m2, ws.hh);  // H <- M2 H²
-    linalg::multiply_into(l, m2, ws.ll);  // L <- M2 L²
-    linalg::multiply_into(ws.prod, t, l);
+    linalg::multiply_into_dense(ws.hh, h, h);
+    linalg::multiply_into_dense(ws.ll, l, l);
+    linalg::multiply_into_dense(h, m2, ws.hh);  // H <- M2 H²
+    linalg::multiply_into_dense(l, m2, ws.ll);  // L <- M2 L²
+    linalg::multiply_into_dense(ws.prod, t, l);
     g += ws.prod;  // G += T L'
-    linalg::multiply_into(ws.prod, t, h);
+    linalg::multiply_into_dense(ws.prod, t, h);
     std::swap(t, ws.prod);  // T <- T H'
     steps = it + 1;
     if (t.max_abs() < opts.tolerance) break;
@@ -537,7 +646,27 @@ Matrix r_from_g(const Matrix& a0, const Matrix& a1, const Matrix& g) {
   return a0 * linalg::inverse((-1.0) * a1 - a0 * g);
 }
 
-Solution solve(const Model& model, const Options& opts) {
+std::vector<Matrix> solve_r_batch(const std::vector<RBlocks>& items, const Options& opts,
+                                  std::vector<SolveStats>* stats_out) {
+  // One workspace for the whole batch: scratch buffers and pattern vectors
+  // warm up on the first item and are reused (capacity included) by every
+  // subsequent solve.
+  Workspace ws;
+  std::vector<Matrix> rs;
+  rs.reserve(items.size());
+  if (stats_out) {
+    stats_out->clear();
+    stats_out->reserve(items.size());
+  }
+  for (const RBlocks& blocks : items) {
+    SolveStats stats;
+    rs.push_back(solve_r(blocks.a0, blocks.a1, blocks.a2, opts, &stats, &ws));
+    if (stats_out) stats_out->push_back(std::move(stats));
+  }
+  return rs;
+}
+
+Solution solve(const Model& model, const Options& opts, Workspace* workspace) {
   const std::size_t k = model.boundary.size();
   require(k >= 1, "qbd::solve: need at least one boundary level");
   const std::size_t m = model.a0.rows();
@@ -581,7 +710,7 @@ Solution solve(const Model& model, const Options& opts) {
   }
 
   SolveStats stats;
-  const Matrix r = solve_r(model.a0, a1, model.a2, opts, &stats);
+  const Matrix r = solve_r(model.a0, a1, model.a2, opts, &stats, workspace);
   const Matrix i_minus_r_inv = linalg::inverse(Matrix::identity(m) - r);
 
   // Assemble boundary balance equations. Unknowns x = (pi_0,...,pi_{k-1},pi_K).

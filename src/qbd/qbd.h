@@ -21,6 +21,7 @@
 
 #include "core/deadline.h"
 #include "core/status.h"
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 
 namespace csq::qbd {
@@ -74,13 +75,20 @@ enum class RMethod { kFunctionalIteration, kLogReduction, kRelaxedIteration };
 // Scratch buffers reused across solver iterations (and across solves, when
 // the caller keeps one alive). The functional iteration runs thousands of
 // steps of R <- -(A0 + R² A2) A1⁻¹; assembling each step into these buffers
-// with linalg::multiply_into/add_scaled instead of temporaries makes the
-// hot loop allocation-free after warm-up. Buffers size themselves lazily;
-// a Workspace is cheap to default-construct.
+// with the structure-aware kernels instead of temporaries makes the hot
+// loop allocation-free after warm-up. The workspace also caches the
+// BlockPatterns of the solve's constant blocks: solve_r classifies A0/A2
+// once per solve (reusing the pattern vectors' capacity across solves) and
+// every iteration multiply dispatches on the cached structure instead of
+// paying the generic dense kernel. Buffers size themselves lazily; a
+// Workspace is cheap to default-construct.
 struct Workspace {
   linalg::Matrix r2, acc, next;       // functional iteration: R², A0 + R²A2, next R
+  linalg::Matrix cand;                // Aitken-extrapolated candidate iterate
   linalg::Matrix hh, ll, hl, lh;      // logarithmic reduction squares/cross terms
   linalg::Matrix prod;                // generic product scratch
+  linalg::BlockPattern pat_a0;        // zero structure of A0 (this solve)
+  linalg::BlockPattern pat_a2;        // zero structure of A2 (this solve)
 };
 
 // Diagnostics recorded by solve_r / solve.
@@ -117,8 +125,9 @@ struct Solution {
   [[nodiscard]] double level_tail(std::size_t n) const;
 
   // Asymptotic decay rate of the level distribution: the spectral radius of
-  // R, so P(level = n) ~ c * rate^n for large n. Power iteration with early
-  // exit on convergence.
+  // R, so P(level = n) ~ c * rate^n for large n. Returns the estimate the
+  // solver already computed (stats.spectral_radius, same estimator and
+  // tolerance); falls back to a fresh estimate for hand-built Solutions.
   [[nodiscard]] double tail_decay_rate() const;
 
   // Smallest n with P(level <= n) >= q (q in (0,1)); e.g. q = 0.99 bounds
@@ -143,8 +152,11 @@ struct Solution {
 // chain fails, csq::InvalidInputError for malformed models,
 // csq::VerificationFailedError when opts.verify rejects the solution, and
 // csq::DeadlineExceededError / csq::CancelledError when opts.budget is
-// interrupted mid-solve (all derive from std exceptions).
-[[nodiscard]] Solution solve(const Model& model, const Options& opts = {});
+// interrupted mid-solve (all derive from std exceptions). Pass a Workspace
+// to reuse scratch buffers and cached block patterns across repeated solves
+// (sweeps, batches, the analysis layer's per-thread scratch).
+[[nodiscard]] Solution solve(const Model& model, const Options& opts = {},
+                             Workspace* workspace = nullptr);
 
 // Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0. a1 must carry its
 // diagonal. Runs the fallback chain described above (unless
@@ -154,6 +166,22 @@ struct Solution {
 [[nodiscard]] Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
                              const Options& opts = {}, SolveStats* stats_out = nullptr,
                              Workspace* workspace = nullptr);
+
+// One entry of a solve_r_batch: the three repeating blocks, with a1 carrying
+// its diagonal exactly as solve_r expects.
+struct RBlocks {
+  Matrix a0, a1, a2;
+};
+
+// Batched R solves: one Workspace — scratch buffers plus cached block
+// patterns — is shared across the whole batch, so a sweep's worth of solves
+// pays the allocation and pattern-analysis cost once instead of per config.
+// Entry i of the result is the R matrix for items[i]; per-item diagnostics
+// land in (*stats_out)[i] when stats_out is given. Failures throw the same
+// taxonomy as solve_r (the first failing item aborts the batch).
+[[nodiscard]] std::vector<Matrix> solve_r_batch(const std::vector<RBlocks>& items,
+                                                const Options& opts = {},
+                                                std::vector<SolveStats>* stats_out = nullptr);
 
 // G matrix by logarithmic reduction (Latouche-Ramaswami); the second stage
 // of the solve_r fallback chain and an independent cross-check in the

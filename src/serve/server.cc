@@ -13,6 +13,7 @@
 #include "core/sweep.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "qbd/qbd.h"
 #include "serve/json.h"
 #include "sim/simulator.h"
 
@@ -271,7 +272,12 @@ std::string Server::execute_op(const Request& req, const RunBudget& budget,
       if (cacheable)
         if (const std::optional<PolicyMetrics> hit = cache_.lookup(key); hit.has_value())
           return ok_response(req, metrics_json(*hit), *extras);
-      const PolicyMetrics m = analyze(req.policy, req.config(), 3, req.verify, budget);
+      // A serve session is a stream of analyze ops: a thread-local QBD
+      // workspace carries solver scratch and cached block patterns from one
+      // request to the next (same amortization as analysis/batch.h).
+      thread_local qbd::Workspace serve_ws;
+      const PolicyMetrics m =
+          analyze(req.policy, req.config(), 3, req.verify, budget, &serve_ws);
       if (cacheable) {
         try {
           cache_.insert(key, m);

@@ -1,0 +1,12 @@
+// Fixture: seeds two hot-path-generic-mult violations (lines 7 and 10) when
+// linted under a structured-mult path (src/qbd/). The pattern-kernel calls
+// must NOT be flagged.
+void iterate(Matrix& r, const Matrix& a0, const Matrix& a2, Workspace& ws) {
+  linalg::multiply_into_dense(ws.r2, r, r);
+  linalg::multiply_into_pattern(ws.acc, ws.r2, a2, ws.pat_a2);
+  linalg::multiply_into(ws.prod, ws.acc, a0);
+  for (int i = 0; i < 8; ++i) {
+    linalg::add_into_pattern(ws.acc, a0, ws.pat_a0);
+    multiply_into(ws.next, ws.acc, r);
+  }
+}

@@ -1,0 +1,12 @@
+// Fixture: clean twin of generic_mult_bad.cc — the products go through the
+// structure-aware kernels, and the one legitimately generic call (a
+// row-vector recursion with no block structure) carries the suppression.
+void iterate(Matrix& r, const Matrix& a0, const Matrix& a2, Workspace& ws) {
+  linalg::multiply_into_dense(ws.r2, r, r);
+  linalg::multiply_into_pattern(ws.acc, ws.r2, a2, ws.pat_a2);
+  for (int i = 0; i < 8; ++i) {
+    linalg::multiply_into_dense(ws.next, ws.acc, r);
+    // csq-lint: allow(hot-path-generic-mult): row-vector recursion has no block structure
+    linalg::multiply_into(ws.scratch, ws.v, r);
+  }
+}

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/batch.h"
 #include "analysis/cscq.h"
 #include "analysis/csid.h"
 #include "analysis/dedicated.h"
@@ -156,6 +157,54 @@ TEST(GoldenGrids, FigureGridsArePinned) {
   ASSERT_EQ(rll.size(), 25u);
   EXPECT_DOUBLE_EQ(rll.front(), 0.02);
   EXPECT_DOUBLE_EQ(rll.back(), 0.96);
+}
+
+// The batched entry point must reproduce every pin exactly as the direct
+// calls do: one workspace amortized over all of Figures 3-6 is the way the
+// figure drivers will run, so the pins are exercised through it too. The
+// comparison against the direct call is exact (==), not kRelTol — workspace
+// reuse is not allowed to move a result by even one bit.
+TEST(GoldenFigures, BatchedAnalysisReproducesEveryPinBitForBit) {
+  std::vector<analysis::BatchRequest> items;
+  for (const PinnedPoint& p : kPins)
+    for (Policy policy : {Policy::kCsCq, Policy::kCsId}) {
+      analysis::BatchRequest req;
+      req.policy = policy;
+      req.config = SystemConfig::paper_setup(p.rho_s, p.rho_l, 1.0, p.mean_l, p.scv_l);
+      items.push_back(req);
+    }
+
+  const std::vector<AnalyzeOutcome> out = analysis::analyze_batch(items);
+  ASSERT_EQ(out.size(), items.size());
+
+  std::size_t idx = 0;
+  for (const PinnedPoint& p : kPins) {
+    SCOPED_TRACE(p.tag);
+    const AnalyzeOutcome& cscq = out[idx++];
+    const AnalyzeOutcome& csid = out[idx++];
+    const SystemConfig c = SystemConfig::paper_setup(p.rho_s, p.rho_l, 1.0, p.mean_l, p.scv_l);
+
+    if (std::isnan(p.cscq_short)) {
+      EXPECT_FALSE(cscq.ok());
+    } else {
+      ASSERT_TRUE(cscq.ok()) << cscq.status.message;
+      const analysis::CscqResult direct = analysis::analyze_cscq(c);
+      EXPECT_EQ(cscq.metrics.shorts.mean_response, direct.metrics.shorts.mean_response);
+      EXPECT_EQ(cscq.metrics.longs.mean_response, direct.metrics.longs.mean_response);
+      expect_golden(cscq.metrics.shorts.mean_response, p.cscq_short);
+      expect_golden(cscq.metrics.longs.mean_response, p.cscq_long);
+    }
+    if (std::isnan(p.csid_short)) {
+      EXPECT_FALSE(csid.ok());
+    } else {
+      ASSERT_TRUE(csid.ok()) << csid.status.message;
+      const analysis::CsidResult direct = analysis::analyze_csid(c);
+      EXPECT_EQ(csid.metrics.shorts.mean_response, direct.metrics.shorts.mean_response);
+      EXPECT_EQ(csid.metrics.longs.mean_response, direct.metrics.longs.mean_response);
+      expect_golden(csid.metrics.shorts.mean_response, p.csid_short);
+      expect_golden(csid.metrics.longs.mean_response, p.csid_long);
+    }
+  }
 }
 
 }  // namespace

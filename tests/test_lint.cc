@@ -112,15 +112,32 @@ TEST(LintRules, Nondeterminism) {
 }
 
 TEST(LintRules, HotPathAlloc) {
+  // rel paths stay outside src/qbd/ so the R12 structured-mult rule (which
+  // has its own fixtures) does not fire on the clean twin's multiply_into.
   Config cfg;
   cfg.hot_files = {"hot_alloc_bad.cc", "hot_alloc_clean.cc"};
-  const std::vector<Finding> fs = lint_one("hot_alloc_bad.cc", "src/qbd/hot_alloc_bad.cc", cfg);
+  const std::vector<Finding> fs =
+      lint_one("hot_alloc_bad.cc", "src/linalg/hot_alloc_bad.cc", cfg);
   ASSERT_EQ(fs.size(), 1u);
   EXPECT_EQ(fs[0].rule, "hot-path-alloc");
   EXPECT_EQ(fs[0].line, 6);
-  EXPECT_TRUE(lint_one("hot_alloc_clean.cc", "src/qbd/hot_alloc_clean.cc", cfg).empty());
+  EXPECT_TRUE(lint_one("hot_alloc_clean.cc", "src/linalg/hot_alloc_clean.cc", cfg).empty());
   // Not listed as hot -> no findings even with the allocating loop.
   EXPECT_TRUE(lint_one("hot_alloc_bad.cc", "src/other/hot_alloc_bad.cc").empty());
+}
+
+TEST(LintRules, HotPathGenericMult) {
+  const std::vector<Finding> fs =
+      lint_one("generic_mult_bad.cc", "src/qbd/generic_mult_bad.cc");
+  ASSERT_EQ(fs.size(), 2u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "hot-path-generic-mult");
+  EXPECT_EQ(fs[0].line, 7);   // qualified generic call
+  EXPECT_EQ(fs[1].line, 10);  // unqualified generic call inside the loop
+  // The clean twin's pattern-kernel calls and suppressed generic call pass.
+  EXPECT_TRUE(lint_one("generic_mult_clean.cc", "src/qbd/generic_mult_clean.cc").empty());
+  // Outside the structured-mult paths the generic kernel is fine (it IS the
+  // reference implementation elsewhere).
+  EXPECT_TRUE(lint_one("generic_mult_bad.cc", "src/linalg/generic_mult_bad.cc").empty());
 }
 
 TEST(LintRules, HeaderHygiene) {
@@ -297,12 +314,13 @@ TEST(LintSuppress, SelftestPasses) {
 
 TEST(LintRegistry, CatalogIsStable) {
   const std::vector<csq::lint::RuleInfo>& rs = csq::lint::rules();
-  ASSERT_EQ(rs.size(), 12u);
+  ASSERT_EQ(rs.size(), 13u);
   EXPECT_STREQ(rs[0].id, "raw-throw");
   EXPECT_STREQ(rs[8].id, "fault-site-naming");
   EXPECT_STREQ(rs[9].id, "metric-naming");
   EXPECT_STREQ(rs[10].id, "serve-hygiene");
-  EXPECT_STREQ(rs[11].id, "suppression");
+  EXPECT_STREQ(rs[11].id, "hot-path-generic-mult");
+  EXPECT_STREQ(rs[12].id, "suppression");
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench_json.sh run against a committed BENCH_*.json baseline.
+
+The committed snapshots (BENCH_pr2.json, BENCH_pr5.json, ...) are the repo's
+perf ledger; this tool is the regression gate over it. It matches benchmarks
+by name, prints a ratio table, and exits nonzero when a *guarded* benchmark
+regresses beyond the threshold. Only BM_AnalyzeCscq is guarded by default:
+it is the per-point analysis cost the whole perf story hangs on, and the
+one with a pinned budget (< 100us). Everything else is reported but
+advisory — wall-clock on a shared 1-CPU CI host swings too much to gate on.
+
+usage: tools/bench_compare.py NEW.json [BASELINE.json]
+       tools/bench_compare.py NEW.json --guard BM_AnalyzeCscq --threshold 0.10
+
+With no BASELINE argument the newest committed BENCH_*.json (highest PR
+number) in the repo root is used. Exit codes: 0 ok, 1 guarded regression,
+2 usage/missing-file errors.
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("name")
+        if name and "cpu_time" in b:
+            rows[name] = b
+    if not rows:
+        sys.exit(f"bench_compare: {path} holds no benchmark rows")
+    return rows
+
+
+def latest_committed_baseline(root):
+    best, best_key = None, None
+    for p in root.glob("BENCH_*.json"):
+        m = re.search(r"(\d+)", p.stem)
+        key = int(m.group(1)) if m else -1
+        if best_key is None or key > best_key:
+            best, best_key = p, key
+    return best
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("new", help="fresh bench_json.sh output")
+    ap.add_argument("baseline", nargs="?", default=None,
+                    help="committed snapshot (default: newest BENCH_*.json)")
+    ap.add_argument("--guard", action="append", default=None, metavar="NAME",
+                    help="benchmark name that must not regress "
+                         "(repeatable; default: BM_AnalyzeCscq)")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed fractional cpu_time regression on guarded "
+                         "benchmarks (default 0.10 = +10%%)")
+    args = ap.parse_args()
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    baseline_path = args.baseline or latest_committed_baseline(repo_root)
+    if baseline_path is None:
+        sys.exit("bench_compare: no committed BENCH_*.json baseline found")
+    guards = args.guard if args.guard is not None else ["BM_AnalyzeCscq"]
+
+    new = load(args.new)
+    old = load(baseline_path)
+
+    print(f"bench_compare: {args.new} vs {baseline_path} "
+          f"(guard: {', '.join(guards)}, threshold +{args.threshold:.0%})")
+    header = f"{'benchmark':44s} {'old':>12s} {'new':>12s} {'ratio':>7s}"
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for name in sorted(set(new) | set(old)):
+        if name not in new or name not in old:
+            where = "baseline" if name not in new else "new run"
+            print(f"{name:44s} {'(only in ' + where + ')':>33s}")
+            continue
+        o, n = old[name]["cpu_time"], new[name]["cpu_time"]
+        unit = new[name].get("time_unit", "ns")
+        ratio = n / o if o > 0 else float("inf")
+        guarded = name in guards
+        mark = ""
+        if guarded:
+            mark = " GUARD"
+            if ratio > 1.0 + args.threshold:
+                mark = " FAIL"
+                failures.append((name, o, n, ratio, unit))
+        print(f"{name:44s} {o:10.1f}{unit:>2s} {n:10.1f}{unit:>2s} {ratio:6.2f}x{mark}")
+
+    missing_guards = [g for g in guards if g not in new or g not in old]
+    for g in missing_guards:
+        print(f"bench_compare: guarded benchmark {g} missing from "
+              f"{'new run' if g not in new else 'baseline'}")
+
+    if failures or missing_guards:
+        for name, o, n, ratio, unit in failures:
+            print(f"bench_compare: FAIL {name} regressed "
+                  f"{o:.1f}{unit} -> {n:.1f}{unit} ({ratio - 1.0:+.1%}, "
+                  f"allowed +{args.threshold:.0%})")
+        return 1
+    print("bench_compare: OK (no guarded regression)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

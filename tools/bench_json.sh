@@ -68,6 +68,20 @@ keep_ctx = ("num_cpus", "mhz_per_cpu", "cpu_scaling_enabled", "caches",
             "library_build_type")
 context = {k: ctx[k] for k in keep_ctx if k in ctx}
 
+# Host CPU identity: the committed snapshots are only comparable on the
+# same silicon, so record what ran them (benchmark's own context lacks the
+# model string). Best-effort — absent on non-Linux hosts.
+try:
+    import os
+    context["host_cpu_count"] = os.cpu_count()
+    with open("/proc/cpuinfo") as f:
+        for line in f:
+            if line.lower().startswith("model name"):
+                context["host_cpu_model"] = line.split(":", 1)[1].strip()
+                break
+except OSError:
+    pass
+
 keep_bench = ("name", "run_type", "iterations", "real_time", "cpu_time",
               "time_unit")
 benchmarks = []

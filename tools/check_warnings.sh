@@ -16,6 +16,8 @@
 #               safety), plus a -DCSQ_OBS=OFF -Werror build proving the
 #               compiled-out configuration stays warning-free
 #                                                        (CSQ_SKIP_OBS=1)
+#   bench       fresh BM_Analyze* run vs newest committed BENCH_*.json;
+#               fails if BM_AnalyzeCscq regresses >10%   (CSQ_SKIP_BENCH=1)
 #   clang-tidy  src/ against .clang-tidy, if clang-tidy is installed
 #   csq-lint    project invariants: csq_lint --selftest + repo scan
 #
@@ -57,7 +59,11 @@ else
     || fail "asan-ubsan (configure)"
   cmake --build "$asan_dir" -j || fail "asan-ubsan (build)"
   (cd "$asan_dir" && ctest -L tier1 --output-on-failure) || fail "asan-ubsan (tier1 suite)"
-  note "PASS  asan-ubsan  (tier1 suite clean under ASan+UBSan)"
+  # The kernel-equivalence suite rides in tier1, but run it by label too so
+  # a relabel can never silently drop the restrict-pointer kernels from the
+  # ASan net (they are the code most worth running under it).
+  (cd "$asan_dir" && ctest -L kernels --output-on-failure) || fail "asan-ubsan (kernels suite)"
+  note "PASS  asan-ubsan  (tier1 + kernels suites clean under ASan+UBSan)"
 fi
 
 # --- stage 3: TSan ----------------------------------------------------------
@@ -151,7 +157,29 @@ else
   note "PASS  obs         (TSan-clean counters/spans; CSQ_OBS=OFF builds and passes)"
 fi
 
-# --- stage 7: clang-tidy (optional tool) ------------------------------------
+# --- stage 7: bench (perf regression gate) -----------------------------------
+if [ "${CSQ_SKIP_BENCH:-0}" = "1" ]; then
+  note "SKIP  bench       (CSQ_SKIP_BENCH=1)"
+else
+  # A fresh bench run against the newest committed BENCH_*.json snapshot:
+  # tools/bench_compare.py fails the stage when BM_AnalyzeCscq (the guarded
+  # per-point analysis cost) regresses more than 10%. Uses the plain `build`
+  # tree — the sanitizer builds above would measure the sanitizer, and the
+  # werror tree does not enable benchmarks by default.
+  bench_dir="$repo_root/build"
+  cmake -B "$bench_dir" -S "$repo_root" >/dev/null || fail "bench (configure)"
+  cmake --build "$bench_dir" -j --target perf_solver || fail "bench (build)"
+  bench_tmp=$(mktemp)
+  "$repo_root/tools/bench_json.sh" "$bench_dir" "$bench_tmp" \
+    --benchmark_filter='BM_Analyze.*' --benchmark_min_time=2 \
+    || { rm -f "$bench_tmp"; fail "bench (run)"; }
+  python3 "$repo_root/tools/bench_compare.py" "$bench_tmp" \
+    || { rm -f "$bench_tmp"; fail "bench (BM_AnalyzeCscq regressed >10% vs committed baseline)"; }
+  rm -f "$bench_tmp"
+  note "PASS  bench       (BM_AnalyzeCscq within 10% of committed baseline)"
+fi
+
+# --- stage 8: clang-tidy (optional tool) ------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is exported by the werror configure above.
   find "$repo_root/src" -name '*.cc' -print0 \
@@ -162,7 +190,7 @@ else
   note "SKIP  clang-tidy  (not installed)"
 fi
 
-# --- stage 8: csq_lint ------------------------------------------------------
+# --- stage 9: csq_lint ------------------------------------------------------
 cmake --build "$build_dir" -j --target csq_lint || fail "csq-lint (build)"
 "$build_dir/tools/csq_lint" --selftest >/dev/null || fail "csq-lint (selftest)"
 "$build_dir/tools/csq_lint" --root "$repo_root" || fail "csq-lint (repo scan)"

@@ -220,6 +220,9 @@ const std::vector<RuleInfo>& rules() {
       {"serve-hygiene",
        "serve code must not exit/abort or bypass the bounded admit path; serve.* metrics "
        "must be in the docs catalog"},
+      {"hot-path-generic-mult",
+       "QBD solver code must use the structure-aware multiply kernels "
+       "(multiply_into_pattern / multiply_into_dense), not the generic multiply_into"},
       {"suppression", "csq-lint: allow(...) comments must name a known rule and give a reason"},
   };
   return kRules;
@@ -436,6 +439,27 @@ void rule_hot_path_alloc(const SourceFile& f, const Config& cfg, std::vector<Fin
       out->push_back({f.path, t[star].line, "hot-path-alloc",
                       "allocating operator in a hot-path loop — use the *_into "
                           "workspace kernel (linalg::multiply_into & co.)"});
+  }
+}
+
+// R12: inside the QBD solver the generic multiply_into is a performance
+// bug by default — the hot loops must dispatch on the cached BlockPatterns
+// (linalg::multiply_into_pattern) or the restrict dense kernel
+// (multiply_into_dense). The tokenizer keeps multiply_into_pattern /
+// multiply_into_dense as distinct identifiers, so only the bare generic
+// call matches. Legitimate generic sites (no block structure to exploit,
+// e.g. row-vector recursions) carry a csq-lint: allow(...) with the reason.
+void rule_hot_path_generic_mult(const SourceFile& f, const Config& cfg,
+                                std::vector<Finding>* out) {
+  if (!in_any_dir(f.rel, cfg.structured_mult_paths)) return;
+  const Tokens& t = f.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent || t[i].text != "multiply_into") continue;
+    if (t[i + 1].kind != TokKind::kPunct || t[i + 1].text != "(") continue;
+    out->push_back({f.path, t[i].line, "hot-path-generic-mult",
+                    "generic multiply_into in QBD solver code — dispatch through "
+                        "linalg::multiply_into_pattern / multiply_into_dense, or "
+                        "suppress with the reason no block structure exists here"});
   }
 }
 
@@ -759,6 +783,7 @@ std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& con
     rule_no_float_eq(f, &file_findings);
     rule_nondeterminism(f, config, &file_findings);
     rule_hot_path_alloc(f, config, &file_findings);
+    rule_hot_path_generic_mult(f, config, &file_findings);
     rule_header_hygiene(f, &file_findings);
     rule_catch_all(f, &file_findings);
     rule_banned_identifier(f, config, &file_findings);

@@ -31,6 +31,11 @@
 //                           the bounded admit path, and every serve.*
 //                           metric must appear in the docs/serving.md
 //                           metric catalog
+//   hot-path-generic-mult (R12) QBD solver code must dispatch matrix
+//                           products through the structure-aware kernels
+//                           (linalg::multiply_into_pattern /
+//                           multiply_into_dense), not the generic
+//                           multiply_into
 //   suppression        (meta) malformed `csq-lint: allow(...)` comments
 //
 // Findings print as `file:line: [rule-id] message`. A finding on line L is
@@ -140,6 +145,14 @@ struct Config {
   // failures to taxonomy responses; it never takes the process down).
   std::vector<std::string> serve_banned_calls = {"exit",       "_exit",    "_Exit",
                                                  "quick_exit", "abort",    "terminate"};
+  // hot-path-generic-mult (R12): repo-relative prefixes where matrix
+  // products must go through the structure-aware kernels of
+  // linalg/kernels.h. The generic linalg::multiply_into re-discovers the
+  // block structure element by element on every call; inside the QBD
+  // iteration that cost dominates the solve, so a generic call there is a
+  // performance regression until proven otherwise (suppress with a reason
+  // when no block structure exists, e.g. row-vector recursions).
+  std::vector<std::string> structured_mult_paths = {"src/qbd/"};
   // Contents of the serve metric catalog (docs/serving.md), loaded by
   // tools/lint/main.cc. Every serve.* obs name registered in a serve path
   // must appear in this text; when it is empty (catalog missing) every
