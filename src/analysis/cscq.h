@@ -73,7 +73,10 @@ struct CscqResult {
 // region (rho_L < 1 and rho_S < 2 - rho_L) and csq::InvalidInputError (a
 // std::invalid_argument) when the short size distribution is not
 // exponential; QBD solver failures surface as csq::NotConvergedError /
-// csq::VerificationFailedError with diagnostics attached.
+// csq::VerificationFailedError with diagnostics attached, with
+// csq::IllConditionedError escaping from the linear-algebra stages.
+// Throws csq::DeadlineExceededError / csq::CancelledError when
+// opts.budget is interrupted mid-analysis.
 [[nodiscard]] CscqResult analyze_cscq(const SystemConfig& config, const CscqOptions& opts = {});
 
 // Long-job mean response when the SHORT class is overloaded

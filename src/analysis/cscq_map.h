@@ -39,6 +39,9 @@ struct CscqMapResult {
 // Requires exponential short sizes and config.short_arrivals set (use
 // dist::MapProcess::poisson to recover the base model — unit-tested to agree
 // with analyze_cscq). Stability uses the MAP's mean rate.
+// Throws csq::NotConvergedError / csq::VerificationFailedError /
+// csq::IllConditionedError when the QBD or linear-algebra stages fail, and
+// csq::DeadlineExceededError / csq::CancelledError on budget interruption.
 [[nodiscard]] CscqMapResult analyze_cscq_map(const SystemConfig& config,
                                              const CscqMapOptions& opts = {});
 

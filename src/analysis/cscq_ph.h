@@ -68,6 +68,9 @@ struct CscqPhResult {
 
 // Requires the short size distribution to be a dist::PhaseType (any number
 // of phases); throws std::domain_error outside the CS-CQ stability region.
+// Throws csq::NotConvergedError / csq::VerificationFailedError /
+// csq::IllConditionedError when the QBD or linear-algebra stages fail, and
+// csq::DeadlineExceededError / csq::CancelledError on budget interruption.
 [[nodiscard]] CscqPhResult analyze_cscq_ph(const SystemConfig& config,
                                            const CscqPhOptions& opts = {});
 

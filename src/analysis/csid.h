@@ -55,7 +55,10 @@ struct CsidResult {
 
 // Throws csq::UnstableError (a std::domain_error) outside the CS-ID
 // stability region and csq::InvalidInputError (a std::invalid_argument) when
-// short sizes are not exponential.
+// short sizes are not exponential. QBD and linear-algebra failures escape
+// as csq::NotConvergedError / csq::VerificationFailedError /
+// csq::IllConditionedError; csq::DeadlineExceededError /
+// csq::CancelledError surface when opts.budget is interrupted.
 [[nodiscard]] CsidResult analyze_csid(const SystemConfig& config, const CsidOptions& opts = {});
 
 // Long-job mean response only. The long host's behaviour depends only on the

@@ -6,7 +6,11 @@
 
 namespace csq::analysis {
 
-// Throws std::domain_error when either host is overloaded.
+// Throws csq::UnstableError (a std::domain_error) when either host is
+// overloaded and csq::InvalidInputError on malformed configs. Fault
+// injection inside the M/G/1 moment kernels can also surface
+// csq::DeadlineExceededError / csq::CancelledError (the shared fault-plan
+// machinery, core/faultpoint.h, injects whatever the plan configures).
 [[nodiscard]] PolicyMetrics analyze_dedicated(const SystemConfig& config);
 
 }  // namespace csq::analysis

@@ -109,6 +109,10 @@ struct ResilientResult {
   obs::MetricsDelta obs_metrics;
 };
 
+// Rungs that fail are caught and recorded in `attempts`; only errors the
+// ladder treats as non-degradable propagate — csq::InvalidInputError for
+// malformed configs and csq::IllConditionedError escaping a rung's
+// linear-algebra stage before the ladder can demote it.
 [[nodiscard]] ResilientResult analyze_resilient(const SystemConfig& config,
                                                 const ResilientOptions& opts = {});
 

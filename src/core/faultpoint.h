@@ -85,7 +85,12 @@ void disarm_all();
 [[nodiscard]] std::vector<std::string> armed_sites();
 
 namespace detail {
-// Macro entry points; never call directly.
+// Macro entry points; never call directly. An armed site throws whatever
+// its plan entry configures — any taxonomy class can surface:
+// Throws csq::InvalidInputError, csq::UnstableError,
+// csq::NotConvergedError, csq::IllConditionedError,
+// csq::VerificationFailedError, csq::DeadlineExceededError,
+// csq::CancelledError or csq::OverloadedError, per the armed plan.
 void hit(const char* site);
 void hit_matrix(const char* site, double* data, std::size_t size);
 }  // namespace detail

@@ -25,7 +25,8 @@ enum class Policy { kDedicated, kCsId, kCsCq };
 // nonnegative metrics; kFull adds Little's-law consistency) — failures throw
 // csq::VerificationFailedError. `budget` bounds the underlying QBD solve;
 // csq::DeadlineExceededError / csq::CancelledError propagate from it with
-// partial SolveStats. `workspace` (optional) is handed to the underlying QBD
+// partial SolveStats, as do csq::NotConvergedError when the whole fallback
+// chain fails and csq::IllConditionedError from the linear-algebra stages. `workspace` (optional) is handed to the underlying QBD
 // solve so repeated calls reuse its scratch buffers and cached block
 // patterns; reuse never changes results (analysis/batch.h is the loop-level
 // wrapper that manages one for you).

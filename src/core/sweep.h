@@ -99,7 +99,9 @@ struct SweepOptions {
 // host is stable for any rho_L < 1 regardless of policy.
 [[nodiscard]] std::vector<double> fig_grid_rho_long_longs();
 
-// Figures 4 and 5: response time vs rho_S at fixed rho_L.
+// Figures 4 and 5: response time vs rho_S at fixed rho_L. Runs under the
+// ambient sweep budget: csq::DeadlineExceededError / csq::CancelledError
+// escape when it is interrupted mid-sweep.
 [[nodiscard]] std::vector<SweepRow> sweep_rho_short(double rho_long, double mean_short,
                                                     double mean_long, double long_scv,
                                                     const std::vector<double>& rho_shorts,

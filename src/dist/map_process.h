@@ -18,7 +18,9 @@ namespace csq::dist {
 class MapProcess {
  public:
   // d0: non-arrival transitions (negative diagonal); d1: arrival transitions
-  // (nonnegative). Rows of d0 + d1 must sum to zero.
+  // (nonnegative). Rows of d0 + d1 must sum to zero. Throws
+  // csq::InvalidInputError on malformed generators and
+  // csq::IllConditionedError when the stationary-phase solve degenerates.
   MapProcess(linalg::Matrix d0, linalg::Matrix d1);
 
   static MapProcess poisson(double rate);

@@ -21,6 +21,8 @@ class PhaseType final : public Distribution {
   // General constructor: alpha must be a probability vector over the phases,
   // T a valid subgenerator (negative diagonal, nonnegative off-diagonal,
   // nonpositive row sums with at least one strictly negative "exit").
+  // Throws csq::InvalidInputError on malformed inputs and
+  // csq::IllConditionedError when the moment solve against T degenerates.
   PhaseType(std::vector<double> alpha, linalg::Matrix t);
 
   static PhaseType exponential(double rate);

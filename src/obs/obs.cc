@@ -16,6 +16,10 @@ const char* to_string(MetricKind kind) {
   return "unknown";
 }
 
+// Relaxed ordering throughout: the histogram is a statistics sink. Each
+// field advances independently (count is monotonic, min/max only tighten,
+// sum is a CAS loop on its own cell) and no reader synchronizes-with a
+// writer through any of them — snapshots tolerate torn cross-field views.
 void Histogram::observe(double v) {
   count_.fetch_add(1, std::memory_order_relaxed);
   double old_sum = sum_.load(std::memory_order_relaxed);
@@ -39,14 +43,18 @@ double finite_or_zero(double v) { return std::isfinite(v) ? v : 0.0; }
 
 }  // namespace
 
+// Relaxed loads: statistics reads — nothing orders against them.
 double Histogram::min() const {
   return finite_or_zero(min_.load(std::memory_order_relaxed));
 }
 
+// Relaxed load: statistics read — nothing orders against it.
 double Histogram::max() const {
   return finite_or_zero(max_.load(std::memory_order_relaxed));
 }
 
+// Relaxed stores: reset is only called from quiesced scopes (tests, snapshot
+// epochs); there is no concurrent reader that needs ordering against it.
 void Histogram::reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);

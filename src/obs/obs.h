@@ -65,8 +65,11 @@ enum class MetricKind { kCounter, kGauge, kHistogram };
 // no ordering implied with respect to the events being counted.
 class Counter {
  public:
+  // Relaxed: the count is monotonic and carries no ordering with the
+  // events it counts; a racy, eventually-consistent total is all readers need.
   void add(std::int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
   [[nodiscard]] std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // Relaxed store: reset only runs from quiesced scopes (tests, snapshots).
   void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
@@ -76,8 +79,11 @@ class Counter {
 // Last-write-wins level (e.g. which fallback stage produced the answer).
 class Gauge {
  public:
+  // Relaxed: last-write-wins level — a torn read order across gauges is
+  // acceptable, nothing synchronizes-with the store.
   void set(double v) { value_.store(v, std::memory_order_relaxed); }
   [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  // Relaxed store: reset only runs from quiesced scopes (tests, snapshots).
   void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
@@ -90,6 +96,7 @@ class Gauge {
 class Histogram {
  public:
   void observe(double v);
+  // Relaxed loads: statistics reads, snapshots tolerate torn field views.
   [[nodiscard]] std::int64_t count() const { return count_.load(std::memory_order_relaxed); }
   [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
   // min()/max() are 0 when count() == 0.

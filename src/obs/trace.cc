@@ -39,8 +39,11 @@ int& this_thread_depth() {
 
 }  // namespace
 
+// Relaxed: the tracing flag is an on/off hint polled at span construction —
+// no event data is published through it, so no ordering is required.
 void set_tracing(bool on) { g_tracing.store(on, std::memory_order_relaxed); }
 
+// Relaxed load: pairs with the relaxed store above; order-free hint.
 bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
 
 std::vector<TraceEvent> trace_events() {
@@ -56,11 +59,14 @@ std::vector<TraceEvent> trace_events() {
   return out;
 }
 
+// Relaxed: monotonic drop counter, statistics only — no ordering needed.
 std::size_t trace_dropped() { return g_dropped.load(std::memory_order_relaxed); }
 
 void clear_trace() {
   std::lock_guard<std::mutex> lock(buffer_mu());
   buffer().clear();
+  // Relaxed store: the counter is statistics-only; the buffer itself is
+  // ordered by buffer_mu(), the atomic piggybacks no synchronization.
   g_dropped.store(0, std::memory_order_relaxed);
 }
 
@@ -105,6 +111,7 @@ Span::~Span() {
   e.depth = depth_;
   std::lock_guard<std::mutex> lock(buffer_mu());
   if (buffer().size() >= kMaxTraceEvents) {
+    // Relaxed: monotonic drop counter; the buffer is guarded by the mutex.
     g_dropped.fetch_add(1, std::memory_order_relaxed);
     return;
   }

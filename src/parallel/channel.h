@@ -39,6 +39,8 @@ template <typename T>
 class MpscChannel {
  public:
   explicit MpscChannel(std::size_t capacity) : slots_(capacity) {
+    // Relaxed: single-threaded construction — nobody races the initial
+    // sequence numbers, publication happens when the channel is shared.
     for (std::size_t i = 0; i < slots_.size(); ++i)
       slots_[i].seq.store(i, std::memory_order_relaxed);
   }
@@ -69,6 +71,8 @@ class MpscChannel {
   }
 
   // Consumer side. head_ is plain: only the single consumer touches it.
+  // Acquire on seq pairs with the producer's release publish, making the
+  // slot value visible; the release store below hands the slot back.
   bool try_pop(T& out) {
     Slot& slot = slots_[head_ % slots_.size()];
     if (slot.seq.load(std::memory_order_acquire) != head_ + 1) return false;
@@ -106,6 +110,8 @@ class SpscSlot {
   SpscSlot(const SpscSlot&) = delete;
   SpscSlot& operator=(const SpscSlot&) = delete;
 
+  // full_ is the SPSC hand-off flag: release on store publishes value_,
+  // acquire on load makes it visible — classic message-passing pairing.
   bool try_push(T value) {
     if (full_.load(std::memory_order_acquire)) return false;
     value_ = std::move(value);
@@ -113,6 +119,8 @@ class SpscSlot {
     return true;
   }
 
+  // Mirror of try_push: acquire sees the published value, release returns
+  // the empty slot to the producer.
   bool try_pop(T& out) {
     if (!full_.load(std::memory_order_acquire)) return false;
     out = std::move(value_);

@@ -77,6 +77,8 @@ TaskPool::~TaskPool() {
   // queue is empty; tasks are plain values, so nothing to free either way.
 }
 
+// Relaxed loads throughout: the per-worker counters are monotonic
+// statistics — the snapshot tolerates skew and orders against nothing.
 PoolStats TaskPool::stats() const {
   PoolStats s;
   for (const auto& w : workers_) {
@@ -119,6 +121,8 @@ void TaskPool::parallel_for(std::size_t n, const std::function<void(std::size_t)
   job.fn = fn;
   job.grain = grain;
   job.budget = budget;
+  // Relaxed: the job is published to the workers by enqueue_external's
+  // queue synchronization; no worker reads `remaining` before that.
   job.remaining.store(n, std::memory_order_relaxed);
   enqueue_external(RangeTask{&job, 0, n});
   std::unique_lock<std::mutex> lk(job.m);
@@ -143,6 +147,7 @@ void TaskPool::service_mailbox(std::size_t self) {
     } else {
       // 0 or 1 tasks: keep what we have (an executing worker refills its
       // stack by splitting; the requester retries after its backoff).
+      // Relaxed: monotonic stats counter, no ordering carried.
       me.declines.fetch_add(1, std::memory_order_relaxed);
       CSQ_OBS_COUNT("pool.channel.declines");
     }
@@ -182,6 +187,7 @@ bool TaskPool::try_steal(std::size_t self) {
     if (!workers_[victim]->mailbox.try_push(
             StealRequest{static_cast<std::uint32_t>(self)}))
       continue;  // mailbox full: victim is swamped with requests, try another
+    // Relaxed: monotonic stats counter, no ordering carried.
     me.steal_requests.fetch_add(1, std::memory_order_relaxed);
     CSQ_OBS_COUNT("pool.channel.requests");
     notify_if_sleepers();  // the victim may be suspended; its predicate
@@ -189,6 +195,10 @@ bool TaskPool::try_steal(std::size_t self) {
     Reply reply;
     SpscSlot<Reply>& slot = reply_slot(victim, self);
     while (!slot.try_pop(reply)) {
+      // seq_cst on stop_: the shutdown flag must totally order against the
+      // sleepers_/mailbox protocol (see notify_if_sleepers) — a relaxed
+      // read here could spin past a shutdown forever. Cold path: the loop
+      // body is dominated by try_pop and service_mailbox, not this load.
       if (stop_.load(std::memory_order_seq_cst)) return false;
       // Answer our own mailbox while we wait (we are empty: declines),
       // so rings of mutually-waiting requesters always drain.
@@ -200,6 +210,7 @@ bool TaskPool::try_steal(std::size_t self) {
       // on the victim and are "in a queue" here again.
       me.local.insert(me.local.end(), std::make_move_iterator(reply.tasks.begin()),
                       std::make_move_iterator(reply.tasks.end()));
+      // Relaxed: monotonic stats counter, no ordering carried.
       me.steals.fetch_add(1, std::memory_order_relaxed);
       CSQ_OBS_COUNT("pool.tasks.stolen");
       return true;
@@ -242,6 +253,7 @@ void TaskPool::execute(RangeTask task, std::size_t self) {
       }
     }
   }
+  // Relaxed: monotonic stats counter, no ordering carried.
   workers_[self]->executed.fetch_add(1, std::memory_order_relaxed);
   CSQ_OBS_COUNT("pool.tasks.executed");
 
@@ -249,6 +261,9 @@ void TaskPool::execute(RangeTask task, std::size_t self) {
     std::lock_guard<std::mutex> lk(job->m);
     if (!job->error) job->error = first_error;
   }
+  // acq_rel: the release half publishes this range's side effects to
+  // whichever worker observes the count hit zero; the acquire half makes
+  // every earlier range's effects visible to the finisher before `done`.
   if (job->remaining.fetch_sub(end - begin, std::memory_order_acq_rel) == end - begin) {
     std::lock_guard<std::mutex> lk(job->m);
     job->done = true;

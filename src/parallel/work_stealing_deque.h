@@ -29,10 +29,13 @@ class WorkStealingDeque {
   static_assert(std::is_pointer_v<T>, "deque elements must be pointers");
 
  public:
+  // Relaxed in the constructor/destructor: both run single-threaded — the
+  // deque is published to thieves (and quiesced again) by the pool.
   explicit WorkStealingDeque(std::int64_t capacity = 64) {
     ring_.store(new Ring(capacity), std::memory_order_relaxed);
   }
   ~WorkStealingDeque() {
+    // Relaxed: destruction is single-threaded (see above).
     delete ring_.load(std::memory_order_relaxed);
   }
 
@@ -40,6 +43,11 @@ class WorkStealingDeque {
   WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
 
   // Owner only. Never fails; grows the ring when full.
+  // Chase-Lev orderings: bottom_ is owner-written so its load is relaxed;
+  // the acquire on top_ pairs with thieves' CAS-release; the slot store is
+  // relaxed because the seq_cst store to bottom_ publishes it — that store
+  // also keeps the owner/thief race on the last element sound (it must be
+  // totally ordered against steal()'s top_/bottom_ accesses).
   void push(T item) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
@@ -107,6 +115,8 @@ class WorkStealingDeque {
   // until destruction is the simplest safe reclamation.
   Ring* grow(Ring* old, std::int64_t t, std::int64_t b) {
     Ring* bigger = new Ring(old->capacity * 2);
+    // Relaxed slot copies: only the owner writes slots, and the release
+    // store of ring_ below publishes the filled ring to thieves.
     for (std::int64_t i = t; i < b; ++i)
       bigger->slot(i).store(old->slot(i).load(std::memory_order_relaxed),
                             std::memory_order_relaxed);

@@ -161,7 +161,8 @@ struct Solution {
 // Minimal nonnegative solution of A0 + R A1 + R^2 A2 = 0. a1 must carry its
 // diagonal. Runs the fallback chain described above (unless
 // opts.allow_fallback is false); per-stage diagnostics are written to
-// *stats_out when given. Pass a Workspace to reuse scratch buffers across
+// *stats_out when given. Shares solve()'s throw contract, plus
+// csq::IllConditionedError when a stage's linear solve degenerates. Pass a Workspace to reuse scratch buffers across
 // repeated solves (a local one is used otherwise).
 [[nodiscard]] Matrix solve_r(const Matrix& a0, const Matrix& a1, const Matrix& a2,
                              const Options& opts = {}, SolveStats* stats_out = nullptr,

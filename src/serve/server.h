@@ -185,6 +185,12 @@ class Server {
   // Complete a never-admitted request (parse failure, shed) inline.
   void respond_inline(const std::shared_ptr<Ticket>& ticket, const std::string& response);
   void execute(const std::shared_ptr<Pending>& p);
+  // Drives the analysis under the request budget. Analysis failures escape
+  // to execute(), which converts them to taxonomy responses:
+  // csq::UnstableError, csq::NotConvergedError, csq::IllConditionedError,
+  // csq::VerificationFailedError from the solver chain, and
+  // csq::DeadlineExceededError / csq::CancelledError when the request
+  // budget interrupts a retry.
   std::string run_with_retries(const Pending& p, const RunBudget& budget);
   std::string execute_op(const Request& req, const RunBudget& budget, ResponseExtras* extras);
   std::string run_resilient(const Request& req, const RunBudget& budget,

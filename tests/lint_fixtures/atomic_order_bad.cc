@@ -1,0 +1,19 @@
+// Fixture: seeds two atomic-order violations — a relaxed load with no
+// rationale anywhere near it, and a bare seq_cst hammered inside a loop.
+#include <atomic>
+
+namespace csq::par {
+
+bool fixture_flag_read(const std::atomic<bool>& flag) {
+  return flag.load(std::memory_order_relaxed);
+}
+
+int fixture_spin(const std::atomic<bool>& stop) {
+  int spins = 0;
+  while (!stop.load(std::memory_order_seq_cst)) {
+    ++spins;
+  }
+  return spins;
+}
+
+}  // namespace csq::par

@@ -1,0 +1,22 @@
+// Fixture: clean twin of atomic_order_bad.cc — every non-default order
+// carries its rationale, and the loop's fence is justified.
+#include <atomic>
+
+namespace csq::par {
+
+bool fixture_flag_read_clean(const std::atomic<bool>& flag) {
+  // Relaxed: advisory hint flag, no data is published through it.
+  return flag.load(std::memory_order_relaxed);
+}
+
+int fixture_spin_clean(const std::atomic<bool>& stop) {
+  int spins = 0;
+  // seq_cst: the stop flag must be totally ordered against the sleeper
+  // protocol; the spin is cold relative to the work it guards.
+  while (!stop.load(std::memory_order_seq_cst)) {
+    ++spins;
+  }
+  return spins;
+}
+
+}  // namespace csq::par

@@ -1,0 +1,11 @@
+// Fixture: one half of an include cycle (cycle_a.h <-> cycle_b.h) for the
+// module-layering rule's cycle detector.
+#pragma once
+
+#include "qbd/cycle_b.h"
+
+namespace csq::qbd {
+
+int cycle_a_fixture(int x);
+
+}  // namespace csq::qbd

@@ -1,0 +1,10 @@
+// Fixture: second half of the include cycle with cycle_a.h.
+#pragma once
+
+#include "qbd/cycle_a.h"
+
+namespace csq::qbd {
+
+int cycle_b_fixture(int x);
+
+}  // namespace csq::qbd

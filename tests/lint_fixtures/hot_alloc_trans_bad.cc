@@ -1,0 +1,23 @@
+// Fixture: seeds one hot-path-alloc-transitive violation — the loop calls
+// a helper that allocates internally (push_back), which the file-local
+// hot-path-alloc rule cannot see but call-graph reachability can.
+#include <vector>
+
+namespace csq::qbd {
+namespace {
+
+void accumulate_step(std::vector<double>* out, double v) { out->push_back(v); }
+
+}  // namespace
+
+double iterate_fixture(int n) {
+  std::vector<double> acc;
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) {
+    accumulate_step(&acc, static_cast<double>(i));
+    last = acc.back();
+  }
+  return last;
+}
+
+}  // namespace csq::qbd

@@ -1,0 +1,21 @@
+// Fixture: clean twin of hot_alloc_trans_bad.cc — the helper writes into a
+// caller-provided workspace slot instead of growing a container.
+#include <vector>
+
+namespace csq::qbd {
+namespace {
+
+void store_step(std::vector<double>* out, int i, double v) { (*out)[i] = v; }
+
+}  // namespace
+
+double iterate_fixture_clean(int n, std::vector<double>* workspace) {
+  double last = 0.0;
+  for (int i = 0; i < n; ++i) {
+    store_step(workspace, i, static_cast<double>(i));
+    last = (*workspace)[i];
+  }
+  return last;
+}
+
+}  // namespace csq::qbd

@@ -1,0 +1,12 @@
+// Fixture: seeds one module-layering violation — a linalg header (layer 1)
+// reaching up into the analysis layer (layer 4).
+#pragma once
+
+#include "analysis/cscq.h"
+#include "core/status.h"
+
+namespace csq::linalg {
+
+int layering_fixture(int x);
+
+}  // namespace csq::linalg

@@ -1,0 +1,11 @@
+// Fixture: clean twin of layering_bad.h — linalg (layer 1) depending only
+// on core (layer 0), the direction the module DAG allows.
+#pragma once
+
+#include "core/status.h"
+
+namespace csq::linalg {
+
+int layering_fixture_clean(int x);
+
+}  // namespace csq::linalg

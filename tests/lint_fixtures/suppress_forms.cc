@@ -1,0 +1,15 @@
+// Fixture: every suppression form beyond the plain single-line marker —
+// block-comment interiors, stacked allow groups, and markers on macro
+// continuation lines. All seeded violations below must come back clean.
+#include "core/status.h"
+
+/*
+ * csq-lint: allow(no-float-eq): fixture — block-comment interior marker
+ */
+inline bool block_covered(double x) { return x == 1.0; }
+
+// csq-lint: allow(raw-throw) allow(no-float-eq): fixture — stacked allows share one reason
+inline void stacked_covered(double x) { if (x == 0.5) throw 42; }
+
+#define FIXTURE_ASSERT(x) \
+  assert(x)  // csq-lint: allow(banned-identifier): fixture — marker on a macro continuation line

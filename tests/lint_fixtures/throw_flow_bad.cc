@@ -1,0 +1,10 @@
+// Fixture: implementation twin of throw_flow_bad.h. No direct throws — the
+// NotConvergedError arrives purely through the call to tdep_kernel (defined
+// in throw_flow_dep.cc), so only the flow-aware rule can see it.
+#include "qbd/throw_flow_bad.h"
+
+namespace csq::qbd {
+
+int solve_outer(int x) { return tdep_kernel(x); }
+
+}  // namespace csq::qbd

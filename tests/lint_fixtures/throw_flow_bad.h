@@ -1,0 +1,11 @@
+// Fixture: seeds two throw-flow violations. The impl's callee throws a
+// taxonomy class that escapes solve_outer but is never documented here,
+// and the contract line below claims a throw nothing backs.
+#pragma once
+
+namespace csq::qbd {
+
+// Throws csq::UnstableError when the model leaves the stability region.
+int solve_outer(int x);
+
+}  // namespace csq::qbd

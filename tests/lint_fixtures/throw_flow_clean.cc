@@ -1,0 +1,8 @@
+// Fixture: implementation twin of throw_flow_clean.h.
+#include "qbd/throw_flow_clean.h"
+
+namespace csq::qbd {
+
+int solve_outer_clean(int x) { return tdep_kernel(x); }
+
+}  // namespace csq::qbd

@@ -1,0 +1,11 @@
+// Fixture: clean twin of throw_flow_bad.h — the call-graph escape is
+// documented and no stale contract lines remain.
+#pragma once
+
+namespace csq::qbd {
+
+// Throws csq::NotConvergedError when the underlying kernel finds no fixed
+// point (propagated from tdep_kernel).
+int solve_outer_clean(int x);
+
+}  // namespace csq::qbd

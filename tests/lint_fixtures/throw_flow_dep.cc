@@ -1,0 +1,13 @@
+// Fixture: shared dependency for the throw-flow pair — a free kernel whose
+// taxonomy throw must propagate to callers in *other* files (so the escape
+// is call-graph-only, invisible to the text-level error-docs rule).
+#include "core/status.h"
+
+namespace csq::qbd {
+
+int tdep_kernel(int x) {
+  if (x < 0) throw csq::NotConvergedError("tdep_kernel: no fixed point");
+  return x + 1;
+}
+
+}  // namespace csq::qbd

@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "callgraph.h"
 #include "lint.h"
+#include "sarif.h"
 
 namespace {
 
@@ -31,6 +33,22 @@ std::vector<Finding> lint_one(const std::string& name, const std::string& rel,
                               const Config& cfg = {}) {
   std::vector<SourceFile> files = {fixture(name, rel)};
   return csq::lint::run_rules(files, cfg);
+}
+
+// Multi-file variant for the cross-TU rules (R13-R17): each {fixture, rel}
+// pair is scanned and the whole set linted together.
+std::vector<Finding> lint_set(const std::vector<std::pair<std::string, std::string>>& specs,
+                              const Config& cfg = {}) {
+  std::vector<SourceFile> files;
+  for (const auto& spec : specs) files.push_back(fixture(spec.first, spec.second));
+  return csq::lint::run_rules(files, cfg);
+}
+
+std::vector<Finding> by_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : fs)
+    if (f.rule == rule) out.push_back(f);
+  return out;
 }
 
 // --- Tokenizer -------------------------------------------------------------
@@ -314,13 +332,227 @@ TEST(LintSuppress, SelftestPasses) {
 
 TEST(LintRegistry, CatalogIsStable) {
   const std::vector<csq::lint::RuleInfo>& rs = csq::lint::rules();
-  ASSERT_EQ(rs.size(), 13u);
+  ASSERT_EQ(rs.size(), 19u);
   EXPECT_STREQ(rs[0].id, "raw-throw");
   EXPECT_STREQ(rs[8].id, "fault-site-naming");
   EXPECT_STREQ(rs[9].id, "metric-naming");
   EXPECT_STREQ(rs[10].id, "serve-hygiene");
   EXPECT_STREQ(rs[11].id, "hot-path-generic-mult");
-  EXPECT_STREQ(rs[12].id, "suppression");
+  EXPECT_STREQ(rs[12].id, "throw-flow");
+  EXPECT_STREQ(rs[13].id, "deadline-poll");
+  EXPECT_STREQ(rs[14].id, "hot-path-alloc-transitive");
+  EXPECT_STREQ(rs[15].id, "atomic-order");
+  EXPECT_STREQ(rs[16].id, "module-layering");
+  EXPECT_STREQ(rs[17].id, "suppression");
+  EXPECT_STREQ(rs[18].id, "baseline");
+  // --explain material: every rule ships a full rationale paragraph.
+  for (const csq::lint::RuleInfo& r : rs) {
+    EXPECT_NE(r.detail, nullptr) << r.id;
+    EXPECT_GT(std::string(r.detail).size(), 40u) << r.id;
+  }
+}
+
+// --- Semantic rules (R13-R17): cross-TU fixtures --------------------------
+
+TEST(LintSemantic, ThrowFlowUndocumentedAndStale) {
+  const std::vector<Finding> fs =
+      lint_set({{"throw_flow_bad.h", "src/qbd/throw_flow_bad.h"},
+                {"throw_flow_bad.cc", "src/qbd/throw_flow_bad.cc"},
+                {"throw_flow_dep.cc", "src/qbd/throw_flow_dep.cc"}});
+  ASSERT_EQ(fs.size(), 2u);  // nothing else fires on the set
+  const std::vector<Finding> tf = by_rule(fs, "throw-flow");
+  ASSERT_EQ(tf.size(), 2u);
+  // The escape arrives only through the call graph (dep file), so the
+  // text-level error-docs rule stays silent and R13 owns the finding.
+  EXPECT_EQ(tf[0].file, "throw_flow_bad.h");
+  EXPECT_EQ(tf[0].line, 1);
+  EXPECT_NE(tf[0].message.find("NotConvergedError"), std::string::npos);
+  EXPECT_NE(tf[0].message.find("via its callees"), std::string::npos);
+  // Stale contract: the header claims UnstableError, nothing backs it.
+  EXPECT_EQ(tf[1].file, "throw_flow_bad.h");
+  EXPECT_EQ(tf[1].line, 8);
+  EXPECT_NE(tf[1].message.find("stale contract"), std::string::npos);
+  EXPECT_NE(tf[1].message.find("UnstableError"), std::string::npos);
+}
+
+TEST(LintSemantic, ThrowFlowCleanTwin) {
+  const std::vector<Finding> fs =
+      lint_set({{"throw_flow_clean.h", "src/qbd/throw_flow_clean.h"},
+                {"throw_flow_clean.cc", "src/qbd/throw_flow_clean.cc"},
+                {"throw_flow_dep.cc", "src/qbd/throw_flow_dep.cc"}});
+  EXPECT_TRUE(fs.empty()) << fs.size() << " unexpected finding(s)";
+}
+
+TEST(LintSemantic, DeadlinePollUnpolledKernelLoop) {
+  const std::vector<Finding> fs =
+      lint_one("deadline_poll_bad.cc", "src/qbd/deadline_poll_bad.cc");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "deadline-poll");
+  EXPECT_EQ(fs[0].line, 13);
+  EXPECT_NE(fs[0].message.find("stationary()"), std::string::npos);
+}
+
+TEST(LintSemantic, DeadlinePollCleanTwin) {
+  EXPECT_TRUE(lint_one("deadline_poll_clean.cc", "src/qbd/deadline_poll_clean.cc").empty());
+}
+
+TEST(LintSemantic, HotAllocTransitiveThroughHelper) {
+  // rel ends with the hot-file suffix qbd/qbd.cc; the allocation hides one
+  // call away, out of reach of the file-local hot-path-alloc rule.
+  const std::vector<Finding> fs =
+      lint_one("hot_alloc_trans_bad.cc", "src/qbd/qbd.cc");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hot-path-alloc-transitive");
+  EXPECT_EQ(fs[0].line, 17);
+  EXPECT_NE(fs[0].message.find("accumulate_step()"), std::string::npos);
+}
+
+TEST(LintSemantic, HotAllocTransitiveCleanTwin) {
+  EXPECT_TRUE(lint_one("hot_alloc_trans_clean.cc", "src/qbd/qbd.cc").empty());
+}
+
+TEST(LintSemantic, AtomicOrderNeedsRationale) {
+  const std::vector<Finding> fs =
+      lint_one("atomic_order_bad.cc", "src/parallel/atomic_order_bad.cc");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "atomic-order");
+  EXPECT_EQ(fs[0].line, 8);  // relaxed load, no rationale anywhere
+  EXPECT_NE(fs[0].message.find("memory_order_relaxed"), std::string::npos);
+  EXPECT_EQ(fs[1].rule, "atomic-order");
+  EXPECT_EQ(fs[1].line, 13);  // bare seq_cst in the spin loop's condition
+  EXPECT_NE(fs[1].message.find("seq_cst"), std::string::npos);
+}
+
+TEST(LintSemantic, AtomicOrderCleanTwin) {
+  EXPECT_TRUE(
+      lint_one("atomic_order_clean.cc", "src/parallel/atomic_order_clean.cc").empty());
+}
+
+TEST(LintSemantic, ModuleLayeringUpwardInclude) {
+  const std::vector<Finding> fs = lint_one("layering_bad.h", "src/linalg/layering_bad.h");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "module-layering");
+  EXPECT_EQ(fs[0].line, 5);  // the analysis/cscq.h include
+  EXPECT_NE(fs[0].message.find("`linalg` (layer 1)"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("`analysis` (layer 4)"), std::string::npos);
+}
+
+TEST(LintSemantic, ModuleLayeringCleanTwin) {
+  EXPECT_TRUE(lint_one("layering_clean.h", "src/linalg/layering_clean.h").empty());
+}
+
+TEST(LintSemantic, IncludeCycleIsOneFinding) {
+  const std::vector<Finding> fs = lint_set({{"cycle_a.h", "src/qbd/cycle_a.h"},
+                                            {"cycle_b.h", "src/qbd/cycle_b.h"}});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "module-layering");
+  EXPECT_EQ(fs[0].file, "cycle_a.h");  // anchored at the lexicographic head
+  EXPECT_EQ(fs[0].line, 5);
+  EXPECT_NE(fs[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("src/qbd/cycle_a.h -> src/qbd/cycle_b.h"),
+            std::string::npos);
+}
+
+TEST(LintSemantic, IndexSelftestPasses) {
+  bool ok = false;
+  const std::string report = csq::lint::index_selftest(&ok);
+  EXPECT_TRUE(ok) << report;
+  EXPECT_EQ(report.find("FAIL"), std::string::npos) << report;
+}
+
+// --- Suppression forms (block interiors, stacked allows, macro lines) -----
+
+TEST(LintSuppress, BlockStackedAndMacroFormsAllCover) {
+  EXPECT_TRUE(lint_one("suppress_forms.cc", "src/core/suppress_forms.cc").empty());
+}
+
+TEST(LintSuppress, FormFixtureParsesToExactLines) {
+  const SourceFile f = fixture("suppress_forms.cc", "src/core/suppress_forms.cc");
+  std::vector<Finding> malformed;
+  const std::vector<csq::lint::Suppression> sups =
+      csq::lint::parse_suppressions(f, &malformed);
+  EXPECT_TRUE(malformed.empty());
+  ASSERT_EQ(sups.size(), 4u);
+  // Block-comment interior: binds to its own physical line, and to the
+  // first line after the comment closes (the declaration it guards).
+  EXPECT_EQ(sups[0].rule, "no-float-eq");
+  EXPECT_EQ(sups[0].line, 7);
+  EXPECT_EQ(sups[0].alt_line, 9);
+  // Stacked allow(a) allow(b): two suppressions sharing line and reason.
+  EXPECT_EQ(sups[1].rule, "raw-throw");
+  EXPECT_EQ(sups[1].line, 11);
+  EXPECT_EQ(sups[2].rule, "no-float-eq");
+  EXPECT_EQ(sups[2].line, 11);
+  EXPECT_EQ(sups[1].reason, sups[2].reason);
+  // Marker on a macro continuation line binds to that physical line.
+  EXPECT_EQ(sups[3].rule, "banned-identifier");
+  EXPECT_EQ(sups[3].line, 15);
+}
+
+// --- Machine output and baseline -------------------------------------------
+
+TEST(LintOutput, JsonDocumentShape) {
+  std::vector<Finding> fs = {{"a.cc", 3, "raw-throw", "msg \"quoted\"", "src/a.cc"}};
+  const std::string j = csq::lint::to_json(fs);
+  EXPECT_NE(j.find("\"tool\":\"csq_lint\""), std::string::npos);
+  EXPECT_NE(j.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(j.find("\"rel\":\"src/a.cc\""), std::string::npos);
+  EXPECT_NE(j.find("\\\"quoted\\\""), std::string::npos);  // escaping survives
+}
+
+TEST(LintOutput, SarifCarriesCatalogAndLocations) {
+  std::vector<Finding> fs = {{"a.cc", 3, "raw-throw", "boom", "src/a.cc"}};
+  const std::string sarif = csq::lint::to_sarif(fs);
+  EXPECT_NE(sarif.find("sarif-2.1.0.json"), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"csq_lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\":\"raw-throw\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uri\":\"src/a.cc\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":3"), std::string::npos);
+  // The full rule catalog rides on the driver.
+  for (const csq::lint::RuleInfo& r : csq::lint::rules())
+    EXPECT_NE(sarif.find("\"id\":\"" + std::string(r.id) + "\""), std::string::npos) << r.id;
+}
+
+TEST(LintBaseline, ExactCountSuppressesStaleAndRegressionSurface) {
+  using csq::lint::BaselineEntry;
+  const Finding f1{"src/core/sweep.cc", 6, "module-layering", "up-include", "src/core/sweep.cc"};
+  const Finding f2{"src/core/sweep.cc", 7, "module-layering", "up-include", "src/core/sweep.cc"};
+  // Exact match: both suppressed, nothing surfaces.
+  std::vector<BaselineEntry> exact = {{"module-layering", "src/core/sweep.cc", 2, "facade"}};
+  EXPECT_TRUE(csq::lint::apply_baseline({f1, f2}, exact, "lint_baseline.json").empty());
+  // Stale (tree improved): suppress what's left, demand a refresh.
+  std::vector<Finding> stale =
+      csq::lint::apply_baseline({f1}, exact, "lint_baseline.json");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].rule, "baseline");
+  EXPECT_NE(stale[0].message.find("stale"), std::string::npos);
+  // Regression (count exceeded): nothing suppressed, meta finding explains.
+  std::vector<BaselineEntry> tight = {{"module-layering", "src/core/sweep.cc", 1, "facade"}};
+  std::vector<Finding> regressed =
+      csq::lint::apply_baseline({f1, f2}, tight, "lint_baseline.json");
+  ASSERT_EQ(regressed.size(), 3u);  // both originals + the meta finding
+  // A reasonless entry is itself a finding and suppresses nothing.
+  std::vector<BaselineEntry> noreason = {{"module-layering", "src/core/sweep.cc", 2, ""}};
+  std::vector<Finding> unjustified =
+      csq::lint::apply_baseline({f1, f2}, noreason, "lint_baseline.json");
+  ASSERT_EQ(unjustified.size(), 3u);
+  EXPECT_EQ(unjustified[0].rule, "baseline");
+  EXPECT_NE(unjustified[0].message.find("no reason"), std::string::npos);
+}
+
+TEST(LintBaseline, LoadRejectsMalformedDocuments) {
+  std::vector<csq::lint::BaselineEntry> entries;
+  std::string error;
+  EXPECT_FALSE(csq::lint::load_baseline("not json", &entries, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(csq::lint::load_baseline("{\"entries\": [{\"rule\": 1}]}", &entries, &error));
+  ASSERT_TRUE(csq::lint::load_baseline(
+      "{\"entries\": [{\"rule\": \"r\", \"file\": \"f\", \"count\": 2, \"reason\": \"ok\"}]}",
+      &entries, &error));
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rule, "r");
+  EXPECT_EQ(entries[0].count, 2);
 }
 
 }  // namespace

@@ -16,10 +16,13 @@
 #               safety), plus a -DCSQ_OBS=OFF -Werror build proving the
 #               compiled-out configuration stays warning-free
 #                                                        (CSQ_SKIP_OBS=1)
-#   bench       fresh BM_Analyze* run vs newest committed BENCH_*.json;
-#               fails if BM_AnalyzeCscq regresses >10%   (CSQ_SKIP_BENCH=1)
+#   bench       fresh guarded-benchmark run vs newest committed BENCH_*.json;
+#               fails if BM_AnalyzeCscq (+10%), BM_AnalyzeBatch30 (+15%) or
+#               the 1-thread sweep panel (+15%) regresses (CSQ_SKIP_BENCH=1)
 #   clang-tidy  src/ against .clang-tidy, if clang-tidy is installed
-#   csq-lint    project invariants: csq_lint --selftest + repo scan
+#   csq-lint    project invariants: csq_lint --selftest, JSON-checked repo
+#               scan under a 2s wall-clock budget, cold/warm --cache parity,
+#               SARIF artifact emitted to the build dir
 #
 # usage: tools/check_warnings.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #        (defaults: build-werror, build-tsan, build-asan; the chaos stage
@@ -161,22 +164,24 @@ fi
 if [ "${CSQ_SKIP_BENCH:-0}" = "1" ]; then
   note "SKIP  bench       (CSQ_SKIP_BENCH=1)"
 else
-  # A fresh bench run against the newest committed BENCH_*.json snapshot:
-  # tools/bench_compare.py fails the stage when BM_AnalyzeCscq (the guarded
-  # per-point analysis cost) regresses more than 10%. Uses the plain `build`
-  # tree — the sanitizer builds above would measure the sanitizer, and the
-  # werror tree does not enable benchmarks by default.
+  # A fresh run of the guarded benchmarks against the newest committed
+  # BENCH_*.json snapshot: tools/bench_compare.py fails the stage when any
+  # guard exceeds its own budget (BM_AnalyzeCscq +10%, BM_AnalyzeBatch30
+  # +15%, the 1-thread sweep panel +15%). Uses the plain `build` tree — the
+  # sanitizer builds above would measure the sanitizer, and the werror tree
+  # does not enable benchmarks by default.
   bench_dir="$repo_root/build"
   cmake -B "$bench_dir" -S "$repo_root" >/dev/null || fail "bench (configure)"
   cmake --build "$bench_dir" -j --target perf_solver || fail "bench (build)"
   bench_tmp=$(mktemp)
   "$repo_root/tools/bench_json.sh" "$bench_dir" "$bench_tmp" \
-    --benchmark_filter='BM_Analyze.*' --benchmark_min_time=2 \
+    --benchmark_filter='BM_Analyze.*|BM_SweepPanel30Points/threads:1/' \
+    --benchmark_min_time=2 \
     || { rm -f "$bench_tmp"; fail "bench (run)"; }
   python3 "$repo_root/tools/bench_compare.py" "$bench_tmp" \
-    || { rm -f "$bench_tmp"; fail "bench (BM_AnalyzeCscq regressed >10% vs committed baseline)"; }
+    || { rm -f "$bench_tmp"; fail "bench (guarded benchmark regressed vs committed baseline)"; }
   rm -f "$bench_tmp"
-  note "PASS  bench       (BM_AnalyzeCscq within 10% of committed baseline)"
+  note "PASS  bench       (guarded benchmarks within budget vs committed baseline)"
 fi
 
 # --- stage 8: clang-tidy (optional tool) ------------------------------------
@@ -193,7 +198,43 @@ fi
 # --- stage 9: csq_lint ------------------------------------------------------
 cmake --build "$build_dir" -j --target csq_lint || fail "csq-lint (build)"
 "$build_dir/tools/csq_lint" --selftest >/dev/null || fail "csq-lint (selftest)"
-"$build_dir/tools/csq_lint" --root "$repo_root" || fail "csq-lint (repo scan)"
-note "PASS  csq-lint    (project invariants hold repo-wide)"
+# Machine-checked repo scan: parse the JSON document instead of trusting the
+# exit code alone, and hold the full-tree run to a 2-second wall-clock budget
+# (the incremental index exists so the gate stays effectively free; a blown
+# budget means the indexer regressed). Cold run primes the cache, warm run
+# must agree with it.
+lint_tmp=$(mktemp -d)
+lint_cold_start=$(date +%s%N 2>/dev/null || date +%s)
+"$build_dir/tools/csq_lint" --root "$repo_root" --format=json \
+  --cache "$lint_tmp/index.cache" > "$lint_tmp/cold.json" \
+  || { rm -rf "$lint_tmp"; fail "csq-lint (repo scan)"; }
+lint_cold_end=$(date +%s%N 2>/dev/null || date +%s)
+case "$lint_cold_start" in
+  *[!0-9]*) : ;;  # date without %N support: skip the budget check
+  *)
+    lint_ms=$(( (lint_cold_end - lint_cold_start) / 1000000 ))
+    [ "$lint_ms" -le 2000 ] \
+      || { rm -rf "$lint_tmp"; fail "csq-lint (cold scan took ${lint_ms}ms, budget 2000ms)"; }
+    ;;
+esac
+python3 - "$lint_tmp/cold.json" <<'PY' || { rm -rf "$lint_tmp"; fail "csq-lint (JSON document malformed)"; }
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["tool"] == "csq_lint", doc
+assert doc["count"] == len(doc["findings"]) == 0, doc["findings"][:5]
+PY
+"$build_dir/tools/csq_lint" --root "$repo_root" --format=json \
+  --cache "$lint_tmp/index.cache" > "$lint_tmp/warm.json" \
+  || { rm -rf "$lint_tmp"; fail "csq-lint (warm cached scan)"; }
+cmp -s "$lint_tmp/cold.json" "$lint_tmp/warm.json" \
+  || { rm -rf "$lint_tmp"; fail "csq-lint (cold vs warm cache runs disagree)"; }
+rm -rf "$lint_tmp"
+# SARIF artifact for code-scanning upload; validated structurally so a
+# serialization regression fails here, not in the consumer.
+"$build_dir/tools/csq_lint" --root "$repo_root" --format=sarif > "$build_dir/lint.sarif" \
+  || fail "csq-lint (SARIF emit)"
+python3 "$repo_root/tools/validate_sarif.py" "$build_dir/lint.sarif" \
+  || fail "csq-lint (SARIF artifact invalid)"
+note "PASS  csq-lint    (repo clean in <2s, cache stable, SARIF at build/lint.sarif)"
 
 finish

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "csq.h"
+#include "callgraph.h"
 #include "lint.h"
 
 namespace {
@@ -392,13 +393,15 @@ int main(int argc, char** argv) {
       if (a.command == "simulate") return cmd_simulate(a);
       if (a.command == "sweep") return cmd_sweep(a);
       if (a.command == "stability") return cmd_stability(a);
-      // Hidden maintenance flag: proves the csq_lint suppression parser on
-      // the installed binary (the CI matrix runs it before trusting lint
-      // output).
+      // Hidden maintenance flag: proves the csq_lint suppression parser and
+      // the semantic index on the installed binary (the CI matrix runs it
+      // before trusting lint output).
       if (a.command == "--lint-selftest") {
-        bool ok = false;
-        std::cout << lint::suppression_selftest(&ok);
-        return ok ? 0 : exit_code(ErrorCode::kVerificationFailed);
+        bool sup_ok = false;
+        bool idx_ok = false;
+        std::cout << lint::suppression_selftest(&sup_ok);
+        std::cout << lint::index_selftest(&idx_ok);
+        return (sup_ok && idx_ok) ? 0 : exit_code(ErrorCode::kVerificationFailed);
       }
       usage();
       return a.command.empty() ? 1 : 2;

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <sstream>
 #include <utility>
+
+#include "callgraph.h"
+#include "index.h"
 
 namespace csq::lint {
 
@@ -81,6 +85,24 @@ SourceFile scan_source(std::string path, std::string rel, std::string content) {
       std::size_t j = i;
       while (j < n && (s[j] != '\n' || (j > 0 && s[j - 1] == '\\'))) ++j;
       d.text = s.substr(i, j - i);
+      // `//` comments on the directive's physical lines (including macro
+      // continuation lines) still count as comments — suppression markers
+      // may sit there.
+      {
+        std::size_t begin = 0;
+        int dline = line;
+        while (begin <= d.text.size()) {
+          const std::size_t nl = d.text.find('\n', begin);
+          const std::string physical =
+              d.text.substr(begin, nl == std::string::npos ? std::string::npos : nl - begin);
+          const std::size_t cpos = physical.find("//");
+          if (cpos != std::string::npos)
+            f.comments.push_back({dline, trim(physical.substr(cpos + 2)), false});
+          if (nl == std::string::npos) break;
+          begin = nl + 1;
+          ++dline;
+        }
+      }
       // Strip a trailing // comment so "#include <x>  // y" stays matchable.
       const std::size_t cpos = d.text.find("//");
       if (cpos != std::string::npos) d.text = d.text.substr(0, cpos);
@@ -105,14 +127,16 @@ SourceFile scan_source(std::string path, std::string rel, std::string content) {
       advance(j - i);
       continue;
     }
-    // Block comment.
+    // Block comment. The text keeps its raw interior (newlines included) so
+    // consumers can recover per-line offsets — parse_suppressions binds a
+    // marker on interior line k to cm.line + k.
     if (c == '/' && i + 1 < n && s[i + 1] == '*') {
       Comment cm;
       cm.line = line;
       cm.own_line = last_code_line != line;
       std::size_t j = i + 2;
       while (j + 1 < n && !(s[j] == '*' && s[j + 1] == '/')) ++j;
-      cm.text = trim(s.substr(i + 2, j - i - 2));
+      cm.text = s.substr(i + 2, j - i - 2);
       f.comments.push_back(std::move(cm));
       advance(std::min(n, j + 2) - i);
       continue;
@@ -205,25 +229,141 @@ std::string format_finding(const Finding& f) {
 
 const std::vector<RuleInfo>& rules() {
   static const std::vector<RuleInfo> kRules = {
-      {"raw-throw", "only core/status.h taxonomy types may be thrown (outside tests/)"},
-      {"no-float-eq", "no ==/!= against floating-point literals; use core/numeric.h"},
-      {"nondeterminism", "no rand/random_device/time()/now() in sim/, msim/, parallel/"},
-      {"hot-path-alloc", "hot-file loops must use *_into kernels, not allocating operators"},
-      {"header-hygiene", "#pragma once, no `using namespace`, direct std includes in headers"},
-      {"error-docs", "headers must document the taxonomy errors their .cc throws"},
-      {"catch-all-swallow", "catch (...) must rethrow or convert to SolverStatus"},
-      {"banned-identifier", "assert()/rand()/srand()/gets() are banned (CSQ_ASSERT, sim::Rng)"},
+      {"raw-throw", "only core/status.h taxonomy types may be thrown (outside tests/)",
+       "Every error the tree raises must be one of the core/status.h taxonomy types\n"
+       "(InvalidInputError, UnstableError, NotConvergedError, ...): callers dispatch\n"
+       "on the taxonomy, the serve tier maps it onto wire error codes, and the CLI\n"
+       "maps it onto exit codes. A raw `throw std::runtime_error(...)` (or any\n"
+       "non-taxonomy type) bypasses all three. Fix: pick the taxonomy type whose\n"
+       "contract matches the failure; if none fits, the taxonomy is missing a case."},
+      {"no-float-eq", "no ==/!= against floating-point literals; use core/numeric.h",
+       "Exact ==/!= against a floating-point literal is almost never what a numeric\n"
+       "solver means: R-iteration residuals, busy-period moments and simulated means\n"
+       "carry rounding error by construction. Fix: csq::num::approx_eq/approx_zero\n"
+       "for tolerant comparison, or exactly_eq/exactly_zero when bit-exactness IS\n"
+       "the intent (golden files, determinism gates) — that spelling documents it."},
+      {"nondeterminism", "no rand/random_device/time()/now() in sim/, msim/, parallel/",
+       "The simulators and the parallel runtime promise bit-identical results for a\n"
+       "fixed seed (the golden suite and the cross-backend equivalence tests depend\n"
+       "on it). std::rand, std::random_device, time() and clock ::now() calls break\n"
+       "that promise. Fix: draw from sim::Rng seeded via split_seed substreams; get\n"
+       "wall-clock measurements from the obs layer outside the deterministic core."},
+      {"hot-path-alloc", "hot-file loops must use *_into kernels, not allocating operators",
+       "Loops in the hot files (qbd/qbd.cc, linalg/lu.cc, linalg/matrix.cc) dominate\n"
+       "the per-point analysis budget (< 100us, benchmarked by BM_AnalyzeCscq). An\n"
+       "allocating matrix/vector operator inside such a loop re-heap-allocates every\n"
+       "iteration. Fix: use the *_into workspace kernels (multiply_into & co.) with\n"
+       "a workspace allocated once outside the loop."},
+      {"header-hygiene", "#pragma once, no `using namespace`, direct std includes in headers",
+       "Headers must carry `#pragma once`, must not leak `using namespace` into\n"
+       "every includer, and must include the std headers for the std symbols they\n"
+       "use (include-what-you-use lite) so refactors cannot orphan a transitive\n"
+       "include. Fix: add the pragma / the direct #include, or qualify the name."},
+      {"error-docs", "headers must document the taxonomy errors their .cc throws",
+       "A src/ header is the API contract; every taxonomy error class its .cc\n"
+       "throws directly is part of that contract and must appear in the header\n"
+       "(conventionally a `Throws csq::X` line in the API comment). InternalError\n"
+       "is exempt: invariant breaches are bugs, not contract. See also throw-flow\n"
+       "(R13), which extends this check through the call graph."},
+      {"catch-all-swallow", "catch (...) must rethrow or convert to SolverStatus",
+       "A catch (...) that neither rethrows nor converts the exception into a\n"
+       "SolverStatus/taxonomy response silently discards failures the caller was\n"
+       "promised to see (and under fault injection, hides injected faults). Fix:\n"
+       "rethrow, capture via std::current_exception, or build a taxonomy error."},
+      {"banned-identifier", "assert()/rand()/srand()/gets() are banned (CSQ_ASSERT, sim::Rng)",
+       "assert() compiles out under NDEBUG so release builds silently drop the\n"
+       "check — use CSQ_ASSERT (core/check.h), which always fires and reports\n"
+       "through the taxonomy. rand()/srand() break seeded determinism — use\n"
+       "sim::Rng. gets() is unsalvageable."},
       {"fault-site-naming",
-       "fault sites are literal module.sub.action strings, registered exactly once"},
+       "fault sites are literal module.sub.action strings, registered exactly once",
+       "CSQ_FAULT_POINT sites form the chaos suite's fault catalogue; tests arm\n"
+       "sites by name. A non-literal name makes the catalogue unenumerable, and a\n"
+       "duplicate registration makes hits() counts and single-shot arming\n"
+       "ambiguous. Fix: literal \"module.sub.action\" (three lowercase segments),\n"
+       "one registration site per name repo-wide."},
       {"metric-naming",
-       "obs metric/span names are literal module.sub.metric strings, registered exactly once"},
+       "obs metric/span names are literal module.sub.metric strings, registered exactly once",
+       "CSQ_OBS_* names share one namespace across counters, gauges, histograms\n"
+       "and spans, and docs/observability.md maps each name to one source\n"
+       "location. Same grammar and uniqueness contract as fault sites: literal\n"
+       "\"module.sub.metric\", exactly one call site per name (tests/ exempt)."},
       {"serve-hygiene",
        "serve code must not exit/abort or bypass the bounded admit path; serve.* metrics "
-       "must be in the docs catalog"},
+       "must be in the docs catalog",
+       "Request-handler code degrades, it never dies: no exit/abort/terminate (a\n"
+       "handler converts failures into taxonomy responses), no pushing onto a\n"
+       "request queue outside the bounded admit gate (admission checks queue depth\n"
+       "and in-flight cost first), and every serve.* obs name must appear in the\n"
+       "docs/serving.md catalog so the dashboard surface cannot drift."},
       {"hot-path-generic-mult",
        "QBD solver code must use the structure-aware multiply kernels "
-       "(multiply_into_pattern / multiply_into_dense), not the generic multiply_into"},
-      {"suppression", "csq-lint: allow(...) comments must name a known rule and give a reason"},
+       "(multiply_into_pattern / multiply_into_dense), not the generic multiply_into",
+       "Inside the QBD iteration the generic linalg::multiply_into re-discovers the\n"
+       "block structure element by element on every call; the structure-aware\n"
+       "kernels (multiply_into_pattern on cached BlockPatterns, multiply_into_dense\n"
+       "for the dense case) are the reason BM_AnalyzeCscq holds its budget. Fix:\n"
+       "dispatch through them, or suppress with the reason no structure exists."},
+      {"throw-flow",
+       "header `Throws csq::*` contracts must match what the call graph proves "
+       "can escape (R13)",
+       "R13 upgrades error-docs from text match to flow analysis: taxonomy throws\n"
+       "are propagated through the conservative call graph (catch clauses filter,\n"
+       "unresolved calls contribute nothing), and each src/ header is compared\n"
+       "against what can actually escape its public functions. Undocumented\n"
+       "escapes that only arrive through callees are findings; so are stale\n"
+       "`Throws csq::X` entries nothing backs up. Fix: add or drop the contract\n"
+       "line, or catch-and-convert at the API boundary."},
+      {"deadline-poll",
+       "solver/simulator loops that reach an iterative kernel must poll "
+       "RunBudget/CancelToken (R14)",
+       "The cooperative-cancellation contract (core/deadline.h): any loop in\n"
+       "src/{qbd,ctmc,mg1,sim,msim,core} whose body transitively reaches an\n"
+       "iterative kernel must poll the budget — interrupted()/expired()/\n"
+       "cancelled()/check() in the loop, or a callee that provably polls.\n"
+       "Unresolved calls never count as polling (conservative direction: a loop\n"
+       "is only accepted on evidence). Fix: add a poll or push the budget down."},
+      {"hot-path-alloc-transitive",
+       "hot-file loops must not reach allocating callees through the call graph (R15)",
+       "R15 upgrades hot-path-alloc to call-graph reachability: a call inside a\n"
+       "hot-file loop whose resolved callee allocates (new, push_back/resize/\n"
+       "reserve/insert, Matrix/Vector construction — directly or transitively) is\n"
+       "a finding even though the loop body itself looks clean. Fix: hoist the\n"
+       "allocation into a workspace parameter, or suppress with the reason the\n"
+       "allocation is one-time (first-call warm-up, growth capped)."},
+      {"atomic-order",
+       "non-seq_cst memory orders in src/parallel|obs need a rationale comment; "
+       "bare seq_cst in hot loops is flagged (R16)",
+       "Every memory_order_relaxed/acquire/release/acq_rel in src/parallel/ and\n"
+       "src/obs/ must carry a nearby comment stating why the relaxation is safe\n"
+       "(what the release pairs with, why relaxed counters tolerate reordering).\n"
+       "Conversely a bare seq_cst inside a src/parallel/ loop is a cost that\n"
+       "deserves the same scrutiny — justify the full fence or relax it with a\n"
+       "rationale. The comment may sit on the site, just above it, or in the\n"
+       "function's doc block."},
+      {"module-layering",
+       "includes must follow the module DAG core -> linalg -> jets/dist/transforms "
+       "-> qbd/ctmc/mg1 -> analysis -> sim/msim/parallel -> serve/tools; cycles are "
+       "findings (R17)",
+       "The module DAG keeps the solver core reusable and the build layerable:\n"
+       "an #include pointing at a higher layer couples the foundation to its\n"
+       "consumers, and an include cycle means neither file can be understood (or\n"
+       "compiled) alone. obs is cross-cutting and may be included from anywhere.\n"
+       "Fix: invert the dependency (callback, interface header) or move the\n"
+       "shared piece down; grandfathered edges live in lint_baseline.json with\n"
+       "per-entry justifications."},
+      {"suppression", "csq-lint: allow(...) comments must name a known rule and give a reason",
+       "A suppression is `// csq-lint: allow(rule-id): reason` on the finding's\n"
+       "line or the line above (block-comment interiors and stacked\n"
+       "`allow(a) allow(b): reason` also work). The reason is mandatory — it is\n"
+       "the reviewable justification. Malformed markers (unknown rule, missing\n"
+       "reason) are themselves findings, and they cannot be suppressed."},
+      {"baseline", "lint_baseline.json entries must stay justified and exactly matched",
+       "The baseline grandfathers reviewed findings as {rule, file, count, reason}\n"
+       "entries with exact-count matching: when the tree improves below the\n"
+       "recorded count the entry goes stale and this meta-rule flags it (refresh\n"
+       "the baseline); when findings grow past the count, the excess surfaces as\n"
+       "ordinary findings. Entries without a reason are findings too."},
   };
   return kRules;
 }
@@ -243,43 +383,78 @@ std::vector<Suppression> parse_suppressions(const SourceFile& file,
   std::vector<Suppression> out;
   const std::string kTag = "csq-lint:";
   for (const Comment& c : file.comments) {
-    // The marker must open the comment; prose that merely *mentions*
-    // `csq-lint: ...` (docs, this very file) is not a suppression attempt.
-    if (!starts_with(c.text, kTag)) continue;
-    const std::string rest = trim(c.text.substr(kTag.size()));
-    const auto bad = [&](const std::string& why) {
-      if (malformed != nullptr)
-        malformed->push_back({file.path, c.line, "suppression", why + ": `" + c.text + "`"});
-    };
-    // Project markers that are not suppressions (none today) would be
-    // dispatched here; everything else must be allow(rule-id): reason.
-    if (!starts_with(rest, "allow(")) {
-      bad("malformed csq-lint comment (expected `allow(rule-id): reason`)");
-      continue;
+    // A comment is scanned one physical line at a time: the marker must open
+    // a line (after stripping whitespace and a leading '*' decoration), so
+    // prose that merely *mentions* `csq-lint: ...` (docs, this very file) is
+    // not a suppression attempt. This makes markers work inside multi-line
+    // /* */ comments and on macro-continuation lines alike.
+    const int end_line =
+        c.line + static_cast<int>(std::count(c.text.begin(), c.text.end(), '\n'));
+    std::size_t begin = 0;
+    int lineno = c.line;
+    while (begin <= c.text.size()) {
+      const std::size_t nl = c.text.find('\n', begin);
+      std::string ln = trim(
+          c.text.substr(begin, nl == std::string::npos ? std::string::npos : nl - begin));
+      while (starts_with(ln, "*")) ln = trim(ln.substr(1));  // block-comment gutter
+      const int marker_line = lineno;
+      if (nl == std::string::npos)
+        begin = c.text.size() + 1;
+      else {
+        begin = nl + 1;
+        ++lineno;
+      }
+      if (!starts_with(ln, kTag)) continue;
+
+      std::string rest = trim(ln.substr(kTag.size()));
+      const auto bad = [&](const std::string& why) {
+        if (malformed != nullptr)
+          malformed->push_back(
+              {file.path, marker_line, "suppression", why + ": `" + ln + "`"});
+      };
+      // One marker may stack several groups: `allow(a) allow(b): reason`
+      // (the reason applies to every listed rule).
+      std::vector<std::string> rule_ids;
+      bool ok = true;
+      while (starts_with(rest, "allow(")) {
+        const std::size_t close = rest.find(')');
+        if (close == std::string::npos) {
+          bad("unterminated allow(");
+          ok = false;
+          break;
+        }
+        const std::string id = trim(rest.substr(6, close - 6));
+        if (!known_rule(id)) {
+          bad("unknown rule id `" + id + "`");
+          ok = false;
+          break;
+        }
+        rule_ids.push_back(id);
+        rest = trim(rest.substr(close + 1));
+      }
+      if (!ok) continue;
+      if (rule_ids.empty()) {
+        bad("malformed csq-lint comment (expected `allow(rule-id): reason`)");
+        continue;
+      }
+      if (!starts_with(rest, ":")) {
+        bad("missing reason (write `allow(" + rule_ids.front() + "): why this is safe`)");
+        continue;
+      }
+      const std::string reason = trim(rest.substr(1));
+      if (reason.empty()) {
+        bad("empty reason (write `allow(" + rule_ids.front() + "): why this is safe`)");
+        continue;
+      }
+      for (const std::string& id : rule_ids) {
+        Suppression s;
+        s.line = marker_line;
+        s.alt_line = end_line + 1;  // line after a block comment closes
+        s.rule = id;
+        s.reason = reason;
+        out.push_back(std::move(s));
+      }
     }
-    const std::size_t close = rest.find(')');
-    if (close == std::string::npos) {
-      bad("unterminated allow(");
-      continue;
-    }
-    Suppression s;
-    s.line = c.line;
-    s.rule = trim(rest.substr(6, close - 6));
-    if (!known_rule(s.rule)) {
-      bad("unknown rule id `" + s.rule + "`");
-      continue;
-    }
-    std::string tail = trim(rest.substr(close + 1));
-    if (!starts_with(tail, ":")) {
-      bad("missing reason (write `allow(" + s.rule + "): why this is safe`)");
-      continue;
-    }
-    s.reason = trim(tail.substr(1));
-    if (s.reason.empty()) {
-      bad("empty reason (write `allow(" + s.rule + "): why this is safe`)");
-      continue;
-    }
-    out.push_back(std::move(s));
   }
   return out;
 }
@@ -774,7 +949,18 @@ void rule_serve_hygiene(const SourceFile& f, const Config& config,
 
 }  // namespace
 
-std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& config) {
+namespace {
+
+[[nodiscard]] bool covers(const Suppression& s, const Finding& fd) {
+  return s.rule == fd.rule &&
+         (fd.line == s.line || fd.line == s.line + 1 ||
+          (s.alt_line != 0 && fd.line == s.alt_line));
+}
+
+}  // namespace
+
+std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& config,
+                               IndexCache* cache) {
   std::vector<Finding> all;
   for (SourceFile& f : files) {
     std::vector<Finding> file_findings;
@@ -791,29 +977,55 @@ std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& con
     for (Finding& fd : file_findings) {
       bool suppressed = false;
       for (Suppression& s : sups)
-        if (s.rule == fd.rule && (fd.line == s.line || fd.line == s.line + 1)) {
+        if (covers(s, fd)) {
           s.used = true;
           suppressed = true;
         }
       if (!suppressed) all.push_back(std::move(fd));
     }
   }
-  // Cross-file pass. error-docs findings attach to headers at line 1, so a
-  // suppression comment on the header's first line covers them.
+  // Cross-file pass: the token-level cross-TU rules, then the semantic rules
+  // R13–R17 on the FileIndex layer (cache-aware: unchanged files reuse their
+  // cached index). error-docs/throw-flow findings attach to headers at line
+  // 1, so a suppression comment on the header's first line covers them.
   std::vector<Finding> cross;
   rule_error_docs(files, &cross);
   rule_fault_site_naming(files, &cross);
   rule_metric_naming(files, &cross);
+  {
+    std::vector<FileIndex> owned(files.size());
+    std::vector<const FileIndex*> indexes(files.size(), nullptr);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const std::uint64_t hash = content_hash(files[i].content);
+      const FileIndex* hit = cache != nullptr ? cache->lookup(files[i].rel, hash) : nullptr;
+      if (hit != nullptr) {
+        indexes[i] = hit;
+      } else {
+        owned[i] = build_file_index(files[i]);
+        if (cache != nullptr) cache->store(owned[i]);
+        indexes[i] = &owned[i];
+      }
+    }
+    run_semantic_rules(files, indexes, config, &cross);
+  }
   for (Finding& fd : cross) {
     bool suppressed = false;
     for (SourceFile& f : files) {
       if (f.path != fd.file) continue;
       std::vector<Suppression> sups = parse_suppressions(f, nullptr);
       for (Suppression& s : sups)
-        if (s.rule == fd.rule && (fd.line == s.line || fd.line == s.line + 1))
-          suppressed = true;
+        if (covers(s, fd)) suppressed = true;
     }
     if (!suppressed) all.push_back(std::move(fd));
+  }
+  // Fill the repo-relative path on every finding (SARIF/baseline keys).
+  {
+    std::map<std::string, const std::string*> rel_of;
+    for (const SourceFile& f : files) rel_of[f.path] = &f.rel;
+    for (Finding& fd : all) {
+      const auto it = rel_of.find(fd.file);
+      fd.rel = it != rel_of.end() ? *it->second : fd.file;
+    }
   }
   std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;
@@ -857,6 +1069,34 @@ std::string suppression_selftest(bool* ok) {
                                    "ignored (got " + std::to_string(malformed.size()) + ")");
   for (const Finding& m : malformed)
     check(m.rule == "suppression", "malformed marker reported under rule `suppression`");
+
+  // Block-comment interiors, stacked groups, macro continuation lines.
+  const std::string sample2 =
+      "/* preamble prose\n"
+      " * csq-lint: allow(raw-throw): fixture throws on purpose\n"
+      " */\n"
+      "int c;\n"
+      "// csq-lint: allow(raw-throw) allow(no-float-eq): shared reason\n"
+      "int d;\n"
+      "#define MX(x) \\\n"
+      "  do_thing(x); /* macro */ \\\n"
+      "  more(x)  // csq-lint: allow(banned-identifier): macro fixture\n";
+  SourceFile f2 = scan_source("<selftest2>", "<selftest2>", sample2);
+  std::vector<Finding> malformed2;
+  const std::vector<Suppression> sups2 = parse_suppressions(f2, &malformed2);
+  check(malformed2.empty(), "second battery has no malformed markers");
+  check(sups2.size() == 4, "block + stacked pair + macro-line markers parsed (got " +
+                               std::to_string(sups2.size()) + ")");
+  if (sups2.size() == 4) {
+    check(sups2[0].rule == "raw-throw" && sups2[0].line == 2 && sups2[0].alt_line == 4,
+          "block-comment marker binds to its interior line and the line after */");
+    check(sups2[1].rule == "raw-throw" && sups2[2].rule == "no-float-eq" &&
+              sups2[1].line == 5 && sups2[2].line == 5 &&
+              sups2[1].reason == sups2[2].reason,
+          "stacked allow(a) allow(b) yields both rules with the shared reason");
+    check(sups2[3].rule == "banned-identifier" && sups2[3].line == 9,
+          "marker on a macro continuation line binds to that physical line");
+  }
   if (ok != nullptr) *ok = pass;
   return report.str();
 }

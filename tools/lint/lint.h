@@ -47,6 +47,7 @@
 // into the csq_lint binary with csq_cli-compatible exit codes.
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -98,13 +99,27 @@ struct Finding {
   int line = 0;
   std::string rule;
   std::string message;
+  // Repo-relative path ('/'-separated) for SARIF/baseline matching; filled
+  // in by run_rules from the originating SourceFile.
+  std::string rel;
+
+  Finding() = default;
+  // Rules construct findings without `rel`; run_rules fills it afterwards.
+  Finding(std::string file_, int line_, std::string rule_, std::string message_,
+          std::string rel_ = {})
+      : file(std::move(file_)),
+        line(line_),
+        rule(std::move(rule_)),
+        message(std::move(message_)),
+        rel(std::move(rel_)) {}
 };
 
 // `file:line: [rule-id] message`
 [[nodiscard]] std::string format_finding(const Finding& f);
 
 struct Suppression {
-  int line = 0;
+  int line = 0;      // line the marker itself is on (block-comment interior ok)
+  int alt_line = 0;  // for block comments: first line after the comment closes
   std::string rule;
   std::string reason;
   bool used = false;
@@ -121,6 +136,7 @@ struct Suppression {
 struct RuleInfo {
   const char* id;       // stable kebab-case rule id
   const char* summary;  // one-line description for --list-rules / docs
+  const char* detail;   // paragraph for --explain <rule>: why + how to fix
 };
 
 // Every registered rule, in catalog (R1..R10 + meta) order.
@@ -160,13 +176,46 @@ struct Config {
   std::string serve_metric_docs;
   // Catalog file named in serve-hygiene findings.
   std::string serve_metric_docs_name = "docs/serving.md";
+  // deadline-poll (R14): directories whose loops must poll the budget when
+  // they transitively reach an iterative kernel.
+  std::vector<std::string> deadline_poll_dirs = {"src/qbd/", "src/ctmc/", "src/mg1/",
+                                                 "src/sim/", "src/msim/", "src/core/"};
+  // The iterative kernels: entry points whose runtime is data-dependent and
+  // unbounded without a budget. A function qualifies when its name matches
+  // AND it is defined in one of iterative_kernel_modules.
+  std::vector<std::string> iterative_kernels = {
+      "solve",    "solve_r",  "solve_r_batch", "solve_g_logred",
+      "stationary", "run",    "simulate",      "simulate_replications",
+      "simulate_multi_replications", "spectral_radius_estimate"};
+  std::vector<std::string> iterative_kernel_modules = {"qbd", "ctmc", "mg1", "sim", "msim"};
+  // atomic-order (R16): directories where memory_order arguments need an
+  // ordering-rationale comment.
+  std::vector<std::string> atomic_order_dirs = {"src/parallel/", "src/obs/"};
+  // module-layering (R17): the module DAG as ranks; an include may only
+  // point at an equal or lower rank. Modules absent from the map (tests,
+  // fixtures) are unconstrained.
+  std::map<std::string, int> module_ranks = {
+      {"core", 0},  {"linalg", 1}, {"jets", 2},     {"dist", 2},  {"transforms", 2},
+      {"qbd", 3},   {"ctmc", 3},   {"mg1", 3},      {"analysis", 4}, {"sim", 5},
+      {"msim", 5},  {"parallel", 5}, {"obs", 5},    {"serve", 6}, {"tools", 6},
+      {"tests", 6}};
+  // Modules excluded from the layering check as include *targets*:
+  // observability is cross-cutting by design (counters/spans are registered
+  // from every layer).
+  std::vector<std::string> cross_cutting_modules = {"obs"};
 };
 
-// Run every rule over `files`, apply suppressions, and return the surviving
-// findings sorted by (file, line, rule). Cross-file rules (error-docs) see
-// the whole set, so pass related .h/.cc files together.
+class IndexCache;  // tools/lint/index.h
+
+// Run every rule over `files` — the file-local rules R1–R12, then the
+// semantic rules R13–R17 on the cross-TU index — apply suppressions, and
+// return the surviving findings sorted by (file, line, rule). Cross-file
+// rules see the whole set, so pass related .h/.cc files together. When
+// `cache` is non-null, unchanged files reuse their cached FileIndex and the
+// cache is updated in place (persisting it is the caller's job).
 [[nodiscard]] std::vector<Finding> run_rules(std::vector<SourceFile>& files,
-                                             const Config& config = {});
+                                             const Config& config = {},
+                                             IndexCache* cache = nullptr);
 
 // Self-test of the suppression parser used by `csq_cli --lint-selftest`:
 // runs a battery of well-formed/malformed suppression comments through

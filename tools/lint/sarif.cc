@@ -1,0 +1,155 @@
+#include "sarif.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "serve/json.h"
+
+namespace csq::lint {
+
+namespace {
+
+using csq::serve::json_escape;
+
+[[nodiscard]] std::string q(const std::string& s) { return "\"" + json_escape(s) + "\""; }
+
+}  // namespace
+
+std::string to_json(const std::vector<Finding>& findings) {
+  std::ostringstream o;
+  o << "{\"tool\":\"csq_lint\",\"count\":" << findings.size() << ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) o << ',';
+    o << "{\"file\":" << q(f.file) << ",\"rel\":" << q(f.rel) << ",\"line\":" << f.line
+      << ",\"rule\":" << q(f.rule) << ",\"message\":" << q(f.message) << '}';
+  }
+  o << "]}";
+  return o.str();
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  // Rule index in the driver catalog, for result.ruleIndex.
+  std::map<std::string, std::size_t> rule_index;
+  for (std::size_t i = 0; i < rules().size(); ++i) rule_index[rules()[i].id] = i;
+
+  std::ostringstream o;
+  o << "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+    << "\"version\":\"2.1.0\",\"runs\":[{"
+    << "\"tool\":{\"driver\":{\"name\":\"csq_lint\","
+    << "\"informationUri\":\"docs/static-analysis.md\",\"version\":\"2.0.0\","
+    << "\"rules\":[";
+  for (std::size_t i = 0; i < rules().size(); ++i) {
+    const RuleInfo& r = rules()[i];
+    if (i != 0) o << ',';
+    o << "{\"id\":" << q(r.id) << ",\"shortDescription\":{\"text\":" << q(r.summary)
+      << "},\"fullDescription\":{\"text\":" << q(r.detail) << "}}";
+  }
+  o << "]}},\"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) o << ',';
+    o << "{\"ruleId\":" << q(f.rule);
+    const auto it = rule_index.find(f.rule);
+    if (it != rule_index.end()) o << ",\"ruleIndex\":" << it->second;
+    o << ",\"level\":\"error\",\"message\":{\"text\":" << q(f.message) << "},"
+      << "\"locations\":[{\"physicalLocation\":{"
+      << "\"artifactLocation\":{\"uri\":" << q(f.rel.empty() ? f.file : f.rel)
+      << ",\"uriBaseId\":\"SRCROOT\"},"
+      << "\"region\":{\"startLine\":" << std::max(1, f.line) << "}}}]}";
+  }
+  o << "]}]}";
+  return o.str();
+}
+
+bool load_baseline(const std::string& text, std::vector<BaselineEntry>* out,
+                   std::string* error) {
+  out->clear();
+  try {
+    const serve::JsonValue doc = serve::parse_json(text);
+    const serve::JsonValue* entries = doc.find("entries");
+    if (entries == nullptr || !entries->is_array()) {
+      if (error != nullptr) *error = "baseline must be {\"entries\": [...]}";
+      return false;
+    }
+    for (const serve::JsonValue& e : entries->as_array("entries")) {
+      BaselineEntry b;
+      const serve::JsonValue* rule = e.find("rule");
+      const serve::JsonValue* file = e.find("file");
+      const serve::JsonValue* count = e.find("count");
+      const serve::JsonValue* reason = e.find("reason");
+      if (rule == nullptr || file == nullptr || count == nullptr || !rule->is_string() ||
+          !file->is_string() || !count->is_number()) {
+        if (error != nullptr)
+          *error = "each baseline entry needs string `rule`, string `file`, number `count`";
+        return false;
+      }
+      b.rule = rule->as_string("rule");
+      b.file = file->as_string("file");
+      b.count = static_cast<int>(count->as_number("count"));
+      if (reason != nullptr && reason->is_string()) b.reason = reason->as_string("reason");
+      out->push_back(std::move(b));
+    }
+  } catch (const csq::Error& e) {
+    if (error != nullptr) *error = e.status().message;
+    return false;
+  }
+  return true;
+}
+
+std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                    const std::vector<BaselineEntry>& entries,
+                                    const std::string& baseline_name) {
+  std::vector<Finding> meta;
+  std::vector<bool> drop(findings.size(), false);
+  for (const BaselineEntry& e : entries) {
+    if (e.reason.empty()) {
+      meta.push_back({baseline_name, 1, "baseline",
+                      "entry {" + e.rule + ", " + e.file +
+                          "} has no reason — every grandfathered finding needs its "
+                          "reviewable justification"});
+      continue;
+    }
+    std::vector<std::size_t> matched;
+    for (std::size_t i = 0; i < findings.size(); ++i)
+      if (!drop[i] && findings[i].rule == e.rule && findings[i].rel == e.file)
+        matched.push_back(i);
+    const int found = static_cast<int>(matched.size());
+    if (found == e.count) {
+      for (std::size_t i : matched) drop[i] = true;
+    } else if (found < e.count) {
+      // The tree improved (or the rule changed): the entry over-claims.
+      // Still suppress what it covers, but demand a refresh.
+      for (std::size_t i : matched) drop[i] = true;
+      meta.push_back({baseline_name, 1, "baseline",
+                      "stale entry {" + e.rule + ", " + e.file + "}: expected " +
+                          std::to_string(e.count) + " finding(s), the tree has " +
+                          std::to_string(found) +
+                          " — lower or remove the entry (exact-count matching)"});
+    } else {
+      // Regression past the grandfathered count: nothing is suppressed, the
+      // whole group surfaces, and this meta finding explains why.
+      meta.push_back({baseline_name, 1, "baseline",
+                      "entry {" + e.rule + ", " + e.file + "} allows " +
+                          std::to_string(e.count) + " finding(s) but the tree has " +
+                          std::to_string(found) +
+                          " — fix the regression or re-review the baseline"});
+    }
+  }
+  std::vector<Finding> out;
+  for (std::size_t i = 0; i < findings.size(); ++i)
+    if (!drop[i]) out.push_back(std::move(findings[i]));
+  for (Finding& m : meta) {
+    m.rel = m.file;
+    out.push_back(std::move(m));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+}  // namespace csq::lint

@@ -1,0 +1,51 @@
+// Machine-readable output for csq_lint (--format=json|sarif) and the
+// reviewed-baseline workflow (lint_baseline.json).
+//
+// The SARIF emitter targets SARIF 2.1.0 with the minimal schema surface CI
+// viewers consume: one run, the full rule catalog on the driver, one result
+// per finding with a physicalLocation region. tools/validate_sarif.py
+// structurally validates the output in a ctest.
+//
+// The baseline grandfathers reviewed findings as {rule, file, count, reason}
+// entries with exact-count matching: an entry suppresses its findings only
+// while the live count equals the recorded count. Fewer findings than
+// recorded → the entry is stale (a "baseline" meta finding says refresh);
+// more → nothing is suppressed and the whole group surfaces. Either way the
+// baseline cannot rot silently.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace csq::lint {
+
+// Findings as a stable JSON document: {"tool","count","findings":[...]}.
+[[nodiscard]] std::string to_json(const std::vector<Finding>& findings);
+
+// Findings as a SARIF 2.1.0 log (rule catalog included on the driver).
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;  // repo-relative path, '/'-separated
+  int count = 0;
+  std::string reason;
+};
+
+// Parse a lint_baseline.json document:
+//   {"entries": [{"rule": "...", "file": "...", "count": N, "reason": "..."}]}
+// Returns false with `error` set on malformed input (the caller reports it
+// as kInvalidInput rather than scanning without a baseline).
+[[nodiscard]] bool load_baseline(const std::string& text, std::vector<BaselineEntry>* out,
+                                 std::string* error);
+
+// Apply the baseline to `findings` (post-suppression): exact-count matched
+// groups are removed; stale/over-count/unjustified entries append "baseline"
+// meta findings anchored at `baseline_name`. Result stays sorted.
+[[nodiscard]] std::vector<Finding> apply_baseline(std::vector<Finding> findings,
+                                                  const std::vector<BaselineEntry>& entries,
+                                                  const std::string& baseline_name);
+
+}  // namespace csq::lint

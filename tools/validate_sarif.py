@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Structural validator for csq_lint --format=sarif output.
+
+Checks the SARIF 2.1.0 schema surface the lint pipeline relies on, using
+only the stdlib (the container has no jsonschema package). This is the
+subset a SARIF 2.1.0 schema validator would enforce for the document shape
+csq_lint emits: required top-level keys, driver/rule catalog invariants,
+and per-result location structure.
+
+Usage: validate_sarif.py FILE.sarif
+Exit 0 when the document validates, 1 with a diagnostic otherwise.
+"""
+import json
+import sys
+
+
+class Bad(Exception):
+    pass
+
+
+def need(obj, key, typ, where):
+    if not isinstance(obj, dict) or key not in obj:
+        raise Bad(f"{where}: missing required property `{key}`")
+    val = obj[key]
+    if not isinstance(val, typ):
+        raise Bad(f"{where}.{key}: expected {typ.__name__}, got {type(val).__name__}")
+    return val
+
+
+def check_rule(rule, where):
+    rid = need(rule, "id", str, where)
+    if not rid:
+        raise Bad(f"{where}.id: empty rule id")
+    short = need(rule, "shortDescription", dict, where)
+    need(short, "text", str, f"{where}.shortDescription")
+    full = need(rule, "fullDescription", dict, where)
+    need(full, "text", str, f"{where}.fullDescription")
+    return rid
+
+
+def check_result(result, rule_ids, where):
+    rid = need(result, "ruleId", str, where)
+    if rid not in rule_ids and rid != "baseline":
+        # Every emitted ruleId must exist in the driver catalog; "baseline"
+        # meta findings are part of the catalog too, so this is strict.
+        raise Bad(f"{where}.ruleId: `{rid}` not in the driver rule catalog")
+    if "ruleIndex" in result:
+        idx = result["ruleIndex"]
+        if not isinstance(idx, int) or idx < 0 or idx >= len(rule_ids):
+            raise Bad(f"{where}.ruleIndex: {idx!r} out of range")
+        if sorted(rule_ids)[0:0] == [] and list(rule_ids)[idx] != rid:
+            raise Bad(f"{where}.ruleIndex: points at `{list(rule_ids)[idx]}`, not `{rid}`")
+    level = need(result, "level", str, where)
+    if level not in ("none", "note", "warning", "error"):
+        raise Bad(f"{where}.level: `{level}` is not a SARIF level")
+    msg = need(result, "message", dict, where)
+    need(msg, "text", str, f"{where}.message")
+    locations = need(result, "locations", list, where)
+    if not locations:
+        raise Bad(f"{where}.locations: empty")
+    for j, loc in enumerate(locations):
+        lw = f"{where}.locations[{j}]"
+        phys = need(loc, "physicalLocation", dict, lw)
+        art = need(phys, "artifactLocation", dict, f"{lw}.physicalLocation")
+        uri = need(art, "uri", str, f"{lw}.physicalLocation.artifactLocation")
+        if not uri:
+            raise Bad(f"{lw}: empty artifact uri")
+        if uri.startswith("/") or ":" in uri.split("/")[0]:
+            # uriBaseId-relative uris must not be absolute.
+            if art.get("uriBaseId"):
+                raise Bad(f"{lw}: absolute uri `{uri}` with uriBaseId set")
+        region = need(phys, "region", dict, f"{lw}.physicalLocation")
+        line = need(region, "startLine", int, f"{lw}.physicalLocation.region")
+        if line < 1:
+            raise Bad(f"{lw}: startLine {line} < 1 (SARIF lines are 1-based)")
+
+
+def validate(doc):
+    schema = need(doc, "$schema", str, "$")
+    if "sarif-2.1.0" not in schema:
+        raise Bad(f"$.$schema: `{schema}` does not reference the SARIF 2.1.0 schema")
+    version = need(doc, "version", str, "$")
+    if version != "2.1.0":
+        raise Bad(f"$.version: `{version}` != 2.1.0")
+    runs = need(doc, "runs", list, "$")
+    if len(runs) != 1:
+        raise Bad(f"$.runs: expected exactly 1 run, got {len(runs)}")
+    run = runs[0]
+    tool = need(run, "tool", dict, "$.runs[0]")
+    driver = need(tool, "driver", dict, "$.runs[0].tool")
+    name = need(driver, "name", str, "$.runs[0].tool.driver")
+    if name != "csq_lint":
+        raise Bad(f"driver.name: `{name}` != csq_lint")
+    rules = need(driver, "rules", list, "$.runs[0].tool.driver")
+    if not rules:
+        raise Bad("driver.rules: empty rule catalog")
+    rule_ids = []
+    for i, rule in enumerate(rules):
+        rule_ids.append(check_rule(rule, f"driver.rules[{i}]"))
+    if len(set(rule_ids)) != len(rule_ids):
+        raise Bad("driver.rules: duplicate rule ids")
+    results = need(run, "results", list, "$.runs[0]")
+    for i, result in enumerate(results):
+        check_result(result, rule_ids, f"results[{i}]")
+    return len(rules), len(results)
+
+
+def main(argv):
+    if len(argv) != 2:
+        print("usage: validate_sarif.py FILE.sarif", file=sys.stderr)
+        return 1
+    try:
+        with open(argv[1], "rb") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as e:
+        print(f"validate_sarif: {argv[1]}: {e}", file=sys.stderr)
+        return 1
+    try:
+        n_rules, n_results = validate(doc)
+    except Bad as e:
+        print(f"validate_sarif: {argv[1]}: {e}", file=sys.stderr)
+        return 1
+    print(f"validate_sarif: OK ({n_rules} rules, {n_results} results)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
