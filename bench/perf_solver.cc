@@ -12,12 +12,18 @@
 #include <cstdlib>
 #include <new>
 
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
 #include "analysis/batch.h"
 #include "analysis/cscq.h"
 #include "analysis/stability.h"
 #include "analysis/csid.h"
 #include "analysis/truncated_cscq.h"
 #include "core/sweep.h"
+#include "durable/journal.h"
 #include "sim/simulator.h"
 
 // ---------------------------------------------------------------------------
@@ -154,6 +160,44 @@ BENCHMARK(BM_SimulateReplications)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
+
+void BM_JournalAppend(benchmark::State& state) {
+  // Per-request durability overhead: one write-ahead request+response append
+  // pair at the server's default fsync batching. bench_compare.py caps this
+  // at an absolute 5 us — the docs/serving.md §9 overhead promise — because
+  // the benchmark postdates the newest committed baseline snapshot.
+  char path[] = "/tmp/csq_bench_journal_XXXXXX";
+  const int fd = ::mkstemp(path);
+  if (fd < 0) {
+    state.SkipWithError("mkstemp failed");
+    return;
+  }
+  ::close(fd);
+  durable::JournalOptions jopts;
+  jopts.fsync_every = 64;
+  durable::Journal journal = durable::Journal::open(path, jopts);
+  const std::string request =
+      R"({"id":"bench","op":"analyze","rho_s":1.2,"rho_l":0.5,"scv_l":8})";
+  const std::string response =
+      R"({"id":"bench","ok":true,"op":"analyze","result":{"mean_short":3.14}})";
+  std::uint64_t appended = 0;
+  for (auto _ : state) {
+    const std::uint64_t seq = journal.append_request(request);
+    journal.append_response(seq, response);
+    if (++appended % 200000 == 0) {
+      // Keep the scratch file bounded (~30 MB) over long timed runs; the
+      // truncate-and-reopen happens outside the measured region.
+      state.PauseTiming();
+      journal.close();
+      std::remove(path);
+      journal = durable::Journal::open(path, jopts);
+      state.ResumeTiming();
+    }
+  }
+  journal.close();
+  std::remove(path);
+}
+BENCHMARK(BM_JournalAppend);
 
 void BM_TruncatedChain(benchmark::State& state) {
   analysis::TruncatedCscqOptions topts;

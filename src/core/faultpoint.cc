@@ -32,6 +32,7 @@ ErrorCode code_from_name(const std::string& name) {
   if (name == "DeadlineExceeded") return ErrorCode::kDeadlineExceeded;
   if (name == "Cancelled") return ErrorCode::kCancelled;
   if (name == "Overloaded") return ErrorCode::kOverloaded;
+  if (name == "CorruptJournal") return ErrorCode::kCorruptJournal;
   throw InvalidInputError("unknown ErrorCode in fault spec: '" + name + "'");
 }
 

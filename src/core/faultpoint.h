@@ -90,7 +90,8 @@ namespace detail {
 // Throws csq::InvalidInputError, csq::UnstableError,
 // csq::NotConvergedError, csq::IllConditionedError,
 // csq::VerificationFailedError, csq::DeadlineExceededError,
-// csq::CancelledError or csq::OverloadedError, per the armed plan.
+// csq::CancelledError, csq::OverloadedError or
+// csq::CorruptJournalError, per the armed plan.
 void hit(const char* site);
 void hit_matrix(const char* site, double* data, std::size_t size);
 }  // namespace detail

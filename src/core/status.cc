@@ -54,6 +54,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
     case ErrorCode::kCancelled: return "Cancelled";
     case ErrorCode::kOverloaded: return "Overloaded";
+    case ErrorCode::kCorruptJournal: return "CorruptJournal";
   }
   return "?";
 }
@@ -70,6 +71,7 @@ const char* error_class_name(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "DeadlineExceededError";
     case ErrorCode::kCancelled: return "CancelledError";
     case ErrorCode::kOverloaded: return "OverloadedError";
+    case ErrorCode::kCorruptJournal: return "CorruptJournalError";
   }
   return "?";
 }
@@ -164,6 +166,10 @@ OverloadedError::OverloadedError(const std::string& message, Diagnostics diagnos
     : std::runtime_error(message),
       Error(ErrorCode::kOverloaded, message, std::move(diagnostics)) {}
 
+CorruptJournalError::CorruptJournalError(const std::string& message, Diagnostics diagnostics)
+    : std::runtime_error(message),
+      Error(ErrorCode::kCorruptJournal, message, std::move(diagnostics)) {}
+
 void throw_error(ErrorCode code, const std::string& message, Diagnostics diagnostics) {
   switch (code) {
     case ErrorCode::kInvalidInput: throw InvalidInputError(message, std::move(diagnostics));
@@ -177,6 +183,8 @@ void throw_error(ErrorCode code, const std::string& message, Diagnostics diagnos
       throw DeadlineExceededError(message, std::move(diagnostics));
     case ErrorCode::kCancelled: throw CancelledError(message, std::move(diagnostics));
     case ErrorCode::kOverloaded: throw OverloadedError(message, std::move(diagnostics));
+    case ErrorCode::kCorruptJournal:
+      throw CorruptJournalError(message, std::move(diagnostics));
     case ErrorCode::kOk:
     case ErrorCode::kInternal: break;
   }

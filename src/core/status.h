@@ -31,6 +31,7 @@ enum class ErrorCode {
   kDeadlineExceeded,     // a RunBudget wall-clock deadline expired mid-solve
   kCancelled,            // a cooperative CancelToken was triggered
   kOverloaded,           // admission control shed the request (serve layer)
+  kCorruptJournal,       // a durability artifact failed its integrity checks
 };
 
 // Stable identifier for the code ("Ok", "InvalidInput", ...).
@@ -155,6 +156,18 @@ class CancelledError : public std::runtime_error, public Error {
 class OverloadedError : public std::runtime_error, public Error {
  public:
   explicit OverloadedError(const std::string& message, Diagnostics diagnostics = {});
+};
+
+// A durability artifact (write-ahead journal, sweep checkpoint) failed its
+// integrity checks away from the torn tail a crash legitimately leaves: a
+// frame whose CRC or framing is broken *mid-file* while valid frames follow
+// it. A torn tail is silently discarded by recovery; mid-file corruption
+// means the artifact lies about history and must not be trusted
+// (src/durable/). diagnostics.stage carries the artifact path, notes the
+// byte offset of the bad frame.
+class CorruptJournalError : public std::runtime_error, public Error {
+ public:
+  explicit CorruptJournalError(const std::string& message, Diagnostics diagnostics = {});
 };
 
 // Throw the exception type matching `code` (kOk/kInternal -> InternalError).

@@ -178,8 +178,19 @@ SweepRow evaluate_point(double rho_short, double rho_long, double mean_short,
 // the result is identical for every thread count.
 std::vector<SweepRow> run_sweep(const std::vector<double>& grid, const SweepOptions& opts,
                                 const std::function<SweepRow(double)>& point) {
-  return par::parallel_map(grid.size(), opts.threads,
-                           [&](std::size_t i) { return point(grid[i]); });
+  if (opts.resume_done != nullptr || opts.resume_rows != nullptr) {
+    if (opts.resume_done == nullptr || opts.resume_rows == nullptr ||
+        opts.resume_done->size() != grid.size() || opts.resume_rows->size() != grid.size())
+      throw InvalidInputError(
+          "sweep: resume_rows/resume_done must both be set and parallel the grid");
+  }
+  return par::parallel_map(grid.size(), opts.threads, [&](std::size_t i) {
+    if (opts.resume_done != nullptr && (*opts.resume_done)[i] != 0)
+      return (*opts.resume_rows)[i];
+    SweepRow row = point(grid[i]);
+    if (opts.on_row) opts.on_row(i, row);
+    return row;
+  });
 }
 
 }  // namespace

@@ -12,7 +12,9 @@
 // instead of aborting the sweep.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -68,6 +70,17 @@ struct SweepOptions {
   // exact analysis only: points the QBD solver cannot crack fall back to
   // truncation/simulation and are marked kDegraded instead of kFailed.
   bool resilient = false;
+  // Resume hooks, driven by checkpointed sweeps (src/durable/checkpoint.h);
+  // plain sweeps leave them unset. With resume_done set (both vectors must
+  // parallel the grid, else csq::InvalidInputError), point i is skipped when
+  // (*resume_done)[i] != 0 and (*resume_rows)[i] is returned verbatim —
+  // bit-identical resumption, since evaluation is deterministic.
+  const std::vector<SweepRow>* resume_rows = nullptr;
+  const std::vector<std::uint8_t>* resume_done = nullptr;
+  // Invoked with every freshly evaluated (not resumed) row, from whichever
+  // pool worker computed it — must be thread-safe. The periodic-checkpoint
+  // trigger.
+  std::function<void(std::size_t, const SweepRow&)> on_row;
 };
 
 // n evenly spaced points over [lo, hi] inclusive. Edge cases: n == 1 yields

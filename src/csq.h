@@ -18,6 +18,8 @@
 #include "core/sweep.h"            // IWYU pragma: export
 #include "core/table.h"            // IWYU pragma: export
 #include "dist/distribution.h"     // IWYU pragma: export
+#include "durable/checkpoint.h"    // IWYU pragma: export
+#include "durable/journal.h"       // IWYU pragma: export
 #include "dist/moment_match.h"     // IWYU pragma: export
 #include "dist/phase_type.h"       // IWYU pragma: export
 #include "mg1/mg1.h"               // IWYU pragma: export

@@ -1,0 +1,93 @@
+// Checkpointed parameter sweeps: periodic atomic snapshots of sweep
+// progress so `csq_cli sweep --checkpoint=FILE` survives SIGKILL and
+// resumes to byte-identical SweepRows (docs/serving.md §9, robustness §11).
+//
+// File format (binary, little-endian on every supported target):
+//
+//   magic   "CSQCKPT1" (8 bytes)
+//   version u32 (currently 1)
+//   meta    u32 length + bytes — the canonical sweep identity (axis, fixed
+//           parameters as exact double bit patterns, grid CRC). Resuming
+//           with a different identity throws csq::InvalidInputError: a
+//           checkpoint must never silently graft rows from one sweep onto
+//           another.
+//   n       u64 point count
+//   n times u8 done + SweepRow as 7 raw 8-byte doubles (x + 6 columns,
+//           bit-exact, NaN patterns preserved) + 3 status bytes
+//   crc     u32 CRC-32 of everything after the magic
+//
+// Atomicity: save writes FILE.tmp, fsyncs it, then rename(2)s over FILE —
+// a crash leaves either the old complete checkpoint or the new one, never a
+// torn mix. A checkpoint that fails its CRC/structure checks on load (the
+// rename itself was interrupted, or the file predates the format) is
+// treated as absent — the sweep restarts from scratch rather than trusting
+// a broken snapshot (counted durable.checkpoint.rejected).
+//
+// Done semantics: a row is checkpointed as done only when *no* policy
+// status is kTimedOut. Timed-out points are budget artifacts, not results;
+// resuming re-evaluates them, which is what makes an interrupted run
+// converge to the uninterrupted bytes.
+//
+// Throws csq::InvalidInputError (bad options, unwritable path, identity
+// mismatch), csq::InternalError (I/O syscall failures mid-save), and from
+// the underlying sweep csq::DeadlineExceededError / csq::CancelledError
+// when an ambient budget interrupts it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/sweep.h"
+
+namespace csq::durable {
+
+// In-memory image of one checkpoint file.
+struct SweepCheckpoint {
+  std::string meta;                // canonical sweep identity
+  std::vector<SweepRow> rows;      // rows[i] = grid point i (bit-exact)
+  std::vector<std::uint8_t> done;  // done[i] != 0: row i is final
+};
+
+// Atomic save: tmp + fsync + rename. Requires rows.size() == done.size().
+void save_sweep_checkpoint(const std::string& path, const SweepCheckpoint& ckpt);
+
+// Load `path`. Missing file => nullopt. A file that fails magic, version,
+// CRC or structure checks => nullopt with the rejection note in *reason —
+// the caller restarts from scratch (a half-renamed checkpoint is a crash
+// artifact, like a torn journal tail).
+[[nodiscard]] std::optional<SweepCheckpoint> load_sweep_checkpoint(
+    const std::string& path, std::string* reason = nullptr);
+
+struct CheckpointedSweepOptions {
+  SweepOptions sweep;
+  // Atomic snapshot after this many freshly evaluated rows (and always once
+  // at the end).
+  int every = 8;
+};
+
+struct CheckpointedSweepResult {
+  std::vector<SweepRow> rows;
+  std::size_t resumed = 0;     // rows taken as-is from the checkpoint
+  std::size_t evaluated = 0;   // rows computed this run
+  std::size_t incomplete = 0;  // rows still timed out (budget expired again)
+};
+
+// sweep_rho_short / sweep_rho_long with checkpointing layered on: load
+// `path` (validating the sweep identity), skip done rows, evaluate the
+// rest, snapshot every `every` fresh rows, and leave a final checkpoint
+// covering the whole grid. Output rows are byte-identical to the plain
+// sweep functions for any interruption history.
+[[nodiscard]] CheckpointedSweepResult checkpointed_sweep_rho_short(
+    const std::string& path, double rho_long, double mean_short, double mean_long,
+    double long_scv, const std::vector<double>& rho_shorts,
+    const CheckpointedSweepOptions& opts = {});
+
+[[nodiscard]] CheckpointedSweepResult checkpointed_sweep_rho_long(
+    const std::string& path, double rho_short, double mean_short, double mean_long,
+    double long_scv, const std::vector<double>& rho_longs,
+    const CheckpointedSweepOptions& opts = {});
+
+}  // namespace csq::durable

@@ -1,0 +1,160 @@
+// Write-ahead request journal for the serving tier (docs/serving.md §9).
+//
+// An append-only, CRC-framed log of admitted requests and completed
+// responses. The server appends a request record *before* the request
+// becomes runnable and a response record *before* the response line is
+// delivered, so after a crash the journal is the authoritative history:
+// every admitted request is present, and every response the client may have
+// seen has its bytes on disk. recover() replays a journal into paired
+// records so a restarted csq_serve can re-answer completed requests
+// bit-identically and re-execute the rest under fresh RunBudget slices.
+//
+// Frame format (one record):
+//
+//   CSQJ1 <type> <seq> <len> <crc8hex>\n
+//   <payload bytes>\n
+//
+// where <type> is `req` or `res`, <seq> the decimal journal sequence number
+// pairing a response to its request, <len> the payload byte count and
+// <crc8hex> the lowercase-hex CRC-32 (IEEE) of the payload. Payloads are the
+// NDJSON request/response lines themselves and therefore never contain a
+// newline. The trailing '\n' after the payload is framing, not payload.
+//
+// Torn tails vs corruption: a crash can leave a half-written final frame.
+// replay() discards a broken *tail* (no well-formed frame follows it)
+// silently — that is the expected crash artifact, counted in
+// ReplayStats::torn_tail. A broken frame *followed by* a well-formed one
+// cannot be produced by the append path and means the file was tampered
+// with or the disk lied: that throws csq::CorruptJournalError.
+//
+// Durability policy: appends are written immediately (write(2)), fsync is
+// batched every JournalOptions::fsync_every records; flush()/close() always
+// sync. A SIGKILL therefore loses nothing already appended (the page cache
+// survives the process); only an OS/power failure can lose the un-synced
+// tail, and that loss is always a *tail*, handled as torn.
+//
+// Fault sites: durable.journal.append, durable.journal.fsync,
+// durable.journal.replay.
+//
+// Thread-safety: Journal serializes appends internally; replay()/recover()
+// are stateless free functions.
+//
+// Throws csq::InvalidInputError (unopenable path, oversized payload, payload
+// containing '\n'), csq::CorruptJournalError (mid-file corruption),
+// csq::InternalError (write/fsync syscall failures on an open journal).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace csq::durable {
+
+// CRC-32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF) of `size` bytes.
+// crc32("123456789") == 0xCBF43926. Chain blocks by passing the previous
+// result as `seed`.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+enum class RecordKind : std::uint8_t { kRequest = 0, kResponse = 1 };
+
+// One decoded journal frame.
+struct Record {
+  RecordKind kind = RecordKind::kRequest;
+  std::uint64_t seq = 0;
+  std::string payload;
+};
+
+struct ReplayStats {
+  std::size_t frames = 0;      // well-formed frames decoded
+  std::uint64_t max_seq = 0;   // highest sequence number seen
+  bool torn_tail = false;      // a broken tail was discarded
+  std::size_t torn_bytes = 0;  // size of the discarded tail
+};
+
+struct JournalOptions {
+  // fsync after this many appended records (1 = sync every record). The
+  // batch counter is shared by request and response records.
+  int fsync_every = 32;
+  // First sequence number handed out by append_request. Recovery passes
+  // ReplayStats::max_seq + 1 so re-journaled work never collides with
+  // history.
+  std::uint64_t next_seq = 1;
+};
+
+// Append handle on one journal file. Move-only; the destructor closes
+// (best-effort sync) if still open.
+class Journal {
+ public:
+  Journal() = default;  // closed handle
+  ~Journal();
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&& other) noexcept;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Open `path` for appending, creating it if missing. Existing contents are
+  // preserved — pass ReplayStats::max_seq + 1 as opts.next_seq when
+  // appending to a replayed journal.
+  [[nodiscard]] static Journal open(const std::string& path, JournalOptions opts = {});
+
+  // Append a request record; returns its sequence number.
+  std::uint64_t append_request(const std::string& line);
+  // Append the response paired to request `seq`.
+  void append_response(std::uint64_t seq, const std::string& line);
+  // Low-level append of an explicit record (tests and tools; the typed
+  // wrappers above are the server path).
+  void append_record(RecordKind kind, std::uint64_t seq, const std::string& payload);
+
+  // fsync anything not yet covered by the batch policy. No-op when closed.
+  void flush();
+  // flush + close the descriptor. Idempotent.
+  void close();
+
+  [[nodiscard]] bool is_open() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  // fsync(2) calls issued so far (batching observability for tests).
+  [[nodiscard]] long fsyncs() const;
+
+ private:
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  std::string path_;
+  JournalOptions opts_;
+  std::uint64_t next_seq_ = 1;
+  int unsynced_ = 0;   // records appended since the last fsync
+  long fsync_count_ = 0;
+
+  void sync_locked();
+};
+
+// Decode every frame of `path`. A missing or empty file replays to an empty
+// record list; a torn tail is discarded into `stats`; mid-file corruption
+// throws csq::CorruptJournalError naming the byte offset.
+[[nodiscard]] std::vector<Record> replay(const std::string& path,
+                                         ReplayStats* stats = nullptr);
+
+// One request's recovered state: the original request line plus, when the
+// request completed before the crash, the exact response bytes.
+struct RecoveredRequest {
+  std::uint64_t seq = 0;
+  std::string request;
+  std::string response;  // empty = never completed
+  [[nodiscard]] bool completed() const { return !response.empty(); }
+};
+
+struct Recovery {
+  std::vector<RecoveredRequest> requests;  // in first-appearance journal order
+  ReplayStats stats;
+};
+
+// replay() + pair request/response records by sequence number. Duplicate
+// records for a seq keep the first occurrence (an append retried after a
+// partially observed failure must not change history); a response with no
+// matching request is mid-file corruption and throws
+// csq::CorruptJournalError.
+[[nodiscard]] Recovery recover(const std::string& path);
+
+}  // namespace csq::durable

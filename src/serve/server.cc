@@ -78,17 +78,42 @@ std::shared_ptr<Ticket> Server::submit(const std::string& line) {
   auto ticket = std::make_shared<Ticket>();
   auto pending = std::make_shared<Pending>();
   pending->ticket = ticket;
+  pending->raw_line = line;
   try {
     pending->request = parse_request(line);
   } catch (const Error& e) {
     const SolverStatus st = e.status();
+    note_invalid();
+    int run = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.invalid;
+      if (opts_.invalid_burst_limit > 0) {
+        run = ++invalid_run_;
+        if (run > opts_.invalid_burst_limit) ++stats_.invalid_suppressed;
+      }
     }
-    CSQ_OBS_COUNT("serve.requests.invalid");
-    respond_inline(ticket, error_response(recover_id(line), st.code, st.message));
+    if (run > 0 && run == opts_.invalid_burst_limit) {
+      // The burst boundary: one response announces the suppression; the
+      // garbage that follows is counted but no longer answered line-by-line.
+      CSQ_OBS_COUNT("serve.codec.invalid_burst");
+      respond_inline(ticket,
+                     error_response(recover_id(line), st.code,
+                                    std::to_string(run) +
+                                        " consecutive malformed lines — suppressing "
+                                        "further per-line error responses until a "
+                                        "well-formed line arrives"));
+    } else if (run > opts_.invalid_burst_limit && opts_.invalid_burst_limit > 0) {
+      // Mid-burst: resolve the ticket (empty response, skipped by the sink).
+      respond_inline(ticket, "");
+    } else {
+      respond_inline(ticket, error_response(recover_id(line), st.code, st.message));
+    }
     return ticket;
+  }
+  {
+    // A well-formed line ends any malformed-line burst.
+    std::lock_guard<std::mutex> lock(mu_);
+    invalid_run_ = 0;
   }
   pending->raw_id = pending->request.id;
   pending->cost = pending->request.cost();
@@ -108,31 +133,90 @@ std::shared_ptr<Ticket> Server::submit(const std::string& line) {
       respond_inline(ticket, error_response(pending->raw_id, st.code, st.message, hint));
     } else {
       // A non-overload failure at the admission gate (an armed fault with a
-      // different code): answer it inline as invalid rather than crash.
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.invalid;
-      }
+      // different code, or a write-ahead journal append that failed): answer
+      // it inline as invalid rather than crash. The client learns its
+      // request was refused — never a silent drop.
+      note_invalid();
       respond_inline(ticket, error_response(pending->raw_id, st.code, st.message));
     }
   }
   return ticket;
 }
 
-void Server::admit(const std::shared_ptr<Pending>& p) {
+std::shared_ptr<Ticket> Server::submit_recovered(const std::string& line,
+                                                 std::uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.received;
+    ++stats_.recovered;
+  }
+  CSQ_OBS_COUNT("serve.requests.recovered");
+  auto ticket = std::make_shared<Ticket>();
+  auto pending = std::make_shared<Pending>();
+  pending->ticket = ticket;
+  pending->raw_line = line;
+  pending->journal_seq = seq;
+  // The response still gets journaled against the original seq, so a second
+  // crash + recovery sees this request completed instead of re-running it.
+  pending->journaled = opts_.journal != nullptr;
+  try {
+    pending->request = parse_request(line);
+  } catch (const Error& e) {
+    // Journaled requests parsed successfully before the crash; failing now
+    // means the file was edited. Still answer the ticket.
+    const SolverStatus st = e.status();
+    note_invalid();
+    respond_inline(ticket, error_response(recover_id(line), st.code, st.message));
+    return ticket;
+  }
+  pending->raw_id = pending->request.id;
+  pending->cost = pending->request.cost();
+  try {
+    admit(pending, /*recovered=*/true);
+  } catch (const Error& e) {
+    // Only a draining server or an armed admission fault can get here (the
+    // shed decision is bypassed): answer inline, never drop.
+    const SolverStatus st = e.status();
+    note_invalid();
+    respond_inline(ticket, error_response(pending->raw_id, st.code, st.message));
+  }
+  return ticket;
+}
+
+void Server::note_invalid() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.invalid;
+  }
+  CSQ_OBS_COUNT("serve.requests.invalid");
+}
+
+void Server::admit(const std::shared_ptr<Pending>& p, bool recovered) {
   // Fires before the depth/cost decision so chaos tests can force a shed
   // (armed with throw:Overloaded) or a gate failure with any other code.
   CSQ_FAULT_POINT("serve.admission.shed");
   std::lock_guard<std::mutex> lock(mu_);
   if (draining_)
     throw OverloadedError("server draining: not admitting new requests");
-  if (pending_.size() >= opts_.queue_depth)
-    throw OverloadedError("request queue at depth limit " +
-                          std::to_string(opts_.queue_depth));
-  if (inflight_cost_ + p->cost > opts_.max_inflight_cost)
-    throw OverloadedError("in-flight cost " + std::to_string(inflight_cost_) + " + " +
-                          std::to_string(p->cost) + " exceeds limit " +
-                          std::to_string(opts_.max_inflight_cost));
+  if (!recovered) {
+    // Journal replays bypass the shed decision: they were admitted in a
+    // previous life, and refusing them now would break exactly-one-response.
+    if (pending_.size() >= opts_.queue_depth)
+      throw OverloadedError("request queue at depth limit " +
+                            std::to_string(opts_.queue_depth));
+    if (inflight_cost_ + p->cost > opts_.max_inflight_cost)
+      throw OverloadedError("in-flight cost " + std::to_string(inflight_cost_) + " + " +
+                            std::to_string(p->cost) + " exceeds limit " +
+                            std::to_string(opts_.max_inflight_cost));
+  }
+  if (opts_.journal != nullptr && !p->journaled) {
+    // Write-ahead: the request record must be durable before the request
+    // can run. A throw here (full disk, armed durable.journal.append)
+    // escapes to submit(), which refuses the request with an error
+    // response — the client is told, nothing is silently dropped.
+    p->journal_seq = opts_.journal->append_request(p->raw_line);
+    p->journaled = true;
+  }
   pending_.push_back(p);  // csq-lint: allow(serve-hygiene): this IS the bounded admit path — depth and cost were checked above under the same lock
   inflight_cost_ += p->cost;
   ++stats_.admitted;
@@ -380,6 +464,16 @@ void Server::finish(const std::shared_ptr<Pending>& p, const std::string& respon
     }
     drain_cv_.notify_all();
   }
+  if (p->journaled && opts_.journal != nullptr) {
+    try {
+      // Journal before delivery: any response the client can have observed
+      // has its bytes on disk, so recovery re-emits rather than re-executes.
+      opts_.journal->append_response(p->journal_seq, response);
+    } catch (const Error&) {
+      // Response record lost (armed fault / dead disk): recovery will
+      // re-execute the request, and determinism reproduces the same bytes.
+    }
+  }
   deliver(p->ticket, response);
 }
 
@@ -389,7 +483,9 @@ void Server::respond_inline(const std::shared_ptr<Ticket>& ticket,
 }
 
 void Server::deliver(const std::shared_ptr<Ticket>& ticket, const std::string& response) {
-  if (opts_.sink) {
+  // Empty responses are burst-suppressed invalid lines: the ticket resolves
+  // but nothing is written downstream.
+  if (opts_.sink && !response.empty()) {
     std::lock_guard<std::mutex> lock(sink_mu_);
     opts_.sink(response);
   }

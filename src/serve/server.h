@@ -47,6 +47,13 @@
 // cancel failures are normalized to fixed messages, so a response depends
 // only on the request content — bit-identical across worker counts.
 //
+// Durability: with ServerOptions::journal set, admission write-aheads the
+// request line and finish() journals the response before delivering it
+// (docs/serving.md §9). submit_recovered() re-admits journal replays under
+// their original sequence numbers. Because responses are deterministic,
+// re-executing a request that crashed mid-flight reproduces the exact bytes
+// a completed journal record would have replayed.
+//
 // Fault sites (compiled under -DCSQ_FAULT_INJECTION): serve.admission.shed
 // (admission decision), serve.dispatch.run (per attempt, at execution
 // start), serve.cache.insert (in SolverCache).
@@ -72,6 +79,7 @@
 
 #include "core/deadline.h"
 #include "core/status.h"
+#include "durable/journal.h"
 #include "serve/backoff.h"
 #include "serve/cache.h"
 #include "serve/request.h"
@@ -106,8 +114,23 @@ struct ServerOptions {
   bool allow_degraded = true;
   // When set, invoked (serialized by an internal mutex) with every finished
   // response line — the binary's stdout writer. Tickets are completed
-  // either way.
+  // either way. Never invoked for the empty responses of a suppressed
+  // invalid burst.
   std::function<void(const std::string&)> sink;
+  // Write-ahead journal (durable/journal.h). When set, every admitted
+  // request is appended under the admission lock *before* it becomes
+  // runnable, and its response is appended before delivery — so a crash
+  // never silently drops an admitted request and recovery can re-answer
+  // completed ones bit-identically. An append failure at admission refuses
+  // the request with an error response. Non-owning: the journal must
+  // outlive the server (the binary owns it so it can flush after drain).
+  durable::Journal* journal = nullptr;
+  // Bounded malformed-line handling: this many consecutive invalid NDJSON
+  // lines are answered individually; the limit-th answer announces the
+  // suppression (one serve.codec.invalid_burst bump), and further invalid
+  // lines resolve their tickets with an empty response that never reaches
+  // the sink. Any well-formed line resets the run. 0 = answer every line.
+  int invalid_burst_limit = 8;
 };
 
 // Completion handle for one submitted request.
@@ -138,6 +161,14 @@ class Server {
   // failures and sheds).
   std::shared_ptr<Ticket> submit(const std::string& line);
 
+  // Re-admit a request recovered from the write-ahead journal under its
+  // original sequence number `seq` (durable::RecoveredRequest::seq). Unlike
+  // submit() it bypasses the depth/cost shed decision — the request was
+  // already admitted in a previous life — and appends no new request
+  // record; the response is journaled against `seq`, so a second crash and
+  // recovery sees it completed. Counted in Stats::recovered.
+  std::shared_ptr<Ticket> submit_recovered(const std::string& line, std::uint64_t seq);
+
   // Synchronous convenience: submit and wait. With workers == 0 the request
   // is executed on the calling thread.
   [[nodiscard]] std::string call(const std::string& line);
@@ -164,6 +195,8 @@ class Server {
     std::int64_t cancelled = 0;
     std::int64_t retried = 0;
     std::int64_t degraded = 0;
+    std::int64_t recovered = 0;           // journal replays re-admitted
+    std::int64_t invalid_suppressed = 0;  // burst-suppressed invalid lines
   };
   [[nodiscard]] Stats stats() const;
 
@@ -174,14 +207,19 @@ class Server {
   struct Pending {
     Request request;
     std::string raw_id;
+    std::string raw_line;  // journaled verbatim on admission
     double cost = 0.0;
+    std::uint64_t journal_seq = 0;
+    bool journaled = false;  // response must be appended against journal_seq
     CancelToken cancel;
     std::shared_ptr<Ticket> ticket;
   };
 
   // Admission gate: throws csq::OverloadedError (caught in submit) when the
-  // request must be shed; otherwise enqueues it.
-  void admit(const std::shared_ptr<Pending>& p);
+  // request must be shed; otherwise journals (write-ahead) and enqueues it.
+  // `recovered` skips the depth/cost shed decision and the request append.
+  void admit(const std::shared_ptr<Pending>& p, bool recovered = false);
+  void note_invalid();
   // Complete a never-admitted request (parse failure, shed) inline.
   void respond_inline(const std::shared_ptr<Ticket>& ticket, const std::string& response);
   void execute(const std::shared_ptr<Pending>& p);
@@ -213,6 +251,7 @@ class Server {
   bool draining_ = false;
   bool stop_ = false;
   double inflight_cost_ = 0.0;
+  int invalid_run_ = 0;  // consecutive malformed lines (burst bounding)
   Stats stats_;
 
   std::mutex sink_mu_;

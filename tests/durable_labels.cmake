@@ -1,0 +1,9 @@
+# Included by CTest after gtest discovery has registered the in-process
+# durable suite (this include is appended between the two csq_durable_tests
+# discovery calls, so csq_durable_tests_TESTS holds exactly that list — the
+# crash-drill discovery overwrites it afterwards and keeps its single
+# `durable` label). gtest_discover_tests' serializer cannot carry a
+# multi-label list, so the full label set is applied here.
+foreach(t IN LISTS csq_durable_tests_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "tier1;durable")
+endforeach()

@@ -1,0 +1,14 @@
+// journal-hygiene fixture (linted as src/serve/journal_bad.cc): a request
+// handler doing its own file I/O instead of going through src/durable/.
+#include <cstdio>
+#include <fstream>
+
+namespace csq::serve {
+
+void spill_state(const char* path) {
+  std::ofstream out(path);  // direct stream I/O: flagged
+  out << "state";
+  std::fwrite("x", 1, 1, nullptr);  // direct call I/O: flagged
+}
+
+}  // namespace csq::serve

@@ -1,0 +1,14 @@
+// journal-hygiene fixture (linted as src/durable/journal_clean.cc): the
+// compliant publish sequence — flush the bytes, then rename.
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace csq::durable {
+
+void publish(int fd, const char* tmp, const char* path) {
+  fsync(fd);
+  std::rename(tmp, path);
+}
+
+}  // namespace csq::durable

@@ -1,0 +1,11 @@
+// journal-hygiene fixture (linted as src/durable/journal_rename_bad.cc):
+// an atomic-publish rename with no fsync anywhere in the file.
+#include <cstdio>
+
+namespace csq::durable {
+
+void publish(const char* tmp, const char* path) {
+  std::rename(tmp, path);  // flagged: unsynced bytes may be published
+}
+
+}  // namespace csq::durable

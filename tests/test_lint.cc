@@ -297,6 +297,33 @@ TEST(LintRules, ServeHygieneCleanWithCatalog) {
       lint_one("serve_hygiene_clean.cc", "src/serve/serve_hygiene_clean.cc", cfg).empty());
 }
 
+TEST(LintRules, JournalHygieneDirectIoInServe) {
+  const std::vector<Finding> fs = lint_one("journal_bad.cc", "src/serve/journal_bad.cc");
+  ASSERT_EQ(fs.size(), 2u);
+  for (const Finding& f : fs) EXPECT_EQ(f.rule, "journal-hygiene");
+  EXPECT_NE(fs[0].message.find("ofstream"), std::string::npos);
+  EXPECT_NE(fs[1].message.find("fwrite"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("durable"), std::string::npos);
+}
+
+TEST(LintRules, JournalHygieneRenameNeedsFsync) {
+  const std::vector<Finding> fs =
+      lint_one("journal_rename_bad.cc", "src/durable/journal_rename_bad.cc");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "journal-hygiene");
+  EXPECT_NE(fs[0].message.find("fsync"), std::string::npos);
+  // The compliant twin fsyncs before the rename.
+  EXPECT_TRUE(lint_one("journal_clean.cc", "src/durable/journal_clean.cc").empty());
+}
+
+TEST(LintRules, JournalHygieneScopedToItsPaths) {
+  // Outside src/serve/ and src/durable/ the same files are unconstrained
+  // (tools/ owns its own files; the rename fixture is fine in core).
+  EXPECT_TRUE(lint_one("journal_bad.cc", "tools/journal_bad.cc").empty());
+  EXPECT_TRUE(
+      lint_one("journal_rename_bad.cc", "src/core/journal_rename_bad.cc").empty());
+}
+
 TEST(LintRules, ServeHygieneMissingCatalogFlagsMetric) {
   // The clean twin's admit-path push is suppressed with a reason, but its
   // metric still needs a catalog entry: an empty catalog means one finding.
@@ -332,7 +359,7 @@ TEST(LintSuppress, SelftestPasses) {
 
 TEST(LintRegistry, CatalogIsStable) {
   const std::vector<csq::lint::RuleInfo>& rs = csq::lint::rules();
-  ASSERT_EQ(rs.size(), 19u);
+  ASSERT_EQ(rs.size(), 20u);
   EXPECT_STREQ(rs[0].id, "raw-throw");
   EXPECT_STREQ(rs[8].id, "fault-site-naming");
   EXPECT_STREQ(rs[9].id, "metric-naming");
@@ -343,8 +370,9 @@ TEST(LintRegistry, CatalogIsStable) {
   EXPECT_STREQ(rs[14].id, "hot-path-alloc-transitive");
   EXPECT_STREQ(rs[15].id, "atomic-order");
   EXPECT_STREQ(rs[16].id, "module-layering");
-  EXPECT_STREQ(rs[17].id, "suppression");
-  EXPECT_STREQ(rs[18].id, "baseline");
+  EXPECT_STREQ(rs[17].id, "journal-hygiene");
+  EXPECT_STREQ(rs[18].id, "suppression");
+  EXPECT_STREQ(rs[19].id, "baseline");
   // --explain material: every rule ships a full rationale paragraph.
   for (const csq::lint::RuleInfo& r : rs) {
     EXPECT_NE(r.detail, nullptr) << r.id;

@@ -16,15 +16,27 @@ Three benchmarks are guarded by default, each with its own budget:
         only the single-thread variant is stable enough to gate on a
         shared 1-CPU CI host
 
+One benchmark is capped absolutely rather than relatively:
+
+  BM_JournalAppend                            5000ns  one write-ahead
+        journal request+response append pair; an absolute cap because the
+        benchmark postdates the newest committed snapshot, so there is no
+        baseline row to take a ratio against. The budget is the durability
+        overhead promise in docs/serving.md §9 (< 5 us per request).
+
 Everything else is reported but advisory.
 
 usage: tools/bench_compare.py NEW.json [BASELINE.json]
        tools/bench_compare.py NEW.json --guard BM_AnalyzeCscq:0.08
+       tools/bench_compare.py NEW.json --abs-guard BM_JournalAppend:5000
 
 --guard NAME[:THRESH] is repeatable and replaces the default guard set;
 THRESH is the allowed fractional regression (0.08 = +8%). Without :THRESH
-the --threshold fallback applies. With no BASELINE argument the newest
-committed BENCH_*.json (highest PR number) in the repo root is used.
+the --threshold fallback applies. --abs-guard NAME:NANOS is repeatable and
+replaces the default absolute-cap set; the named benchmark's cpu_time in
+the NEW run must stay under NANOS (no baseline needed). With no BASELINE
+argument the newest committed BENCH_*.json (highest PR number) in the repo
+root is used.
 Exit codes: 0 ok, 1 guarded regression, 2 usage/missing-file errors.
 """
 
@@ -39,6 +51,15 @@ DEFAULT_GUARDS = {
     "BM_AnalyzeBatch30": 0.15,
     "BM_SweepPanel30Points/threads:1/real_time": 0.15,
 }
+
+# Absolute caps in nanoseconds, enforced against the new run alone — for
+# benchmarks with no row in the committed baseline to ratio against.
+DEFAULT_ABS_GUARDS = {
+    "BM_JournalAppend": 5000.0,
+}
+
+# google-benchmark time_unit -> nanoseconds.
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
 def load(path):
@@ -91,6 +112,11 @@ def main():
     ap.add_argument("--threshold", type=float, default=0.10,
                     help="fallback fractional regression for guards given "
                          "without :THRESH (default 0.10 = +10%%)")
+    ap.add_argument("--abs-guard", action="append", default=None,
+                    metavar="NAME:NANOS",
+                    help="benchmark whose cpu_time in the new run must stay "
+                         "under an absolute nanosecond cap (repeatable; "
+                         "replaces the default absolute-cap set)")
     args = ap.parse_args()
 
     repo_root = pathlib.Path(__file__).resolve().parent.parent
@@ -101,6 +127,18 @@ def main():
         guards = dict(parse_guard(g, args.threshold) for g in args.guard)
     else:
         guards = dict(DEFAULT_GUARDS)
+    if args.abs_guard is not None:
+        abs_guards = {}
+        for spec in args.abs_guard:
+            name, sep, cap = spec.rpartition(":")
+            if not sep:
+                sys.exit(f"bench_compare: --abs-guard {spec!r} needs NAME:NANOS")
+            try:
+                abs_guards[name] = float(cap)
+            except ValueError:
+                sys.exit(f"bench_compare: bad cap in --abs-guard {spec!r}")
+    else:
+        abs_guards = dict(DEFAULT_ABS_GUARDS)
 
     new = load(args.new)
     old = load(baseline_path)
@@ -133,16 +171,38 @@ def main():
         print(f"{name:44s} {o:10.1f}{unit:>2s} {n:10.1f}{unit:>2s} "
               f"{ratio:6.2f}x {budget:>7s}{mark}")
 
+    abs_failures = []
+    for name, cap_ns in sorted(abs_guards.items()):
+        if name not in new:
+            print(f"bench_compare: absolute-capped benchmark {name} missing "
+                  f"from new run")
+            abs_failures.append((name, None, cap_ns))
+            continue
+        unit = new[name].get("time_unit", "ns")
+        got_ns = new[name]["cpu_time"] * UNIT_NS.get(unit, 1.0)
+        verdict = "FAIL" if got_ns > cap_ns else "ok"
+        print(f"{name:44s} {'-':>12s} {got_ns:10.1f}ns "
+              f"{'cap':>7s} {cap_ns:5.0f}ns {verdict}")
+        if got_ns > cap_ns:
+            abs_failures.append((name, got_ns, cap_ns))
+
     missing_guards = [g for g in guards if g not in new or g not in old]
     for g in missing_guards:
         print(f"bench_compare: guarded benchmark {g} missing from "
               f"{'new run' if g not in new else 'baseline'}")
 
-    if failures or missing_guards:
+    if failures or missing_guards or abs_failures:
         for name, o, n, ratio, unit, thresh in failures:
             print(f"bench_compare: FAIL {name} regressed "
                   f"{o:.1f}{unit} -> {n:.1f}{unit} ({ratio - 1.0:+.1%}, "
                   f"allowed +{thresh:.0%})")
+        for name, got_ns, cap_ns in abs_failures:
+            if got_ns is None:
+                print(f"bench_compare: FAIL {name} absent from new run "
+                      f"(absolute cap {cap_ns:.0f}ns unverifiable)")
+            else:
+                print(f"bench_compare: FAIL {name} at {got_ns:.1f}ns, "
+                      f"absolute cap {cap_ns:.0f}ns")
         return 1
     print("bench_compare: OK (no guarded regression)")
     return 0

@@ -12,13 +12,20 @@
 #   serve       csq_serve end-to-end under ASan: SIGTERM mid-load must drain
 #               cleanly (exit 0) and flush the metrics file
 #                                                        (CSQ_SKIP_SERVE=1)
+#   durable     `ctest -L durable` (journal/checkpoint/crash suites) under
+#               ASan, the fault-injected journal drill under the chaos
+#               build, then the end-to-end SIGKILL harness
+#               tools/chaos_crash.sh against the ASan binaries
+#                                                        (CSQ_SKIP_DURABLE=1)
 #   obs         `ctest -L obs` under the TSan build (counter/span thread
 #               safety), plus a -DCSQ_OBS=OFF -Werror build proving the
 #               compiled-out configuration stays warning-free
 #                                                        (CSQ_SKIP_OBS=1)
 #   bench       fresh guarded-benchmark run vs newest committed BENCH_*.json;
 #               fails if BM_AnalyzeCscq (+10%), BM_AnalyzeBatch30 (+15%) or
-#               the 1-thread sweep panel (+15%) regresses (CSQ_SKIP_BENCH=1)
+#               the 1-thread sweep panel (+15%) regresses, or if
+#               BM_JournalAppend blows its absolute 5 µs/request cap
+#                                                        (CSQ_SKIP_BENCH=1)
 #   clang-tidy  src/ against .clang-tidy, if clang-tidy is installed
 #   csq-lint    project invariants: csq_lint --selftest, JSON-checked repo
 #               scan under a 2s wall-clock budget, cold/warm --cache parity,
@@ -84,7 +91,13 @@ else
   cmake --build "$tsan_dir" -j --target csq_serve_tests csq_serve \
     || fail "tsan (serve build)"
   (cd "$tsan_dir" && ctest -L serve --output-on-failure) || fail "tsan (serve suite)"
-  note "PASS  tsan        (parallel + serve suites clean under ThreadSanitizer)"
+  # The journal sits on the submit/finish seam (append under the server lock,
+  # fsync batching): run the durable suite under the same build. The crash
+  # drills exec csq_serve/csq_cli, so build those too.
+  cmake --build "$tsan_dir" -j --target csq_durable_tests csq_cli \
+    || fail "tsan (durable build)"
+  (cd "$tsan_dir" && ctest -L durable --output-on-failure) || fail "tsan (durable suite)"
+  note "PASS  tsan        (parallel + serve + durable suites clean under ThreadSanitizer)"
 fi
 
 # --- stage 4: chaos (fault injection under ASan+UBSan) ----------------------
@@ -137,7 +150,33 @@ else
   note "PASS  serve       (SIGTERM mid-load drained cleanly under ASan, metrics flushed)"
 fi
 
-# --- stage 6: obs (thread safety + compiled-out build) -----------------------
+# --- stage 6: durable (crash-safety suites + SIGKILL harness) ----------------
+if [ "${CSQ_SKIP_DURABLE:-0}" = "1" ]; then
+  note "SKIP  durable     (CSQ_SKIP_DURABLE=1)"
+elif [ "${CSQ_SKIP_ASAN:-0}" = "1" ]; then
+  note "SKIP  durable     (needs the asan stage's build)"
+else
+  # Journal/checkpoint unit suites plus the in-process fork/exec crash drills,
+  # all under ASan so recovery-path leaks and buffer slips fail the stage.
+  cmake --build "$asan_dir" -j --target csq_durable_tests csq_serve csq_cli \
+    || fail "durable (build)"
+  (cd "$asan_dir" && ctest -L durable --output-on-failure) || fail "durable (suite)"
+  # The journal-append fault drill (admission must be refused loudly, never
+  # silently dropped) needs -DCSQ_FAULT_INJECTION=ON; it self-skips elsewhere,
+  # so run the suite once more under the chaos stage's build.
+  if [ "${CSQ_SKIP_CHAOS:-0}" != "1" ]; then
+    cmake --build "$repo_root/build-chaos" -j --target csq_durable_tests csq_serve csq_cli \
+      || fail "durable (fault-injection build)"
+    (cd "$repo_root/build-chaos" && ctest -L durable --output-on-failure) \
+      || fail "durable (suite under fault injection)"
+  fi
+  # End-to-end: SIGKILL the real binaries mid-load and mid-sweep, recover,
+  # and hold the exactly-once / byte-identity / resume-identical contracts.
+  "$repo_root/tools/chaos_crash.sh" "$asan_dir" || fail "durable (chaos_crash.sh)"
+  note "PASS  durable     (ctest -L durable + SIGKILL chaos harness clean under ASan)"
+fi
+
+# --- stage 7: obs (thread safety + compiled-out build) -----------------------
 if [ "${CSQ_SKIP_OBS:-0}" = "1" ]; then
   note "SKIP  obs         (CSQ_SKIP_OBS=1)"
 else
@@ -160,14 +199,15 @@ else
   note "PASS  obs         (TSan-clean counters/spans; CSQ_OBS=OFF builds and passes)"
 fi
 
-# --- stage 7: bench (perf regression gate) -----------------------------------
+# --- stage 8: bench (perf regression gate) -----------------------------------
 if [ "${CSQ_SKIP_BENCH:-0}" = "1" ]; then
   note "SKIP  bench       (CSQ_SKIP_BENCH=1)"
 else
   # A fresh run of the guarded benchmarks against the newest committed
   # BENCH_*.json snapshot: tools/bench_compare.py fails the stage when any
   # guard exceeds its own budget (BM_AnalyzeCscq +10%, BM_AnalyzeBatch30
-  # +15%, the 1-thread sweep panel +15%). Uses the plain `build` tree — the
+  # +15%, the 1-thread sweep panel +15%, BM_JournalAppend 5 µs absolute).
+  # Uses the plain `build` tree — the
   # sanitizer builds above would measure the sanitizer, and the werror tree
   # does not enable benchmarks by default.
   bench_dir="$repo_root/build"
@@ -175,7 +215,7 @@ else
   cmake --build "$bench_dir" -j --target perf_solver || fail "bench (build)"
   bench_tmp=$(mktemp)
   "$repo_root/tools/bench_json.sh" "$bench_dir" "$bench_tmp" \
-    --benchmark_filter='BM_Analyze.*|BM_SweepPanel30Points/threads:1/' \
+    --benchmark_filter='BM_Analyze.*|BM_Journal.*|BM_SweepPanel30Points/threads:1/' \
     --benchmark_min_time=2 \
     || { rm -f "$bench_tmp"; fail "bench (run)"; }
   python3 "$repo_root/tools/bench_compare.py" "$bench_tmp" \
@@ -184,7 +224,7 @@ else
   note "PASS  bench       (guarded benchmarks within budget vs committed baseline)"
 fi
 
-# --- stage 8: clang-tidy (optional tool) ------------------------------------
+# --- stage 9: clang-tidy (optional tool) ------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   # compile_commands.json is exported by the werror configure above.
   find "$repo_root/src" -name '*.cc' -print0 \
@@ -195,7 +235,7 @@ else
   note "SKIP  clang-tidy  (not installed)"
 fi
 
-# --- stage 9: csq_lint ------------------------------------------------------
+# --- stage 10: csq_lint -----------------------------------------------------
 cmake --build "$build_dir" -j --target csq_lint || fail "csq-lint (build)"
 "$build_dir/tools/csq_lint" --selftest >/dev/null || fail "csq-lint (selftest)"
 # Machine-checked repo scan: parse the JSON document instead of trusting the

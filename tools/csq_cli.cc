@@ -10,6 +10,9 @@
 //                     [--max-reps N]
 //   csq_cli sweep     --x rho_s|rho_l --from A --to B --points N
 //                     [workload flags] [--csv] [--resilient]
+//                     [--checkpoint FILE [--checkpoint-every N]]
+//                     (crash-resumable: periodic atomic snapshots; rerun
+//                     with the same flags + file to resume byte-identically)
 //   csq_cli stability [--points N]
 //
 // Workload flags: --rho-s X --rho-l X --mean-s X --mean-l X --scv-l X
@@ -29,7 +32,7 @@
 // Exit codes follow the error taxonomy: 0 ok, 1 internal error, 2 invalid
 // input, 3 unstable (outside the stability region), 4 solver not converged,
 // 5 ill-conditioned system, 6 result failed self-verification, 7 deadline
-// exceeded, 8 cancelled.
+// exceeded, 8 cancelled, 10 corrupt durability artifact.
 #include <algorithm>
 #include <cstdlib>
 #include <fstream>
@@ -232,16 +235,39 @@ int cmd_sweep(const Args& a) {
   opts.threads = static_cast<int>(a.number("threads", 1));
   opts.budget = run_budget(a);
   opts.resilient = a.has("resilient");
+  const std::string checkpoint = a.text("checkpoint", "");
   std::vector<SweepRow> rows;
-  if (axis == "rho_s") {
-    rows = sweep_rho_short(a.number("rho-l", 0.5), a.number("mean-s", 1.0),
-                           a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid, opts);
-  } else if (axis == "rho_l") {
-    rows = sweep_rho_long(a.number("rho-s", 0.9), a.number("mean-s", 1.0),
-                          a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid, opts);
-  } else {
+  if (axis != "rho_s" && axis != "rho_l") {
     std::cerr << "unknown sweep axis: " << axis << "\n";
     return 2;
+  }
+  if (!checkpoint.empty()) {
+    // Checkpointed path: identical stdout rows, crash-resumable. Progress
+    // notes go to stderr so --csv output stays machine-readable.
+    durable::CheckpointedSweepOptions copts;
+    copts.sweep = opts;
+    copts.every = static_cast<int>(a.number("checkpoint-every", copts.every));
+    const durable::CheckpointedSweepResult r =
+        axis == "rho_s"
+            ? durable::checkpointed_sweep_rho_short(
+                  checkpoint, a.number("rho-l", 0.5), a.number("mean-s", 1.0),
+                  a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid, copts)
+            : durable::checkpointed_sweep_rho_long(
+                  checkpoint, a.number("rho-s", 0.9), a.number("mean-s", 1.0),
+                  a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid, copts);
+    if (r.resumed > 0)
+      std::cerr << "sweep: resumed " << r.resumed << " row(s) from " << checkpoint
+                << ", evaluated " << r.evaluated << "\n";
+    if (r.incomplete > 0)
+      std::cerr << "sweep: " << r.incomplete
+                << " row(s) still timed out — rerun with the same --checkpoint to finish\n";
+    rows = r.rows;
+  } else if (axis == "rho_s") {
+    rows = sweep_rho_short(a.number("rho-l", 0.5), a.number("mean-s", 1.0),
+                           a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid, opts);
+  } else {
+    rows = sweep_rho_long(a.number("rho-s", 0.9), a.number("mean-s", 1.0),
+                          a.number("mean-l", 1.0), a.number("scv-l", 1.0), grid, opts);
   }
   Table t({axis, "ded_short", "csid_short", "cscq_short", "ded_long", "csid_long",
            "cscq_long", "ded_status", "csid_status", "cscq_status"});
@@ -283,7 +309,9 @@ void usage() {
       "                     [--tags-cutoff X] [--reps N] [--target-ci X]\n"
       "                     [--max-reps N]\n"
       "  sweep:    --x rho_s|rho_l --from A --to B --points N [--csv]\n"
-      "            [--resilient]\n"
+      "            [--resilient] [--checkpoint FILE [--checkpoint-every N]]\n"
+      "            (--checkpoint: crash-resumable; rerun with the same flags\n"
+      "             and file to resume — output rows are byte-identical)\n"
       "  stability: [--points N] [--csv]\n"
       "  global:   --json-errors (structured error JSON on stdout)\n"
       "            --metrics[=file] (obs counter dump; docs/observability.md)\n"
@@ -292,7 +320,8 @@ void usage() {
       "            --fault site:count:kind[,...] (needs CSQ_FAULT_INJECTION)\n"
       "exit codes: 0 ok, 1 internal, 2 invalid input, 3 unstable,\n"
       "            4 not converged, 5 ill-conditioned, 6 verification failed,\n"
-      "            7 deadline exceeded, 8 cancelled, 9 overloaded (csq_serve)\n";
+      "            7 deadline exceeded, 8 cancelled, 9 overloaded (csq_serve),\n"
+      "            10 corrupt journal/checkpoint\n";
 }
 
 // Exit code per taxonomy code (documented in usage()).
@@ -307,6 +336,7 @@ int exit_code(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return 7;
     case ErrorCode::kCancelled: return 8;
     case ErrorCode::kOverloaded: return 9;
+    case ErrorCode::kCorruptJournal: return 10;
     case ErrorCode::kInternal: return 1;
   }
   return 1;

@@ -29,9 +29,18 @@
 //   --metrics[=file]        obs counter dump on exit (stdout without =file)
 //   --trace=file            Chrome trace-event JSON on exit
 //   --fault spec[,...]      arm fault sites (needs -DCSQ_FAULT_INJECTION)
+//   --journal=file          write-ahead request journal: every admitted
+//                           request is journaled before it enters the queue,
+//                           every response before it is delivered
+//   --recover               replay the --journal file before serving:
+//                           completed requests re-emit their recorded
+//                           response bytes, unfinished ones re-execute
+//   --fsync-every N         journal appends per fsync batch (default 32)
 //
 // Exit codes follow the csq_cli taxonomy table (README.md): 0 after a clean
-// drain, 2 on malformed flags, 1 on internal startup failures.
+// drain, 2 on malformed flags, 10 when --recover finds mid-file journal
+// corruption (a torn tail is normal and recovered from), 1 on internal
+// startup failures.
 #include <poll.h>
 #include <unistd.h>
 
@@ -41,9 +50,12 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/faultpoint.h"
 #include "core/status.h"
+#include "durable/journal.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "serve/server.h"
@@ -55,6 +67,23 @@ using namespace csq;
 volatile std::sig_atomic_t g_stop = 0;
 
 extern "C" void handle_stop(int) { g_stop = 1; }
+
+extern "C" void handle_wake(int) {}  // SIGUSR1: interrupt poll/read, change nothing
+
+// Install handlers WITHOUT SA_RESTART: a signal must interrupt the blocking
+// poll/read with EINTR so the pump loop re-checks g_stop promptly.
+// std::signal gives BSD (SA_RESTART) semantics on glibc, which would leave
+// the EINTR paths dead and a drain waiting on the next stdin byte.
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  sa.sa_handler = handle_wake;
+  sigaction(SIGUSR1, &sa, nullptr);
+}
 
 // Exit code per taxonomy code, mirroring csq_cli's table.
 int exit_code(ErrorCode code) {
@@ -68,6 +97,7 @@ int exit_code(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return 7;
     case ErrorCode::kCancelled: return 8;
     case ErrorCode::kOverloaded: return 9;
+    case ErrorCode::kCorruptJournal: return 10;
     case ErrorCode::kInternal: return 1;
   }
   return 1;
@@ -80,6 +110,9 @@ struct Flags {
   std::string metrics_file;  // "" = stdout
   std::string trace_file;
   std::string fault_spec;
+  std::string journal_file;
+  bool recover = false;
+  int fsync_every = 32;
 };
 
 double number_flag(const std::string& key, const std::string& value) {
@@ -160,9 +193,16 @@ Flags parse_flags(int argc, char** argv) {
         throw InvalidInputError("--trace needs a file name (--trace=out.json)");
       f.trace_file = value;
     } else if (key == "fault") f.fault_spec = need();
+    else if (key == "journal") f.journal_file = need();
+    else if (key == "recover") {
+      if (has_value) throw InvalidInputError("--recover does not take a value");
+      f.recover = true;
+    } else if (key == "fsync-every") f.fsync_every = int_flag(key, need(), 1, 1 << 20);
     else
       throw InvalidInputError("unknown flag --" + key + " (see tools/csq_serve.cc header)");
   }
+  if (f.recover && f.journal_file.empty())
+    throw InvalidInputError("--recover needs --journal=file to replay from");
   return f;
 }
 
@@ -268,17 +308,47 @@ int main(int argc, char** argv) {
     return exit_code(e.status().code);
   }
 
-  std::signal(SIGTERM, handle_stop);
-  std::signal(SIGINT, handle_stop);
+  install_signal_handlers();
 
   int rc = 0;
   try {
     flags.server.sink = [](const std::string& response) {
       std::cout << response << "\n" << std::flush;
     };
+    durable::Journal journal;
+    std::vector<durable::RecoveredRequest> replay_backlog;
+    if (!flags.journal_file.empty()) {
+      durable::JournalOptions jopts;
+      jopts.fsync_every = flags.fsync_every;
+      if (flags.recover) {
+        durable::Recovery rec = durable::recover(flags.journal_file);
+        jopts.next_seq = rec.stats.max_seq + 1;
+        for (durable::RecoveredRequest& rr : rec.requests) {
+          if (rr.completed()) {
+            // Re-emit the recorded bytes: the client may never have seen
+            // them, and a duplicate of identical bytes is harmless.
+            std::cout << rr.response << "\n" << std::flush;
+          } else {
+            replay_backlog.push_back(std::move(rr));
+          }
+        }
+      }
+      journal = durable::Journal::open(flags.journal_file, jopts);
+      flags.server.journal = &journal;
+    }
     serve::Server server(flags.server);
-    pump(server, flags.max_requests, flags.server.workers == 0);
+    const bool serial = flags.server.workers == 0;
+    // Unfinished recovered requests re-execute under their original seq
+    // before any new stdin traffic, preserving journal order.
+    for (const durable::RecoveredRequest& rr : replay_backlog) {
+      server.submit_recovered(rr.request, rr.seq);
+      if (serial)
+        while (server.process_one()) {
+        }
+    }
+    pump(server, flags.max_requests, serial);
     server.drain();
+    journal.close();
   } catch (const Error& e) {
     std::cerr << "csq_serve: " << e.status().message << "\n";
     rc = exit_code(e.status().code);

@@ -36,6 +36,9 @@
 //                           (linalg::multiply_into_pattern /
 //                           multiply_into_dense), not the generic
 //                           multiply_into
+//   journal-hygiene    (R18) no direct file I/O in request-handler code
+//                           (durability goes through src/durable/); a
+//                           rename() publish in src/durable/ needs an fsync
 //   suppression        (meta) malformed `csq-lint: allow(...)` comments
 //
 // Findings print as `file:line: [rule-id] message`. A finding on line L is
@@ -152,7 +155,8 @@ struct Config {
   std::vector<std::string> allowed_throw_types = {
       "InvalidInputError",  "UnstableError",       "NotConvergedError",
       "IllConditionedError", "VerificationFailedError", "InternalError",
-      "DeadlineExceededError", "CancelledError", "OverloadedError"};
+      "DeadlineExceededError", "CancelledError", "OverloadedError",
+      "CorruptJournalError"};
   // Identifiers banned everywhere (rule banned-identifier).
   std::vector<std::string> banned_identifiers = {"assert", "rand", "srand", "gets"};
   // serve-hygiene (R11): repo-relative prefixes holding request-handler code.
@@ -197,12 +201,25 @@ struct Config {
   std::map<std::string, int> module_ranks = {
       {"core", 0},  {"linalg", 1}, {"jets", 2},     {"dist", 2},  {"transforms", 2},
       {"qbd", 3},   {"ctmc", 3},   {"mg1", 3},      {"analysis", 4}, {"sim", 5},
-      {"msim", 5},  {"parallel", 5}, {"obs", 5},    {"serve", 6}, {"tools", 6},
-      {"tests", 6}};
+      {"msim", 5},  {"parallel", 5}, {"obs", 5},    {"durable", 5},
+      {"serve", 6}, {"tools", 6},  {"tests", 6}};
   // Modules excluded from the layering check as include *targets*:
   // observability is cross-cutting by design (counters/spans are registered
   // from every layer).
   std::vector<std::string> cross_cutting_modules = {"obs"};
+  // journal-hygiene (R18a): request-handler directories that must not do
+  // direct file I/O — durability belongs to src/durable/, which owns the
+  // CRC framing and the flush-before-publish discipline. A handler writing
+  // its own files bypasses both.
+  std::vector<std::string> journal_no_direct_io_paths = {"src/serve/"};
+  std::vector<std::string> journal_banned_io_calls = {
+      "fopen", "freopen", "fwrite", "fprintf", "ofstream", "fstream",
+      "open",  "openat",  "creat",  "write",   "pwrite"};
+  // journal-hygiene (R18b): directories where a rename() publish requires
+  // an fsync somewhere in the same file (flush-before-publish: renaming a
+  // file whose bytes were never synced can publish a torn artifact after a
+  // power failure).
+  std::vector<std::string> journal_publish_paths = {"src/durable/"};
 };
 
 class IndexCache;  // tools/lint/index.h

@@ -55,6 +55,7 @@ using csq::lint::SourceFile;
     case csq::ErrorCode::kDeadlineExceeded: return 7;
     case csq::ErrorCode::kCancelled: return 8;
     case csq::ErrorCode::kOverloaded: return 9;
+    case csq::ErrorCode::kCorruptJournal: return 10;
     case csq::ErrorCode::kInternal: return 1;
   }
   return 1;
