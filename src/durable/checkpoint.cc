@@ -260,7 +260,12 @@ std::optional<SweepCheckpoint> load_sweep_checkpoint(const std::string& path,
   at += meta_len;
   const std::uint64_t n = get_u64(body, at);
   at += 8;
-  if (body.size() - at != n * kPointBytes) return reject("point block size mismatch");
+  // Divide instead of multiplying: `n * kPointBytes` can wrap for a crafted
+  // (still CRC-valid) count near 2^64, sneaking past the size check into a
+  // huge resize below.
+  const std::size_t point_block = body.size() - at;
+  if (point_block % kPointBytes != 0 || n != point_block / kPointBytes)
+    return reject("point block size mismatch");
   ckpt.rows.resize(n);
   ckpt.done.resize(n);
   for (std::uint64_t i = 0; i < n; ++i) {

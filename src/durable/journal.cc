@@ -1,6 +1,7 @@
 #include "durable/journal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <array>
@@ -95,7 +96,11 @@ bool parse_frame(const std::string& data, std::size_t& pos, Record* out) {
     want_crc = (want_crc << 4) | static_cast<std::uint32_t>(digit);
   }
   const std::size_t payload_start = header_end + 1;
-  if (payload_start + len + 1 > data.size()) return false;  // truncated payload
+  // Truncation check, phrased to survive a corrupt header whose len is near
+  // UINT64_MAX: `payload_start + len + 1` could wrap past the size check and
+  // index on garbage offsets.
+  if (payload_start >= data.size()) return false;               // no payload bytes
+  if (len > data.size() - payload_start - 1) return false;      // truncated payload
   if (data[payload_start + len] != '\n') return false;      // framing newline lost
   const std::string payload = data.substr(payload_start, len);
   if (crc32(payload.data(), payload.size()) != want_crc) return false;
@@ -145,6 +150,7 @@ Journal::Journal(Journal&& other) noexcept {
   next_seq_ = other.next_seq_;
   unsynced_ = std::exchange(other.unsynced_, 0);
   fsync_count_ = other.fsync_count_;
+  poisoned_ = other.poisoned_;
 }
 
 Journal& Journal::operator=(Journal&& other) noexcept {
@@ -161,6 +167,7 @@ Journal& Journal::operator=(Journal&& other) noexcept {
   next_seq_ = other.next_seq_;
   unsynced_ = std::exchange(other.unsynced_, 0);
   fsync_count_ = other.fsync_count_;
+  poisoned_ = other.poisoned_;
   return *this;
 }
 
@@ -171,6 +178,27 @@ Journal Journal::open(const std::string& path, JournalOptions opts) {
   if (opts.next_seq < 1) throw InvalidInputError("journal: next_seq must be >= 1");
   const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) throw InvalidInputError(errno_text("open", path));
+  if (opts.trim_tail_bytes > 0) {
+    // Drop a torn tail before the first append so new frames continue the
+    // good history instead of landing after a partial frame.
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      const std::string msg = errno_text("fstat", path);
+      ::close(fd);
+      throw InvalidInputError(msg);
+    }
+    if (static_cast<std::uint64_t>(st.st_size) < opts.trim_tail_bytes) {
+      ::close(fd);
+      throw InvalidInputError("journal: trim_tail_bytes " +
+                              std::to_string(opts.trim_tail_bytes) + " exceeds size of '" +
+                              path + "' — the file changed since replay");
+    }
+    if (::ftruncate(fd, st.st_size - static_cast<off_t>(opts.trim_tail_bytes)) != 0) {
+      const std::string msg = errno_text("truncate of torn tail", path);
+      ::close(fd);
+      throw InvalidInputError(msg);
+    }
+  }
   Journal j;
   j.fd_ = fd;
   j.path_ = path;
@@ -215,10 +243,27 @@ void Journal::append_record(RecordKind kind, std::uint64_t seq,
   frame += payload;
   frame += '\n';
   const std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_)
+    throw InternalError("journal: disabled — an earlier failed append left a "
+                        "partial frame that could not be rolled back");
   if (fd_ < 0) throw InternalError("journal: append on a closed journal");
-  // One write(2) per frame: O_APPEND makes the frame land contiguously even
-  // with concurrent appenders, so a crash can only tear the *last* frame.
-  write_all(fd_, frame, path_);
+  // One write_all per frame: appends are serialized on mu_, so a process
+  // crash can only tear the *last* frame. A failed write, though, may leave
+  // a partial frame with the process still running — roll the file back to
+  // the pre-append length so a later append cannot land after the debris
+  // (which replay() would refuse as mid-file corruption). If even the
+  // rollback fails, poison the journal: refusing all further appends keeps
+  // the broken frame a tail, which stays recoverable.
+  const off_t pre_size = ::lseek(fd_, 0, SEEK_END);
+  try {
+    write_all(fd_, frame, path_);
+  } catch (const Error&) {
+    if (pre_size < 0 || ::ftruncate(fd_, pre_size) != 0) {
+      poisoned_ = true;
+      CSQ_OBS_COUNT("durable.journal.poisoned");
+    }
+    throw;
+  }
   CSQ_OBS_COUNT("durable.journal.appends");
   if (++unsynced_ >= opts_.fsync_every) sync_locked();
 }

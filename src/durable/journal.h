@@ -25,7 +25,11 @@
 // silently — that is the expected crash artifact, counted in
 // ReplayStats::torn_tail. A broken frame *followed by* a well-formed one
 // cannot be produced by the append path and means the file was tampered
-// with or the disk lied: that throws csq::CorruptJournalError.
+// with or the disk lied: that throws csq::CorruptJournalError. Reopening a
+// replayed journal for appending must therefore physically drop the torn
+// tail first (JournalOptions::trim_tail_bytes) — otherwise the next append
+// would land after the partial frame and manufacture exactly that
+// mid-file-corruption shape.
 //
 // Durability policy: appends are written immediately (write(2)), fsync is
 // batched every JournalOptions::fsync_every records; flush()/close() always
@@ -82,6 +86,12 @@ struct JournalOptions {
   // ReplayStats::max_seq + 1 so re-journaled work never collides with
   // history.
   std::uint64_t next_seq = 1;
+  // Bytes to truncate off the end of an existing file before the first
+  // append. Recovery passes ReplayStats::torn_bytes so new frames land
+  // where the good history ends — appending *after* a torn tail would turn
+  // the expected crash artifact into mid-file corruption that the next
+  // replay() refuses.
+  std::size_t trim_tail_bytes = 0;
 };
 
 // Append handle on one journal file. Move-only; the destructor closes
@@ -126,6 +136,10 @@ class Journal {
   std::uint64_t next_seq_ = 1;
   int unsynced_ = 0;   // records appended since the last fsync
   long fsync_count_ = 0;
+  // Set when a failed append left bytes on disk that could not be rolled
+  // back: the file may end in a partial frame, so further appends would
+  // create mid-file corruption. All later appends throw.
+  bool poisoned_ = false;
 
   void sync_locked();
 };

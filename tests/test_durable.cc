@@ -170,6 +170,26 @@ TEST(DurableJournal, FlippedPayloadByteInTailIsTorn) {
   EXPECT_TRUE(stats.torn_tail);
 }
 
+TEST(DurableJournal, HugeLengthHeaderCannotWrapTheBoundsCheck) {
+  const std::string path = scratch_path("hugelen.ndjson");
+  {
+    Journal j = Journal::open(path);
+    (void)j.append_request("good frame");
+    j.close();
+  }
+  // A corrupt header claiming a near-2^64 payload: the naive truncation
+  // check `payload_start + len + 1 > size` wraps to a small number, passes,
+  // and downstream indexing runs on garbage offsets. Must decode as a torn
+  // tail, never crash.
+  spit(path, slurp(path) + "CSQJ1 req 2 18446744073709551610 00000000\njunk\n");
+  ReplayStats stats;
+  std::vector<Record> records;
+  ASSERT_NO_THROW(records = durable::replay(path, &stats));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].payload, "good frame");
+  EXPECT_TRUE(stats.torn_tail);
+}
+
 TEST(DurableJournal, MidFileCorruptionThrows) {
   const std::string path = scratch_path("midfile.ndjson");
   {
@@ -257,6 +277,64 @@ TEST(DurableJournal, NextSeqContinuesAfterRecovery) {
   EXPECT_EQ(durable::recover(path).requests.size(), 2u);
 }
 
+TEST(DurableJournal, TornTailIsTrimmedOnReopenSoLaterAppendsStayRecoverable) {
+  const std::string path = scratch_path("trim.ndjson");
+  {
+    Journal j = Journal::open(path);
+    (void)j.append_request("survives the crash");
+    (void)j.append_request("torn by the crash");
+    j.close();
+  }
+  const std::string full = slurp(path);
+  spit(path, full.substr(0, full.size() - 7));  // power-loss tears the last frame
+
+  ReplayStats stats;
+  ASSERT_EQ(durable::replay(path, &stats).size(), 1u);
+  ASSERT_TRUE(stats.torn_tail);
+  // Reopen the way csq_serve --recover does: trim the debris, then append.
+  JournalOptions opts;
+  opts.next_seq = stats.max_seq + 1;
+  opts.trim_tail_bytes = stats.torn_bytes;
+  {
+    Journal j = Journal::open(path, opts);
+    (void)j.append_request("written after recovery");
+    j.close();
+  }
+  // The second recovery must see a clean history — the regression was new
+  // frames landing *after* the torn tail, which replay() then refused as
+  // mid-file corruption, making one power loss fatal to the journal.
+  ReplayStats again;
+  std::vector<Record> records;
+  ASSERT_NO_THROW(records = durable::replay(path, &again));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].payload, "survives the crash");
+  EXPECT_EQ(records[1].payload, "written after recovery");
+  EXPECT_FALSE(again.torn_tail);
+  // A trim that exceeds the file (the file changed since replay) refuses
+  // loudly rather than truncating good history.
+  JournalOptions bad = opts;
+  bad.trim_tail_bytes = slurp(path).size() + 1;
+  EXPECT_THROW((void)Journal::open(path, bad), InvalidInputError);
+}
+
+TEST(DurableJournal, FailedAppendWithoutRollbackPoisonsTheJournal) {
+  // /dev/full fails every write with ENOSPC and, being a character device,
+  // also refuses the ftruncate rollback — the shape where a partial frame
+  // could be stranded mid-file. The journal must poison itself: later
+  // appends refuse instead of landing after potential debris.
+  if (::access("/dev/full", W_OK) != 0) GTEST_SKIP() << "no writable /dev/full";
+  Journal j = Journal::open("/dev/full");
+  EXPECT_THROW((void)j.append_request("doomed"), InternalError);
+  try {
+    (void)j.append_request("after the failure");
+    FAIL() << "poisoned journal accepted an append";
+  } catch (const InternalError& e) {
+    EXPECT_NE(e.status().message.find("disabled"), std::string::npos)
+        << e.status().message;
+  }
+  j.close();
+}
+
 // --- Checkpoint files ------------------------------------------------------
 
 SweepCheckpoint sample_checkpoint(std::size_t n) {
@@ -342,6 +420,30 @@ TEST(DurableCheckpoint, CorruptFileIsTreatedAsAbsent) {
   // Truncation (an interrupted rename source) is also just "absent".
   spit(path, bytes.substr(0, bytes.size() / 2));
   EXPECT_FALSE(durable::load_sweep_checkpoint(path).has_value());
+}
+
+TEST(DurableCheckpoint, WrappedPointCountIsRejectedNotResized) {
+  const std::string path = scratch_path("ckpt_wrap.bin");
+  durable::save_sweep_checkpoint(path, SweepCheckpoint{});  // zero points
+  std::string bytes = slurp(path);
+  // Patch the point count to 2^62 and re-seal the CRC: 2^62 * 60 bytes per
+  // point wraps to 0 mod 2^64, so a multiply-based size check accepts the
+  // empty point block and rows.resize(2^62) escapes as a non-csq exception.
+  // The loader must reject it on the documented absent-checkpoint path.
+  ASSERT_GE(bytes.size(), 12u);
+  const std::size_t n_at = bytes.size() - 12;  // u64 count sits just before the CRC
+  for (int i = 0; i < 8; ++i) bytes[n_at + static_cast<std::size_t>(i)] = '\0';
+  bytes[n_at + 7] = static_cast<char>(0x40);  // little-endian 1 << 62
+  const std::uint32_t crc = durable::crc32(bytes.data() + 8, bytes.size() - 12);
+  for (int i = 0; i < 4; ++i)
+    bytes[bytes.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFFu);
+  spit(path, bytes);
+  std::string reason;
+  std::optional<SweepCheckpoint> loaded;
+  ASSERT_NO_THROW(loaded = durable::load_sweep_checkpoint(path, &reason));
+  EXPECT_FALSE(loaded.has_value());
+  EXPECT_EQ(reason, "point block size mismatch");
 }
 
 TEST(DurableCheckpoint, SaveValidatesShape) {
@@ -761,6 +863,48 @@ TEST(ServeCrash, SecondCrashDuringRecoveryStillConverges) {
   ::close(r2.stdout_fd);
   ASSERT_EQ(wait_exit(r2.pid), 0) << post;
   EXPECT_EQ(lines_of(post).size(), rec.requests.size());
+}
+
+TEST(ServeCrash, TornTailThenRecoveredAppendsThenRecoverAgain) {
+  // The reviewer scenario for the trim fix: a power-loss torn tail, one
+  // recovered run that serves *new* traffic (appending frames), then a
+  // second recovery. Without trimming, the new frames land after the torn
+  // debris and the second recovery dies with CorruptJournalError (exit 10).
+  const std::string journal = scratch_path("crash_torn.ndjson");
+  {
+    Journal j = Journal::open(journal);
+    (void)j.append_request(analyze_line("t0", 0.5, 0.3));
+    (void)j.append_request(analyze_line("t1", 0.4, 0.3));
+    j.close();
+  }
+  const std::string full = slurp(journal);
+  spit(journal, full.substr(0, full.size() - 9));  // tear the final frame
+
+  // Recovery run #1 also takes one fresh request before draining.
+  Child r1 = spawn(CSQ_SERVE_BIN, {"--workers", "0", "--journal=" + journal,
+                                   "--fsync-every", "1", "--recover"});
+  write_line(r1.stdin_fd, analyze_line("t2", 0.6, 0.2));
+  ::close(r1.stdin_fd);
+  const std::string out1 = read_until_eof(r1.stdout_fd);
+  ::close(r1.stdout_fd);
+  ASSERT_EQ(wait_exit(r1.pid), 0) << out1;
+  EXPECT_EQ(lines_of(out1).size(), 2u) << out1;  // t0 re-executed + t2 served
+
+  // Recovery run #2 must still read a clean journal: every request answers
+  // exactly once, exit 0 — not CorruptJournalError.
+  Recovery rec;
+  ASSERT_NO_THROW(rec = durable::recover(journal));
+  ASSERT_EQ(rec.requests.size(), 2u);
+  Child r2 = spawn(CSQ_SERVE_BIN, {"--workers", "0", "--journal=" + journal,
+                                   "--recover"});
+  ::close(r2.stdin_fd);
+  const std::string out2 = read_until_eof(r2.stdout_fd);
+  ::close(r2.stdout_fd);
+  ASSERT_EQ(wait_exit(r2.pid), 0) << out2;
+  const std::vector<std::string> replies = lines_of(out2);
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(id_of(replies[0]), "t0");
+  EXPECT_EQ(id_of(replies[1]), "t2");
 }
 
 TEST(ServeCrash, CorruptJournalRefusesRecoveryWithExitTen) {

@@ -323,6 +323,10 @@ int main(int argc, char** argv) {
       if (flags.recover) {
         durable::Recovery rec = durable::recover(flags.journal_file);
         jopts.next_seq = rec.stats.max_seq + 1;
+        // Physically drop a torn tail before appending: new frames after a
+        // partial frame would read as mid-file corruption on the *next*
+        // recovery, making one crash fatal to the journal.
+        if (rec.stats.torn_tail) jopts.trim_tail_bytes = rec.stats.torn_bytes;
         for (durable::RecoveredRequest& rr : rec.requests) {
           if (rr.completed()) {
             // Re-emit the recorded bytes: the client may never have seen
