@@ -49,6 +49,22 @@ struct SystemConfig {
                                   double mean_long, double long_scv = 1.0);
 };
 
+// Per-policy tuning knobs for the simulator's policy plug-ins (the policy
+// zoo of docs/policies.md). One block covers every policy: each policy reads
+// only the knobs it names and ignores the rest, so a single PolicyConfig can
+// drive a whole policy x load sweep panel. Validation happens in the policy
+// constructors (make_policy throws csq::InvalidInputError on bad knobs).
+struct PolicyConfig {
+  // Threshold stealing: an idle thief raids the other host only when the
+  // victim's queue holds at least steal_threshold jobs...
+  int steal_threshold = 2;
+  // ...and then takes at most steal_batch of them in one raid.
+  int steal_batch = 2;
+  // Central work sharing: an arrival that would make a busy host's queue
+  // exceed share_threshold is pushed to the other host instead.
+  int share_threshold = 1;
+};
+
 // Per-class steady-state metrics.
 struct ClassMetrics {
   double mean_response = 0.0;  // E[T] = wait + service

@@ -12,6 +12,8 @@
 #include "obs/obs.h"
 #include "obs/trace.h"
 #include "parallel/task_pool.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
 
 namespace csq {
 
@@ -208,6 +210,148 @@ std::vector<SweepRow> sweep_rho_long(double rho_short, double mean_short, double
                                      const SweepOptions& opts) {
   return run_sweep(rho_longs, opts, [&](double rl) {
     return evaluate_point(rho_short, rl, mean_short, mean_long, long_scv, rl, opts);
+  });
+}
+
+const char* job_size_dist_name(JobSizeDist d) {
+  switch (d) {
+    case JobSizeDist::kExp: return "exp";
+    case JobSizeDist::kCoxian: return "coxian";
+    case JobSizeDist::kBPareto: return "bpareto";
+  }
+  return "?";
+}
+
+JobSizeDist job_size_dist_from_name(const std::string& name) {
+  for (const JobSizeDist d : {JobSizeDist::kExp, JobSizeDist::kCoxian, JobSizeDist::kBPareto})
+    if (name == job_size_dist_name(d)) return d;
+  throw InvalidInputError("unknown job-size distribution \"" + name +
+                          "\" (valid: exp|coxian|bpareto)");
+}
+
+// Workload for one panel column: exponential shorts; longs from the
+// requested family, matched to mean_long (and, for Coxian, long_scv).
+SystemConfig panel_workload(JobSizeDist family, double rho_short, double rho_long,
+                            double mean_short, double mean_long, double long_scv) {
+  auto shorts =
+      std::make_shared<dist::PhaseType>(dist::PhaseType::exponential(1.0 / mean_short));
+  dist::DistPtr longs;
+  switch (family) {
+    case JobSizeDist::kExp:
+      longs = std::make_shared<dist::PhaseType>(dist::PhaseType::exponential(1.0 / mean_long));
+      break;
+    case JobSizeDist::kCoxian:
+      longs = std::make_shared<dist::PhaseType>(
+          dist::PhaseType::coxian_mean_scv(mean_long, long_scv));
+      break;
+    case JobSizeDist::kBPareto:
+      longs = std::make_shared<dist::BoundedPareto>(
+          dist::BoundedPareto::with_mean(mean_long, 1000.0 * mean_long, 1.5));
+      break;
+  }
+  return SystemConfig::from_loads(rho_short, rho_long, std::move(shorts), std::move(longs));
+}
+
+namespace {
+
+// The three policies the library analyzes exactly; everything else goes
+// through replicated simulation.
+bool analytic_policy(sim::PolicyKind kind, Policy* out) {
+  switch (kind) {
+    case sim::PolicyKind::kDedicated: *out = Policy::kDedicated; return true;
+    case sim::PolicyKind::kCsId: *out = Policy::kCsId; return true;
+    case sim::PolicyKind::kCsCq: *out = Policy::kCsCq; return true;
+    default: return false;
+  }
+}
+
+PanelRow evaluate_panel_cell(sim::PolicyKind kind, JobSizeDist family, double rho_short,
+                             double rho_long, double mean_short, double mean_long,
+                             double long_scv, std::uint64_t cell_seed,
+                             const PanelOptions& opts) {
+  PanelRow row;
+  row.policy = kind;
+  row.dist = family;
+  row.rho_short = rho_short;
+  row.rho_long = rho_long;
+  CSQ_OBS_COUNT("sweep.panel.cells");
+  // Same once-per-cell poll as evaluate_point: a started cell finishes.
+  if (opts.budget.interrupted()) {
+    row.status = PointStatus::kTimedOut;
+    return row;
+  }
+  const SystemConfig config =
+      panel_workload(family, rho_short, rho_long, mean_short, mean_long, long_scv);
+  Policy p{};
+  if (analytic_policy(kind, &p)) {
+    row.analytic = true;
+    if (!is_stable(p, config)) return row;  // kUnstable
+    thread_local qbd::Workspace panel_ws;
+    const AnalyzeOutcome out =
+        try_analyze(p, config, 3, VerifyLevel::kBasic, opts.budget, &panel_ws);
+    if (out.ok()) {
+      row.short_response = out.metrics.shorts.mean_response;
+      row.long_response = out.metrics.longs.mean_response;
+      row.status = PointStatus::kOk;
+    } else {
+      row.status = classify_failure(out.status.code);
+    }
+    return row;
+  }
+  // Simulated cell. The zoo policies pool both servers, so the work-
+  // conservation bound rho_S + rho_L < 2 is the widest meaningful region;
+  // beyond it the queues have no steady state and the estimate would be
+  // pure truncation artifact.
+  if (rho_short + rho_long >= 2.0) return row;  // kUnstable
+  sim::SimOptions sopts;
+  sopts.seed = cell_seed;
+  sopts.total_completions = opts.sim_completions;
+  sopts.policy = opts.policy;
+  sim::ReplicationOptions ropts;
+  ropts.replications = opts.sim_replications;
+  ropts.threads = 1;  // cells parallelize; replications stay inline
+  try {
+    const sim::ReplicatedResult r = sim::simulate_replications(kind, config, sopts, ropts);
+    row.short_response = r.shorts.mean_response;
+    row.short_ci95 = r.shorts.ci95;
+    row.long_response = r.longs.mean_response;
+    row.long_ci95 = r.longs.ci95;
+    row.status = PointStatus::kOk;
+  } catch (const Error& e) {
+    row.status = classify_failure(e.code());
+  }
+  return row;
+}
+
+}  // namespace
+
+std::vector<PanelRow> sweep_policy_panel(const std::vector<sim::PolicyKind>& policies,
+                                         JobSizeDist dist, double rho_long,
+                                         double mean_short, double mean_long,
+                                         double long_scv,
+                                         const std::vector<double>& rho_shorts,
+                                         const PanelOptions& opts) {
+  if (policies.empty())
+    throw InvalidInputError("sweep_policy_panel: need >= 1 policy");
+  if (rho_shorts.empty())
+    throw InvalidInputError("sweep_policy_panel: need >= 1 grid point");
+  if (opts.sim_replications < 1)
+    throw InvalidInputError("sweep_policy_panel: need >= 1 sim replication");
+  CSQ_OBS_SPAN("sweep.panel.run");
+  const std::size_t cells = policies.size() * rho_shorts.size();
+  // Cell (policy, point) seeds derive from (seed, kind, dist, point) alone:
+  // which worker evaluates the cell is irrelevant, so the panel is
+  // bit-identical for every thread count.
+  return par::parallel_map(cells, opts.threads, [&](std::size_t i) {
+    const std::size_t pi = i / rho_shorts.size();
+    const std::size_t xi = i % rho_shorts.size();
+    const sim::PolicyKind kind = policies[pi];
+    const std::uint64_t cell_seed = sim::split_seed(
+        sim::split_seed(sim::split_seed(opts.seed, static_cast<std::uint64_t>(kind)),
+                        static_cast<std::uint64_t>(dist)),
+        xi);
+    return evaluate_panel_cell(kind, dist, rho_shorts[xi], rho_long, mean_short,
+                               mean_long, long_scv, cell_seed, opts);
   });
 }
 

@@ -16,10 +16,18 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
 #include "core/deadline.h"
+
+// The policy panel keys rows by simulator policy; the fixed underlying type
+// lets us name the enum without pulling the simulator into every sweep
+// consumer (sweep.cc includes it for real).
+namespace csq::sim {
+enum class PolicyKind : std::uint8_t;
+}
 
 namespace csq {
 
@@ -125,5 +133,79 @@ struct SweepOptions {
                                                    double mean_long, double long_scv,
                                                    const std::vector<double>& rho_longs,
                                                    const SweepOptions& opts = {});
+
+// --- policy x job-size-distribution x load panel ---------------------------
+
+// Long-job size families the panel sweeps over. All three are evaluated
+// through the same three-moment interface, so the analytic policies stay
+// analyzable even under the heavy-tailed family.
+enum class JobSizeDist : std::uint8_t {
+  kExp,      // exponential (the paper's scv == 1 baseline); long_scv ignored
+  kCoxian,   // two-moment Coxian fit at the requested long_scv
+  kBPareto,  // BoundedPareto(alpha = 1.5, hi = 1000 x mean) matched to the
+             // requested mean — the Crovella-style heavy tail of Van Houdt's
+             // stealing-vs-sharing comparison; long_scv ignored
+};
+
+// "exp", "coxian", "bpareto".
+[[nodiscard]] const char* job_size_dist_name(JobSizeDist d);
+
+// Inverse of job_size_dist_name. Throws csq::InvalidInputError on unknown
+// names, listing the valid ones.
+[[nodiscard]] JobSizeDist job_size_dist_from_name(const std::string& name);
+
+// Workload for one panel column: exponential shorts with mean mean_short;
+// longs drawn from the requested family matched to mean_long (kCoxian also
+// honors long_scv; see JobSizeDist for the fixed kBPareto shape). The CLI
+// and serve layer build --dist workloads through this too, so "bpareto" means
+// the same distribution everywhere. Throws csq::InvalidInputError (via the
+// dist constructors) on malformed parameters.
+[[nodiscard]] SystemConfig panel_workload(JobSizeDist dist, double rho_short,
+                                          double rho_long, double mean_short,
+                                          double mean_long, double long_scv);
+
+// One cell of the panel: a policy evaluated at one load under one long-size
+// family. Analytic policies (sim::policy_registry() rows with analytic ==
+// true) carry exact values and zero CIs; the rest carry replicated-
+// simulation means with across-replication 95% half-widths. NaN response
+// columns pair with a non-kOk status, exactly like SweepRow.
+struct PanelRow {
+  sim::PolicyKind policy{};
+  JobSizeDist dist = JobSizeDist::kExp;
+  double rho_short = 0.0;
+  double rho_long = 0.0;
+  double short_response = std::numeric_limits<double>::quiet_NaN();
+  double long_response = std::numeric_limits<double>::quiet_NaN();
+  double short_ci95 = 0.0;
+  double long_ci95 = 0.0;
+  PointStatus status = PointStatus::kUnstable;
+  bool analytic = false;
+};
+
+struct PanelOptions {
+  // Worker threads across panel cells: 1 = inline, 0 = all hardware
+  // threads, n >= 2 = pool of n. Each cell's replications run inline on the
+  // worker that owns the cell, seeded by (seed, policy, dist, point) alone,
+  // so the panel is bit-identical for every thread count.
+  int threads = 1;
+  std::uint64_t seed = 20030701;
+  // Simulation effort per non-analytic cell.
+  std::size_t sim_completions = 200000;
+  int sim_replications = 4;
+  // Per-policy knobs forwarded to make_policy for the simulated cells.
+  PolicyConfig policy;
+  // Same once-per-cell budget contract as SweepOptions::budget.
+  RunBudget budget;
+};
+
+// Evaluate every requested policy on the rho_short grid at fixed rho_long
+// under the given long-size family. Rows are policy-major (all grid points
+// of policies[0], then policies[1], ...), row i is always the same cell, and
+// evaluation is deterministic, so the panel is bit-identical for every
+// thread count. Throws csq::InvalidInputError on malformed arguments.
+[[nodiscard]] std::vector<PanelRow> sweep_policy_panel(
+    const std::vector<sim::PolicyKind>& policies, JobSizeDist dist, double rho_long,
+    double mean_short, double mean_long, double long_scv,
+    const std::vector<double>& rho_shorts, const PanelOptions& opts = {});
 
 }  // namespace csq

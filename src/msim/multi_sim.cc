@@ -6,6 +6,7 @@
 #include <deque>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "parallel/task_pool.h"
@@ -176,6 +177,122 @@ class CsCqScheduler final : public Scheduler {
   std::deque<Job> longs_;
 };
 
+// Class-blind policy zoo over n = k + m interchangeable hosts: per-host
+// FCFS queues and uniform random dispatch, refined by idle-queue
+// signalling (JIQ), pull-side stealing (one/half/threshold-batch from the
+// longest-queue victim) or push-side sharing. Decisions draw from a
+// dedicated RNG stream (13), disjoint from the arrival stream (7), so the
+// sampled arrival sequence is policy-independent under a fixed seed — the
+// same isolation contract as the two-host zoo.
+class ZooScheduler final : public Scheduler {
+ public:
+  ZooScheduler(MultiPolicy policy, const World& w, const sim::SimOptions& opts)
+      : policy_(policy),
+        cfg_(opts.policy),
+        rng_(sim::make_rng(opts.seed, /*stream=*/13)),
+        queues_(static_cast<std::size_t>(w.total())) {
+    if (policy == MultiPolicy::kThresholdSteal) {
+      if (cfg_.steal_threshold < 1)
+        throw InvalidInputError("msim Threshold-Steal: steal_threshold must be >= 1");
+      if (cfg_.steal_batch < 1)
+        throw InvalidInputError("msim Threshold-Steal: steal_batch must be >= 1");
+    }
+    if (policy == MultiPolicy::kWorkSharing && cfg_.share_threshold < 0)
+      throw InvalidInputError("msim Work-Sharing: share_threshold must be >= 0");
+    if (policy == MultiPolicy::kJiq)
+      for (int s = 0; s < w.total(); ++s) idle_.push_back(s);
+  }
+
+  void arrival(World& w, const Job& job) override {
+    if (policy_ == MultiPolicy::kJiq) {
+      if (!idle_.empty()) {
+        const int s = idle_.front();
+        idle_.pop_front();
+        w.start(s, job);
+        return;
+      }
+      queues_[static_cast<std::size_t>(random_host(w))].push_back(job);
+      return;
+    }
+    const int host = random_host(w);
+    if (policy_ == MultiPolicy::kWorkSharing && !w.idle(host) &&
+        queues_[static_cast<std::size_t>(host)].size() >=
+            static_cast<std::size_t>(cfg_.share_threshold)) {
+      // Push to an idle host when one exists, else to a second random host.
+      int other = w.find_idle(0, w.total());
+      if (other < 0) other = random_other(w, host);
+      place(w, other, job);
+      return;
+    }
+    place(w, host, job);
+  }
+
+  void freed(World& w, int server) override {
+    auto& q = queues_[static_cast<std::size_t>(server)];
+    if (!q.empty()) {
+      w.start(server, q.front());
+      q.pop_front();
+      return;
+    }
+    switch (policy_) {
+      case MultiPolicy::kJiq: idle_.push_back(server); return;
+      case MultiPolicy::kStealOne: steal(w, server, /*half=*/false); return;
+      case MultiPolicy::kStealHalf: steal(w, server, /*half=*/true); return;
+      case MultiPolicy::kThresholdSteal: steal(w, server, /*half=*/false); return;
+      default: return;
+    }
+  }
+
+ private:
+  void place(World& w, int host, const Job& job) {
+    if (w.idle(host))
+      w.start(host, job);
+    else
+      queues_[static_cast<std::size_t>(host)].push_back(job);
+  }
+  int random_host(const World& w) {
+    return static_cast<int>(rng_() % static_cast<std::uint64_t>(w.total()));
+  }
+  int random_other(const World& w, int host) {
+    const int r = static_cast<int>(rng_() % static_cast<std::uint64_t>(w.total() - 1));
+    return r >= host ? r + 1 : r;
+  }
+  void steal(World& w, int thief, bool half) {
+    // Longest-queue victim, lowest index on ties — deterministic under the
+    // replication contract.
+    int victim = -1;
+    std::size_t longest = 0;
+    for (int s = 0; s < w.total(); ++s) {
+      if (s == thief) continue;
+      const std::size_t len = queues_[static_cast<std::size_t>(s)].size();
+      if (len > longest) {
+        longest = len;
+        victim = s;
+      }
+    }
+    if (victim < 0) return;
+    std::size_t take = half ? (longest + 1) / 2 : 1;
+    if (policy_ == MultiPolicy::kThresholdSteal) {
+      if (longest < static_cast<std::size_t>(cfg_.steal_threshold)) return;
+      take = std::min(longest, static_cast<std::size_t>(cfg_.steal_batch));
+    }
+    auto& vq = queues_[static_cast<std::size_t>(victim)];
+    auto& mine = queues_[static_cast<std::size_t>(thief)];
+    w.start(thief, vq.front());
+    vq.pop_front();
+    for (std::size_t i = 1; i < take; ++i) {
+      mine.push_back(vq.front());
+      vq.pop_front();
+    }
+  }
+
+  MultiPolicy policy_;
+  PolicyConfig cfg_;
+  dist::Rng rng_;
+  std::vector<std::deque<Job>> queues_;
+  std::deque<int> idle_;  // JIQ only: exactly the idle servers, FIFO
+};
+
 }  // namespace
 
 const char* multi_policy_name(MultiPolicy p) {
@@ -183,8 +300,39 @@ const char* multi_policy_name(MultiPolicy p) {
     case MultiPolicy::kDedicated: return "Dedicated";
     case MultiPolicy::kCsId: return "CS-ID";
     case MultiPolicy::kCsCq: return "CS-CQ";
+    case MultiPolicy::kRandom: return "Random";
+    case MultiPolicy::kJiq: return "JIQ";
+    case MultiPolicy::kStealOne: return "Steal-One";
+    case MultiPolicy::kStealHalf: return "Steal-Half";
+    case MultiPolicy::kThresholdSteal: return "Threshold-Steal";
+    case MultiPolicy::kWorkSharing: return "Work-Sharing";
   }
   return "?";
+}
+
+MultiPolicy multi_policy_from_token(const std::string& token) {
+  // Same token spellings as sim::policy_registry(); only policies with a
+  // multi-host generalization appear here.
+  static const std::pair<const char*, MultiPolicy> kTokens[] = {
+      {"dedicated", MultiPolicy::kDedicated},
+      {"csid", MultiPolicy::kCsId},
+      {"cscq", MultiPolicy::kCsCq},
+      {"random", MultiPolicy::kRandom},
+      {"jiq", MultiPolicy::kJiq},
+      {"steal-one", MultiPolicy::kStealOne},
+      {"steal-half", MultiPolicy::kStealHalf},
+      {"threshold-steal", MultiPolicy::kThresholdSteal},
+      {"work-sharing", MultiPolicy::kWorkSharing},
+  };
+  for (const auto& [tok, pol] : kTokens)
+    if (token == tok) return pol;
+  std::string valid;
+  for (const auto& [tok, pol] : kTokens) {
+    if (!valid.empty()) valid += "|";
+    valid += tok;
+  }
+  throw InvalidInputError("unknown multi-host policy \"" + token + "\" (valid: " + valid +
+                          ")");
 }
 
 MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
@@ -205,6 +353,7 @@ MultiResult simulate_multi(MultiPolicy policy, const MultiConfig& config,
     case MultiPolicy::kDedicated: sched = std::make_unique<DedicatedScheduler>(); break;
     case MultiPolicy::kCsId: sched = std::make_unique<CsIdScheduler>(w); break;
     case MultiPolicy::kCsCq: sched = std::make_unique<CsCqScheduler>(); break;
+    default: sched = std::make_unique<ZooScheduler>(policy, w, opts); break;
   }
 
   dist::Rng rng = sim::make_rng(opts.seed, /*stream=*/7);

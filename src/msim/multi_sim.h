@@ -15,6 +15,8 @@
 // Throws csq::InvalidInputError (core/status.h) on malformed arguments.
 #pragma once
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -22,9 +24,28 @@
 
 namespace csq::msim {
 
-enum class MultiPolicy { kDedicated, kCsId, kCsCq };
+enum class MultiPolicy : std::uint8_t {
+  kDedicated,
+  kCsId,
+  kCsCq,
+  // The class-blind policy zoo of src/sim/policies.cc generalized to
+  // n = k + m interchangeable hosts (docs/policies.md): random dispatch,
+  // JIQ idle-queue signalling, and stealing/sharing refinements that pick
+  // the longest-queue victim instead of "the other host".
+  kRandom,
+  kJiq,
+  kStealOne,
+  kStealHalf,
+  kThresholdSteal,
+  kWorkSharing,
+};
 
 [[nodiscard]] const char* multi_policy_name(MultiPolicy p);
+
+// Resolve the registry token spelling ("cscq", "steal-half", ...; same
+// tokens as sim::policy_registry()) to a MultiPolicy. Throws
+// csq::InvalidInputError for tokens without a multi-host generalization.
+[[nodiscard]] MultiPolicy multi_policy_from_token(const std::string& token);
 
 struct MultiConfig {
   int short_hosts = 1;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "serve/json.h"
+#include "sim/simulator.h"
 
 namespace csq::serve {
 
@@ -33,7 +34,7 @@ const std::set<std::string>& allowed_fields(OpKind op) {
       "rho_l", "mean_s", "mean_l", "scv_l", "timeout_ms"};
   static const std::set<std::string> simulate = {
       "id", "op", "policy", "rho_s", "rho_l", "mean_s", "mean_l", "scv_l",
-      "timeout_ms", "seed", "completions", "replications"};
+      "timeout_ms", "seed", "completions", "replications", "sim_policy", "dist"};
   switch (op) {
     case OpKind::kPing: return ping;
     case OpKind::kAnalyze: return analyze;
@@ -204,6 +205,17 @@ Request parse_request(const std::string& line) {
       req.seed = static_cast<std::uint64_t>(seed);
       req.completions = int_field(root, "completions", 20000, 1000, 2000000);
       req.replications = int_field(root, "replications", 4, 1, 64);
+      // Policy-zoo extensions. Both are validated here, at parse time, so a
+      // typoed token fails the request (listing the valid tokens) instead of
+      // silently defaulting to CS-CQ under exponential longs.
+      if (const JsonValue* sp = root.find("sim_policy"); sp != nullptr) {
+        req.sim_policy = sp->as_string("sim_policy");
+        (void)sim::policy_kind_from_token(req.sim_policy);
+      }
+      if (const JsonValue* dv = root.find("dist"); dv != nullptr) {
+        req.dist = dv->as_string("dist");
+        (void)job_size_dist_from_name(req.dist);
+      }
       break;
     }
   }
@@ -223,7 +235,12 @@ double Request::cost() const {
 }
 
 SystemConfig Request::config() const {
-  return SystemConfig::paper_setup(rho_s, rho_l, mean_s, mean_l, scv_l);
+  if (dist.empty()) return SystemConfig::paper_setup(rho_s, rho_l, mean_s, mean_l, scv_l);
+  // "dist" selects the long-size family through the same builder as the
+  // CLI's --dist flag, so "bpareto" names the identical distribution on
+  // both surfaces.
+  return panel_workload(job_size_dist_from_name(dist), rho_s, rho_l, mean_s, mean_l,
+                        scv_l);
 }
 
 std::string Request::cache_key() const {

@@ -8,7 +8,7 @@
 //   {"id":"r2","op":"sweep","axis":"rho_s","from":0.1,"to":1.3,"points":25,
 //    "rho_l":0.5}
 //   {"id":"r3","op":"simulate","rho_s":0.9,"rho_l":0.5,"completions":20000,
-//    "replications":4,"seed":1}
+//    "replications":4,"seed":1,"sim_policy":"steal-half","dist":"bpareto"}
 //   {"id":"r4","op":"ping"}
 //
 // Parsing is strict: unknown top-level fields, wrong-kind values and
@@ -75,6 +75,14 @@ struct Request {
   std::uint64_t seed = 20030701;
   int completions = 20000;
   int replications = 4;
+  // Optional "sim_policy": any sim::policy_registry() token ("steal-half",
+  // "jiq", ...), overriding the analytic-policy mapping — this is how the
+  // policy zoo is served. Empty = derive from `policy` (legacy behaviour).
+  std::string sim_policy;
+  // Optional "dist": long-size family name ("exp"|"coxian"|"bpareto",
+  // csq::job_size_dist_from_name). Empty = the paper_setup workload shaped
+  // by scv_l alone (legacy behaviour).
+  std::string dist;
 
   // Admission-control weight in abstract cost units: an analyze is 1, a
   // sweep costs its point count, a simulation scales with total simulated

@@ -389,6 +389,8 @@ std::string Server::execute_op(const Request& req, const RunBudget& budget,
       sim::PolicyKind kind = sim::PolicyKind::kCsCq;
       if (req.policy == Policy::kDedicated) kind = sim::PolicyKind::kDedicated;
       if (req.policy == Policy::kCsId) kind = sim::PolicyKind::kCsId;
+      // "sim_policy" opens the full registry (already validated at parse).
+      if (!req.sim_policy.empty()) kind = sim::policy_kind_from_token(req.sim_policy);
       sim::SimOptions so;
       so.seed = req.seed;
       so.total_completions = static_cast<std::size_t>(req.completions);

@@ -11,7 +11,11 @@
 
 #include "sim/simulator.h"
 
+#include <cstdint>
+
 #include "core/status.h"
+#include "obs/obs.h"
+#include "sim/rng.h"
 
 namespace csq::sim {
 
@@ -32,6 +36,9 @@ class DedicatedPolicy final : public Policy {
       eng.start(server, q.front());
       q.pop_front();
     }
+  }
+  [[nodiscard]] std::size_t queued() const override {
+    return queue_[0].size() + queue_[1].size();
   }
 
  private:
@@ -71,6 +78,9 @@ class CsIdPolicy final : public Policy {
       long_queue_.pop_front();
     }
   }
+  [[nodiscard]] std::size_t queued() const override {
+    return short_queue_.size() + long_queue_.size();
+  }
 
  private:
   std::deque<Job> short_queue_;
@@ -86,6 +96,9 @@ class CsCqPolicy final : public Policy {
   void on_server_free(Engine& eng, int server) override {
     (void)server;
     schedule(eng);
+  }
+  [[nodiscard]] std::size_t queued() const override {
+    return short_queue_.size() + long_queue_.size();
   }
 
  private:
@@ -129,6 +142,9 @@ class CsCqNoRenamePolicy final : public Policy {
   void on_server_free(Engine& eng, int server) override {
     (void)server;
     schedule(eng);
+  }
+  [[nodiscard]] std::size_t queued() const override {
+    return short_queue_.size() + long_queue_.size();
   }
 
  private:
@@ -179,6 +195,9 @@ class LwrPolicy final : public Policy {
       q.pop_front();
     }
   }
+  [[nodiscard]] std::size_t queued() const override {
+    return queue_[0].size() + queue_[1].size();
+  }
 
  private:
   std::array<std::deque<Job>, 2> queue_;
@@ -224,6 +243,9 @@ class TagsPolicy final : public Policy {
       overflow_queue_.pop_front();
     }
   }
+  [[nodiscard]] std::size_t queued() const override {
+    return first_queue_.size() + overflow_queue_.size();
+  }
 
  private:
   double cutoff_;
@@ -250,6 +272,9 @@ class RoundRobinPolicy final : public Policy {
       q.pop_front();
     }
   }
+  [[nodiscard]] std::size_t queued() const override {
+    return queue_[0].size() + queue_[1].size();
+  }
 
  private:
   int next_ = 0;
@@ -273,6 +298,7 @@ class Mg2FcfsPolicy final : public Policy {
       queue_.pop_front();
     }
   }
+  [[nodiscard]] std::size_t queued() const override { return queue_.size(); }
 
  private:
   std::deque<Job> queue_;
@@ -296,9 +322,204 @@ class Mg2SjfPolicy final : public Policy {
       queue_.erase(queue_.begin());
     }
   }
+  [[nodiscard]] std::size_t queued() const override { return queue_.size(); }
 
  private:
   std::multimap<double, Job> queue_;
+};
+
+// --- the class-blind policy zoo (docs/policies.md) -------------------------
+//
+// Every policy below treats the two hosts symmetrically and ignores job
+// classes: per-host FCFS queues fed by uniform random dispatch, refined by
+// stealing (pull), sharing (push) or idle-queue signalling. Policy decisions
+// draw from a private RNG on stream kPolicyStream, disjoint from the
+// engine's arrival stream (0) and msim's (7): the sampled arrival sequence
+// is a function of (seed, config) alone, never of the policy — the
+// substream-isolation regression test pins SimResult::arrival_hash on that.
+
+constexpr std::uint64_t kPolicyStream = 11;
+
+// Jobs moved victim -> thief by any stealing policy (one call site so the
+// metric catalogue stays statically enumerable).
+void note_steals(std::size_t n) { CSQ_OBS_COUNT_N("sim.policy.steals", n); }
+
+class TwoQueuePolicy : public Policy {
+ public:
+  explicit TwoQueuePolicy(std::uint64_t seed) : rng_(make_rng(seed, kPolicyStream)) {}
+  [[nodiscard]] std::size_t queued() const override {
+    return queue_[0].size() + queue_[1].size();
+  }
+
+ protected:
+  // Uniform coin flip over the two hosts.
+  int random_host() {
+    CSQ_OBS_COUNT("sim.policy.dispatches");
+    return static_cast<int>(rng_() & 1U);
+  }
+  void enqueue_or_start(Engine& eng, int host, const Job& job) {
+    if (eng.server_idle(host))
+      eng.start(host, job);
+    else
+      queue_[static_cast<std::size_t>(host)].push_back(job);
+  }
+  // Serve the host's own queue; true if a job was started.
+  bool serve_own(Engine& eng, int server) {
+    auto& q = queue_[static_cast<std::size_t>(server)];
+    if (q.empty()) return false;
+    eng.start(server, q.front());
+    q.pop_front();
+    return true;
+  }
+
+  dist::Rng rng_;
+  std::array<std::deque<Job>, 2> queue_;
+};
+
+// Uniform random dispatch, per-host FCFS, no migration: the blind baseline
+// the JIQ and stealing refinements are measured against.
+class RandomPolicy final : public TwoQueuePolicy {
+ public:
+  using TwoQueuePolicy::TwoQueuePolicy;
+  void on_arrival(Engine& eng, const Job& job) override {
+    enqueue_or_start(eng, random_host(), job);
+  }
+  void on_server_free(Engine& eng, int server) override { serve_own(eng, server); }
+};
+
+// Join-Idle-Queue (Mitzenmacher, arXiv:1606.01833): servers that go idle
+// join a FIFO idle queue; an arrival takes the head of that queue when it is
+// non-empty and only falls back to random dispatch when every server is
+// busy. Jobs never wait while a server idles, which is exactly why JIQ
+// dominates blind random dispatch (the property suite pins that).
+class JiqPolicy final : public TwoQueuePolicy {
+ public:
+  explicit JiqPolicy(std::uint64_t seed) : TwoQueuePolicy(seed), idle_({0, 1}) {}
+  void on_arrival(Engine& eng, const Job& job) override {
+    if (!idle_.empty()) {
+      const int s = idle_.front();
+      idle_.pop_front();
+      CSQ_OBS_COUNT("sim.policy.idle_hits");
+      eng.start(s, job);
+      return;
+    }
+    // Both busy: the idle queue is empty, so this can only queue.
+    queue_[static_cast<std::size_t>(random_host())].push_back(job);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    if (!serve_own(eng, server)) idle_.push_back(server);
+  }
+
+ private:
+  std::deque<int> idle_;  // invariant: exactly the idle servers, FIFO
+};
+
+// Randomized work stealing, steal-one variant: random dispatch, and a host
+// that goes idle with an empty queue pulls the oldest queued job from the
+// other host.
+class StealOnePolicy final : public TwoQueuePolicy {
+ public:
+  using TwoQueuePolicy::TwoQueuePolicy;
+  void on_arrival(Engine& eng, const Job& job) override {
+    enqueue_or_start(eng, random_host(), job);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    if (serve_own(eng, server)) return;
+    auto& victim = queue_[static_cast<std::size_t>(1 - server)];
+    if (victim.empty()) return;
+    note_steals(1);
+    eng.start(server, victim.front());
+    victim.pop_front();
+  }
+};
+
+// Steal-half: as steal-one, but the thief takes ceil(q/2) jobs from the
+// victim's queue front, serving the first and queueing the rest locally —
+// one raid rebalances the backlog instead of a single job.
+class StealHalfPolicy final : public TwoQueuePolicy {
+ public:
+  using TwoQueuePolicy::TwoQueuePolicy;
+  void on_arrival(Engine& eng, const Job& job) override {
+    enqueue_or_start(eng, random_host(), job);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    if (serve_own(eng, server)) return;
+    auto& mine = queue_[static_cast<std::size_t>(server)];
+    auto& victim = queue_[static_cast<std::size_t>(1 - server)];
+    if (victim.empty()) return;
+    const std::size_t take = (victim.size() + 1) / 2;
+    note_steals(take);
+    eng.start(server, victim.front());
+    victim.pop_front();
+    for (std::size_t i = 1; i < take; ++i) {
+      mine.push_back(victim.front());
+      victim.pop_front();
+    }
+  }
+};
+
+// Threshold/batch stealing: raid only a victim with >= steal_threshold
+// queued jobs, and take at most steal_batch of them — stealing work is only
+// moved when the imbalance is worth the migration.
+class ThresholdStealPolicy final : public TwoQueuePolicy {
+ public:
+  ThresholdStealPolicy(std::uint64_t seed, const PolicyConfig& cfg)
+      : TwoQueuePolicy(seed), cfg_(cfg) {
+    if (cfg.steal_threshold < 1)
+      throw InvalidInputError("Threshold-Steal: steal_threshold must be >= 1");
+    if (cfg.steal_batch < 1)
+      throw InvalidInputError("Threshold-Steal: steal_batch must be >= 1");
+  }
+  void on_arrival(Engine& eng, const Job& job) override {
+    enqueue_or_start(eng, random_host(), job);
+  }
+  void on_server_free(Engine& eng, int server) override {
+    if (serve_own(eng, server)) return;
+    auto& mine = queue_[static_cast<std::size_t>(server)];
+    auto& victim = queue_[static_cast<std::size_t>(1 - server)];
+    if (victim.size() < static_cast<std::size_t>(cfg_.steal_threshold)) return;
+    const std::size_t take =
+        std::min(victim.size(), static_cast<std::size_t>(cfg_.steal_batch));
+    note_steals(take);
+    eng.start(server, victim.front());
+    victim.pop_front();
+    for (std::size_t i = 1; i < take; ++i) {
+      mine.push_back(victim.front());
+      victim.pop_front();
+    }
+  }
+
+ private:
+  PolicyConfig cfg_;
+};
+
+// Central work sharing (push-on-arrival, Van Houdt arXiv:1810.13186's
+// "sharing" side): random dispatch, but an arrival that finds its host busy
+// with share_threshold or more queued jobs is pushed to the other host
+// instead — the loaded host initiates the transfer at arrival instants,
+// where stealing lets the idle host pull at departure instants.
+class WorkSharingPolicy final : public TwoQueuePolicy {
+ public:
+  WorkSharingPolicy(std::uint64_t seed, const PolicyConfig& cfg)
+      : TwoQueuePolicy(seed), cfg_(cfg) {
+    if (cfg.share_threshold < 0)
+      throw InvalidInputError("Work-Sharing: share_threshold must be >= 0");
+  }
+  void on_arrival(Engine& eng, const Job& job) override {
+    const int host = random_host();
+    if (!eng.server_idle(host) &&
+        queue_[static_cast<std::size_t>(host)].size() >=
+            static_cast<std::size_t>(cfg_.share_threshold)) {
+      CSQ_OBS_COUNT("sim.policy.shares");
+      enqueue_or_start(eng, 1 - host, job);
+      return;
+    }
+    enqueue_or_start(eng, host, job);
+  }
+  void on_server_free(Engine& eng, int server) override { serve_own(eng, server); }
+
+ private:
+  PolicyConfig cfg_;
 };
 
 }  // namespace
@@ -314,6 +535,14 @@ std::unique_ptr<Policy> make_policy(PolicyKind kind, const SimOptions& opts) {
     case PolicyKind::kLwr: return std::make_unique<LwrPolicy>();
     case PolicyKind::kTags: return std::make_unique<TagsPolicy>(opts.tags_cutoff);
     case PolicyKind::kRoundRobin: return std::make_unique<RoundRobinPolicy>();
+    case PolicyKind::kRandom: return std::make_unique<RandomPolicy>(opts.seed);
+    case PolicyKind::kJiq: return std::make_unique<JiqPolicy>(opts.seed);
+    case PolicyKind::kStealOne: return std::make_unique<StealOnePolicy>(opts.seed);
+    case PolicyKind::kStealHalf: return std::make_unique<StealHalfPolicy>(opts.seed);
+    case PolicyKind::kThresholdSteal:
+      return std::make_unique<ThresholdStealPolicy>(opts.seed, opts.policy);
+    case PolicyKind::kWorkSharing:
+      return std::make_unique<WorkSharingPolicy>(opts.seed, opts.policy);
   }
   throw InvalidInputError("make_policy: unknown kind");
 }

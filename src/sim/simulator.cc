@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 
@@ -19,6 +20,23 @@ namespace csq::sim {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// FNV-1a over the bits of one word; chained per arrival to fingerprint the
+// arrival sequence independently of any policy decision.
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t word) {
+  for (int b = 0; b < 8; ++b) {
+    h ^= (word >> (8 * b)) & 0xffU;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t double_bits(double x) {
+  std::uint64_t u = 0;
+  static_assert(sizeof(u) == sizeof(x));
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
 }
 
 const char* policy_name(PolicyKind kind) {
@@ -32,8 +50,54 @@ const char* policy_name(PolicyKind kind) {
     case PolicyKind::kLwr: return "LWR";
     case PolicyKind::kTags: return "TAGS";
     case PolicyKind::kRoundRobin: return "Round-Robin";
+    case PolicyKind::kRandom: return "Random";
+    case PolicyKind::kJiq: return "JIQ";
+    case PolicyKind::kStealOne: return "Steal-One";
+    case PolicyKind::kStealHalf: return "Steal-Half";
+    case PolicyKind::kThresholdSteal: return "Threshold-Steal";
+    case PolicyKind::kWorkSharing: return "Work-Sharing";
   }
   return "?";
+}
+
+const std::vector<PolicyInfo>& policy_registry() {
+  // One row per PolicyKind enumerator, in declaration order; display names
+  // must match policy_name() (the registry round-trip test pins both).
+  static const std::vector<PolicyInfo> kRegistry = {
+      {PolicyKind::kDedicated, "dedicated", "Dedicated", true},
+      {PolicyKind::kCsId, "csid", "CS-ID", true},
+      {PolicyKind::kCsCq, "cscq", "CS-CQ", true},
+      {PolicyKind::kCsCqNoRename, "cscq-norename", "CS-CQ-norename", false},
+      {PolicyKind::kMg2Fcfs, "mg2-fcfs", "M/G/2-FCFS", false},
+      {PolicyKind::kMg2Sjf, "mg2-sjf", "M/G/2-SJF", false},
+      {PolicyKind::kLwr, "lwr", "LWR", false},
+      {PolicyKind::kTags, "tags", "TAGS", false},
+      {PolicyKind::kRoundRobin, "rr", "Round-Robin", false},
+      {PolicyKind::kRandom, "random", "Random", false},
+      {PolicyKind::kJiq, "jiq", "JIQ", false},
+      {PolicyKind::kStealOne, "steal-one", "Steal-One", false},
+      {PolicyKind::kStealHalf, "steal-half", "Steal-Half", false},
+      {PolicyKind::kThresholdSteal, "threshold-steal", "Threshold-Steal", false},
+      {PolicyKind::kWorkSharing, "work-sharing", "Work-Sharing", false},
+  };
+  return kRegistry;
+}
+
+PolicyKind policy_kind_from_token(const std::string& token) {
+  for (const PolicyInfo& info : policy_registry())
+    if (token == info.token) return info.kind;
+  std::string valid;
+  for (const PolicyInfo& info : policy_registry()) {
+    if (!valid.empty()) valid += "|";
+    valid += info.token;
+  }
+  throw InvalidInputError("unknown policy \"" + token + "\" (valid: " + valid + ")");
+}
+
+const char* policy_token(PolicyKind kind) {
+  for (const PolicyInfo& info : policy_registry())
+    if (info.kind == kind) return info.token;
+  throw InvalidInputError("policy_token: unregistered PolicyKind");
 }
 
 Engine::Engine(const SystemConfig& config, const SimOptions& opts)
@@ -70,6 +134,8 @@ void Engine::record_completion(const Job& job) {
 SimResult Engine::run(Policy& policy) {
   CSQ_OBS_SPAN("sim.engine.run");
   std::uint64_t events = 0;
+  std::size_t arrivals = 0;
+  std::uint64_t arrival_hash = 14695981039346656037ULL;  // FNV offset basis
   dist::MapProcess::State map_state;
   if (config_.short_arrivals) map_state = config_.short_arrivals->stationary_state(rng_);
   const auto draw_interarrival = [this, &map_state](JobClass cls) {
@@ -118,6 +184,10 @@ SimResult Engine::run(Policy& policy) {
       const JobClass cls = static_cast<JobClass>(ev);
       Job job{now_, draw_size(cls), cls};
       next_arrival_[static_cast<std::size_t>(ev)] = now_ + draw_interarrival(cls);
+      ++arrivals;
+      arrival_hash = fnv1a_mix(arrival_hash, double_bits(job.arrival));
+      arrival_hash = fnv1a_mix(arrival_hash, double_bits(job.size));
+      arrival_hash = fnv1a_mix(arrival_hash, static_cast<std::uint64_t>(job.cls));
       policy.on_arrival(*this, job);
     } else {
       const int s = ev - 2;
@@ -131,6 +201,7 @@ SimResult Engine::run(Policy& policy) {
   }
 
   CSQ_OBS_COUNT_N("sim.engine.events", events);
+  CSQ_OBS_COUNT_N("sim.engine.arrivals", arrivals);
 
   SimResult res;
   res.shorts = {resp_short_.count(), resp_short_.mean(), resp_short_.ci95_halfwidth()};
@@ -138,6 +209,12 @@ SimResult Engine::run(Policy& policy) {
   res.sim_time = now_;
   res.utilization = {busy_time_[0] / now_, busy_time_[1] / now_};
   res.p_long_host_idle = long_host_idle_time_ / now_;
+  res.arrivals = arrivals;
+  res.completions_total = completions_;
+  res.queued_final = policy.queued();
+  res.in_service_final = static_cast<std::size_t>(servers_[0].busy ? 1 : 0) +
+                         static_cast<std::size_t>(servers_[1].busy ? 1 : 0);
+  res.arrival_hash = arrival_hash;
   return res;
 }
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -24,7 +25,9 @@ namespace csq::sim {
 
 enum class JobClass : std::uint8_t { kShort = 0, kLong = 1 };
 
-enum class PolicyKind {
+// The fixed underlying type lets downstream headers (core/sweep.h) forward-
+// declare the enum instead of pulling the whole simulator in.
+enum class PolicyKind : std::uint8_t {
   kDedicated,
   kCsId,
   kCsCq,
@@ -40,9 +43,49 @@ enum class PolicyKind {
                   // cutoff — size-based segregation without knowing sizes
   kRoundRobin,    // alternate arrivals between hosts, per-host FCFS — the
                   // paper's "by far the most common" blind baseline
+  // The class-blind policy zoo (docs/policies.md): random dispatch and its
+  // work-stealing / work-sharing / idle-queue refinements, in the frame of
+  // Van Houdt's stealing-vs-sharing comparison (arXiv:1810.13186) and
+  // Mitzenmacher's JIQ fluid analysis (arXiv:1606.01833).
+  kRandom,         // uniform random host per arrival, per-host FCFS
+  kJiq,            // Join-Idle-Queue: an arrival takes an idle server when
+                   // one exists, else falls back to random dispatch
+  kStealOne,       // random dispatch + a host going idle steals one queued
+                   // job from the other host
+  kStealHalf,      // as kStealOne but the thief takes half the victim queue
+                   // (ceil(q/2)), serving one and queueing the rest
+  kThresholdSteal, // as kStealOne but raids only victims with >=
+                   // steal_threshold queued jobs, taking <= steal_batch
+  kWorkSharing,    // random dispatch + push-on-arrival: an arrival that finds
+                   // its host's queue past share_threshold is pushed to the
+                   // other host (central work sharing, the donor initiates)
 };
 
 [[nodiscard]] const char* policy_name(PolicyKind kind);
+
+// Registry entry for one policy plug-in. `token` is the stable CLI/serve
+// spelling ("cscq", "steal-half", ...), `display` equals policy_name(kind),
+// and `analytic` says whether the library has an exact analysis for the
+// policy (CS-CQ / CS-ID / Dedicated) or only the simulator.
+struct PolicyInfo {
+  PolicyKind kind;
+  const char* token;
+  const char* display;
+  bool analytic;
+};
+
+// Every registered policy, in PolicyKind declaration order. The registry is
+// the single source the CLI, the serve layer and the sweep panel resolve
+// names against, so adding a PolicyKind means adding exactly one row here
+// (the lint rule policy-registry cross-checks the enum against it).
+[[nodiscard]] const std::vector<PolicyInfo>& policy_registry();
+
+// Resolve a registry token ("cscq", "steal-half", ...) to its PolicyKind.
+// Throws csq::InvalidInputError for unknown tokens, listing the valid ones.
+[[nodiscard]] PolicyKind policy_kind_from_token(const std::string& token);
+
+// Registry token for a kind (inverse of policy_kind_from_token).
+[[nodiscard]] const char* policy_token(PolicyKind kind);
 
 struct Job {
   double arrival = 0.0;
@@ -61,6 +104,9 @@ struct SimOptions {
   std::array<double, 2> server_speeds{1.0, 1.0};
   // TAGS cutoff: work granted at host 0 before kill-and-restart at host 1.
   double tags_cutoff = 1.0;
+  // Knobs for the policy zoo (stealing thresholds, sharing threshold);
+  // policies without knobs ignore it.
+  PolicyConfig policy;
 };
 
 struct ClassStats {
@@ -75,6 +121,20 @@ struct SimResult {
   double sim_time = 0.0;
   std::array<double, 2> utilization{};  // busy fraction per server
   double p_long_host_idle = 0.0;        // fraction of time server 1 is idle
+  // Conservation ledger: every arrival must end the run completed, queued in
+  // the policy, or still on a server — arrivals == completions_total +
+  // queued_final + in_service_final, or the policy lost/duplicated a job
+  // (the policies test suite asserts this for every registered policy).
+  std::size_t arrivals = 0;
+  std::size_t completions_total = 0;  // includes the warmup prefix
+  std::size_t queued_final = 0;
+  std::size_t in_service_final = 0;
+  // FNV-1a hash over the arrival sequence (arrival time, size and class
+  // bits, in order). The engine draws arrivals from its own RNG stream and
+  // policies draw decisions from a disjoint stream, so this hash depends
+  // only on (seed, config) — never on the policy. The substream-isolation
+  // regression test pins that.
+  std::uint64_t arrival_hash = 0;
 };
 
 // Multi-replication runs (see simulate_replications).
@@ -135,6 +195,9 @@ class Policy {
     (void)job;
     return true;
   }
+  // Jobs currently held in the policy's queues — the policy-side term of the
+  // conservation ledger (SimResult::queued_final).
+  [[nodiscard]] virtual std::size_t queued() const = 0;
 };
 
 class Engine {

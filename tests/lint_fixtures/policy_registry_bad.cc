@@ -1,0 +1,30 @@
+// Seeded policy-registry (R19) violations: kGamma has no policy_name() case,
+// kBeta and kGamma have no make_policy() case, and kBeta's display name
+// ("Beta") is absent from the docs catalog the test supplies. Expected
+// findings (all anchored to the enumerator lines below):
+//   kBeta  -> missing make_policy case, undocumented display name
+//   kGamma -> missing policy_name case, missing make_policy case
+#include <string>
+
+namespace fix {
+
+enum class PolicyKind : int {
+  kAlpha,
+  kBeta,
+  kGamma,
+};
+
+const char* policy_name(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kAlpha: return "Alpha";
+    case PolicyKind::kBeta: return "Beta";
+    default: return "?";
+  }
+}
+
+int make_policy(PolicyKind k) {
+  if (k == PolicyKind::kAlpha) return 1;
+  return 0;
+}
+
+}  // namespace fix

@@ -1,0 +1,29 @@
+// Clean twin for policy-registry (R19): both enumerators have a
+// policy_name() case and a make_policy() case, and the test supplies a docs
+// catalog containing both display names — zero findings.
+#include <string>
+
+namespace fix {
+
+enum class PolicyKind : int {
+  kAlpha,
+  kBeta,
+};
+
+const char* policy_name(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kAlpha: return "Alpha";
+    case PolicyKind::kBeta: return "Beta";
+  }
+  return "?";
+}
+
+int make_policy(PolicyKind k) {
+  switch (k) {
+    case PolicyKind::kAlpha: return 1;
+    case PolicyKind::kBeta: return 2;
+  }
+  return 0;
+}
+
+}  // namespace fix

@@ -1,0 +1,7 @@
+# Included by CTest after gtest discovery has registered the policy-zoo
+# suite. gtest_discover_tests' serializer cannot carry a multi-label list,
+# so the full label set is applied here; `csq_policies_tests_TESTS` is
+# exported by the generated *_tests.cmake include.
+foreach(t IN LISTS csq_policies_tests_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "tier1;policies")
+endforeach()

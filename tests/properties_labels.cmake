@@ -1,0 +1,9 @@
+# Included by CTest after gtest discovery has registered the property suite
+# (this include is appended between the properties discovery call and the
+# slow one, so csq_tests_TESTS holds exactly the property list — later
+# discovery calls overwrite it and keep their own labels).
+# gtest_discover_tests' serializer cannot carry a multi-label list, so the
+# full label set is applied here.
+foreach(t IN LISTS csq_tests_TESTS)
+  set_tests_properties("${t}" PROPERTIES LABELS "tier1;properties")
+endforeach()

@@ -335,6 +335,57 @@ TEST(LintRules, ServeHygieneMissingCatalogFlagsMetric) {
   EXPECT_NE(fs[0].message.find("not documented"), std::string::npos);
 }
 
+TEST(LintRules, PolicyRegistryBad) {
+  // kBeta: no make_policy case + display name absent from the catalog;
+  // kGamma: no policy_name case + no make_policy case. Findings anchor to
+  // the enumerator lines inside the enum.
+  Config cfg;
+  cfg.policy_docs = "| Alpha | fixture policy |";
+  const std::vector<Finding> fs =
+      lint_one("policy_registry_bad.cc", "src/fix/policy_registry_bad.cc", cfg);
+  const std::vector<Finding> pr = by_rule(fs, "policy-registry");
+  ASSERT_EQ(pr.size(), 4u);
+  // Findings at the same line share a sort key, so compare per-line message
+  // bags instead of positions.
+  std::string beta;   // line 13
+  std::string gamma;  // line 14
+  for (const Finding& f : pr) {
+    ASSERT_TRUE(f.line == 13 || f.line == 14) << f.message;
+    (f.line == 13 ? beta : gamma) += f.message + "\n";
+  }
+  EXPECT_NE(beta.find("kBeta"), std::string::npos);
+  EXPECT_NE(beta.find("make_policy"), std::string::npos);
+  EXPECT_NE(beta.find("\"Beta\""), std::string::npos);
+  EXPECT_NE(beta.find("docs/policies.md"), std::string::npos);
+  EXPECT_NE(gamma.find("policy_name"), std::string::npos);
+  EXPECT_NE(gamma.find("make_policy"), std::string::npos);
+}
+
+TEST(LintRules, PolicyRegistryClean) {
+  Config cfg;
+  cfg.policy_docs = "| Alpha | ... |\n| Beta | ... |";
+  const std::vector<Finding> fs =
+      lint_one("policy_registry_clean.cc", "src/fix/policy_registry_clean.cc", cfg);
+  EXPECT_TRUE(by_rule(fs, "policy-registry").empty());
+}
+
+TEST(LintRules, PolicyRegistryEmptyCatalogFlagsEveryPolicy) {
+  // A missing docs/policies.md (empty catalog) marks every display name
+  // undocumented — the catalog is part of the registry contract.
+  const std::vector<Finding> fs =
+      lint_one("policy_registry_clean.cc", "src/fix/policy_registry_clean.cc");
+  const std::vector<Finding> pr = by_rule(fs, "policy-registry");
+  ASSERT_EQ(pr.size(), 2u);
+  EXPECT_NE(pr[0].message.find("not documented"), std::string::npos);
+}
+
+TEST(LintRules, PolicyRegistryInertWithoutTheEnum) {
+  // File sets with no PolicyKind definition (every other fixture, forward
+  // declarations) must not trip the rule.
+  const std::vector<Finding> fs = lint_one("metric_clean.cc", "src/x/metric_clean.cc");
+  EXPECT_TRUE(by_rule(fs, "policy-registry").empty());
+}
+
 // --- Suppressions ----------------------------------------------------------
 
 TEST(LintSuppress, AllowWithReasonCoversNextLine) {
@@ -359,7 +410,7 @@ TEST(LintSuppress, SelftestPasses) {
 
 TEST(LintRegistry, CatalogIsStable) {
   const std::vector<csq::lint::RuleInfo>& rs = csq::lint::rules();
-  ASSERT_EQ(rs.size(), 20u);
+  ASSERT_EQ(rs.size(), 21u);
   EXPECT_STREQ(rs[0].id, "raw-throw");
   EXPECT_STREQ(rs[8].id, "fault-site-naming");
   EXPECT_STREQ(rs[9].id, "metric-naming");
@@ -371,8 +422,9 @@ TEST(LintRegistry, CatalogIsStable) {
   EXPECT_STREQ(rs[15].id, "atomic-order");
   EXPECT_STREQ(rs[16].id, "module-layering");
   EXPECT_STREQ(rs[17].id, "journal-hygiene");
-  EXPECT_STREQ(rs[18].id, "suppression");
-  EXPECT_STREQ(rs[19].id, "baseline");
+  EXPECT_STREQ(rs[18].id, "policy-registry");
+  EXPECT_STREQ(rs[19].id, "suppression");
+  EXPECT_STREQ(rs[20].id, "baseline");
   // --explain material: every rule ships a full rationale paragraph.
   for (const csq::lint::RuleInfo& r : rs) {
     EXPECT_NE(r.detail, nullptr) << r.id;

@@ -17,6 +17,7 @@
 #include "analysis/csid.h"
 #include "analysis/dedicated.h"
 #include "core/config.h"
+#include "core/sweep.h"
 #include "obs/obs.h"
 #include "sim/simulator.h"
 
@@ -129,6 +130,155 @@ INSTANTIATE_TEST_SUITE_P(ThreeConfigs, AnalysisSimAgreement,
                                            AgreementConfig{1.1, 0.5, 10.0, 8.0}),
                          [](const ::testing::TestParamInfo<AgreementConfig>& info) {
                            return "Config" + std::to_string(info.index);
+                         });
+
+// --- Policy-zoo dominance properties (`ctest -L properties`) -----------------
+//
+// Relations among the PR-10 zoo policies (docs/policies.md), asserted on
+// pinned-seed simulations: each claim was measured well outside the 95% CI
+// at these operating points before being pinned, and the runs are
+// bit-deterministic, so the assertions are stable, not flaky.
+
+// Symmetric unit-mean workload at load `rho` per host, long sizes drawn
+// from `family` (the zoo policies are class-blind, so "short"/"long" are
+// just two identical Poisson streams here except under kBPareto).
+sim::ReplicatedResult run_zoo(sim::PolicyKind kind, double rho,
+                              JobSizeDist family = JobSizeDist::kExp) {
+  const SystemConfig cfg = family == JobSizeDist::kExp
+                               ? SystemConfig::paper_setup(rho, rho, 1.0, 1.0, 1.0)
+                               : panel_workload(family, rho, rho, 1.0, 1.0, 1.0);
+  sim::SimOptions o;
+  o.total_completions = 120000;
+  sim::ReplicationOptions r;
+  r.replications = 4;
+  return sim::simulate_replications(kind, cfg, o, r);
+}
+
+// Overall mean response over both classes (the zoo policies are
+// class-blind, so the natural comparison metric is the pooled mean).
+double pooled_mean(const sim::ReplicatedResult& r) {
+  return 0.5 * (r.shorts.mean_response + r.longs.mean_response);
+}
+
+double pooled_ci(const sim::ReplicatedResult& r) {
+  return 0.5 * (r.shorts.ci95 + r.longs.ci95);
+}
+
+// JIQ dispatches to a server it *knows* is idle; random dispatch can queue
+// behind a busy server while the other sits empty. Mitzenmacher/Lu's JIQ
+// dominance, at symmetric moderate load.
+TEST(PolicyProperties, JiqNeverWorseThanRandom) {
+  const sim::ReplicatedResult jiq = run_zoo(sim::PolicyKind::kJiq, 0.7);
+  const sim::ReplicatedResult random = run_zoo(sim::PolicyKind::kRandom, 0.7);
+  EXPECT_LT(pooled_mean(jiq), pooled_mean(random));
+  // The gap is structural, not noise: it exceeds both CI half-widths.
+  EXPECT_GT(pooled_mean(random) - pooled_mean(jiq), pooled_ci(jiq) + pooled_ci(random));
+}
+
+// With two hosts an idle thief can always steal again, so batch size only
+// changes migration timing: steal-half is never worse than steal-one under
+// symmetric load (they are near-equal; the assertion allows CI noise in
+// the <= direction but pins that steal-half gained nothing to lose).
+TEST(PolicyProperties, StealHalfNoWorseThanStealOneSymmetric) {
+  const sim::ReplicatedResult half = run_zoo(sim::PolicyKind::kStealHalf, 0.7);
+  const sim::ReplicatedResult one = run_zoo(sim::PolicyKind::kStealOne, 0.7);
+  EXPECT_LE(pooled_mean(half), pooled_mean(one) + pooled_ci(half) + pooled_ci(one));
+}
+
+// Both stealing flavours beat plain random dispatch outright: moving work
+// to an idle server only helps.
+TEST(PolicyProperties, StealingBeatsRandomDispatch) {
+  const sim::ReplicatedResult random = run_zoo(sim::PolicyKind::kRandom, 0.7);
+  for (const sim::PolicyKind k : {sim::PolicyKind::kStealOne, sim::PolicyKind::kStealHalf}) {
+    SCOPED_TRACE(sim::policy_name(k));
+    const sim::ReplicatedResult steal = run_zoo(k, 0.7);
+    EXPECT_LT(pooled_mean(steal), pooled_mean(random));
+  }
+}
+
+// The sharing-vs-stealing crossover, in the frame of Van Houdt's comparison
+// (arXiv:1810.13186): under exponential sizes, push-based sharing wins at
+// low load (a pushed job rarely lands behind much work) and pull-based
+// stealing wins at high load (migration timed to an actually-idle server).
+// Under BoundedPareto the picture changes: a pushed job can land behind a
+// heavy-tailed monster, so sharing loses its low-load advantage and
+// stealing dominates at *every* tested load — the crossover point moves
+// off the load axis entirely.
+TEST(PolicyProperties, SharingVsStealingCrossoverUnderHeavyTails) {
+  // Exponential, low load: sharing < stealing.
+  {
+    const sim::ReplicatedResult share = run_zoo(sim::PolicyKind::kWorkSharing, 0.3);
+    const sim::ReplicatedResult steal = run_zoo(sim::PolicyKind::kStealOne, 0.3);
+    EXPECT_LT(pooled_mean(share), pooled_mean(steal));
+  }
+  // Exponential, high load: stealing < sharing.
+  {
+    const sim::ReplicatedResult share = run_zoo(sim::PolicyKind::kWorkSharing, 0.9);
+    const sim::ReplicatedResult steal = run_zoo(sim::PolicyKind::kStealOne, 0.9);
+    EXPECT_LT(pooled_mean(steal), pooled_mean(share));
+  }
+  // BoundedPareto, low load: the sharing advantage is gone — stealing wins
+  // even where sharing won under exponential sizes.
+  {
+    const sim::ReplicatedResult share =
+        run_zoo(sim::PolicyKind::kWorkSharing, 0.3, JobSizeDist::kBPareto);
+    const sim::ReplicatedResult steal =
+        run_zoo(sim::PolicyKind::kStealOne, 0.3, JobSizeDist::kBPareto);
+    EXPECT_LT(pooled_mean(steal), pooled_mean(share));
+  }
+}
+
+// --- Analysis-vs-simulation cross-checks for every analytic policy -----------
+//
+// CS-CQ is covered by AnalysisSimAgreement above; these close the registry:
+// every policy_registry() row with analytic == true has its exact analysis
+// checked against replicated simulation at >= 3 operating points, with the
+// same 5% + 2 CI tolerance.
+
+struct CrossCheckPoint {
+  double rho_s, rho_l, mean_l, scv_l;
+};
+
+class AnalyticPolicyCrossCheck : public ::testing::TestWithParam<CrossCheckPoint> {
+ protected:
+  static sim::ReplicatedResult simulate_policy(sim::PolicyKind kind,
+                                               const SystemConfig& c) {
+    sim::SimOptions sopts;
+    sopts.total_completions = 200000;
+    sim::ReplicationOptions ropts;
+    ropts.replications = 4;
+    return sim::simulate_replications(kind, c, sopts, ropts);
+  }
+};
+
+TEST_P(AnalyticPolicyCrossCheck, CsidMatchesSimulation) {
+  const CrossCheckPoint& g = GetParam();
+  const SystemConfig c = SystemConfig::paper_setup(g.rho_s, g.rho_l, 1.0, g.mean_l, g.scv_l);
+  const PolicyMetrics m = analysis::analyze_csid(c).metrics;
+  const sim::ReplicatedResult s = simulate_policy(sim::PolicyKind::kCsId, c);
+  EXPECT_NEAR(m.shorts.mean_response, s.shorts.mean_response,
+              0.05 * s.shorts.mean_response + 2.0 * s.shorts.ci95);
+  EXPECT_NEAR(m.longs.mean_response, s.longs.mean_response,
+              0.05 * s.longs.mean_response + 2.0 * s.longs.ci95);
+}
+
+TEST_P(AnalyticPolicyCrossCheck, DedicatedMatchesSimulation) {
+  const CrossCheckPoint& g = GetParam();
+  const SystemConfig c = SystemConfig::paper_setup(g.rho_s, g.rho_l, 1.0, g.mean_l, g.scv_l);
+  const PolicyMetrics m = analysis::analyze_dedicated(c);
+  const sim::ReplicatedResult s = simulate_policy(sim::PolicyKind::kDedicated, c);
+  EXPECT_NEAR(m.shorts.mean_response, s.shorts.mean_response,
+              0.05 * s.shorts.mean_response + 2.0 * s.shorts.ci95);
+  EXPECT_NEAR(m.longs.mean_response, s.longs.mean_response,
+              0.05 * s.longs.mean_response + 2.0 * s.longs.ci95);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreePoints, AnalyticPolicyCrossCheck,
+                         ::testing::Values(CrossCheckPoint{0.5, 0.3, 1.0, 1.0},
+                                           CrossCheckPoint{0.8, 0.5, 10.0, 1.0},
+                                           CrossCheckPoint{0.9, 0.7, 10.0, 4.0}),
+                         [](const ::testing::TestParamInfo<CrossCheckPoint>& info) {
+                           return "Point" + std::to_string(info.index);
                          });
 
 // --- Results carry their own obs attribution ---------------------------------

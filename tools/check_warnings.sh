@@ -4,9 +4,10 @@
 # (fail-fast), printing a per-stage summary either way:
 #
 #   werror      whole tree under -Wall -Wextra -Werror
-#   asan-ubsan  ASan+UBSan build, tier1 suite under it   (CSQ_SKIP_ASAN=1)
-#   tsan        TSan build, `ctest -L parallel` and `ctest -L serve` under it
-#                                                        (CSQ_SKIP_TSAN=1)
+#   asan-ubsan  ASan+UBSan build, tier1 + kernels + policies + properties
+#               suites under it                          (CSQ_SKIP_ASAN=1)
+#   tsan        TSan build, `ctest -L parallel`, `-L serve`, `-L durable`
+#               and `-L policies` under it               (CSQ_SKIP_TSAN=1)
 #   chaos       fault-injection build (ASan+UBSan, -DCSQ_FAULT_INJECTION=ON),
 #               `ctest -L chaos` under it                (CSQ_SKIP_CHAOS=1)
 #   serve       csq_serve end-to-end under ASan: SIGTERM mid-load must drain
@@ -73,7 +74,12 @@ else
   # a relabel can never silently drop the restrict-pointer kernels from the
   # ASan net (they are the code most worth running under it).
   (cd "$asan_dir" && ctest -L kernels --output-on-failure) || fail "asan-ubsan (kernels suite)"
-  note "PASS  asan-ubsan  (tier1 + kernels suites clean under ASan+UBSan)"
+  # Same insurance for the policy zoo and the property suite: both ride in
+  # tier1, but run them by label so a relabel can never silently drop the
+  # newest policies' event loops from the ASan net.
+  (cd "$asan_dir" && ctest -L policies --output-on-failure) || fail "asan-ubsan (policies suite)"
+  (cd "$asan_dir" && ctest -L properties --output-on-failure) || fail "asan-ubsan (properties suite)"
+  note "PASS  asan-ubsan  (tier1 + kernels + policies + properties suites clean under ASan+UBSan)"
 fi
 
 # --- stage 3: TSan ----------------------------------------------------------
@@ -97,7 +103,12 @@ else
   cmake --build "$tsan_dir" -j --target csq_durable_tests csq_cli \
     || fail "tsan (durable build)"
   (cd "$tsan_dir" && ctest -L durable --output-on-failure) || fail "tsan (durable suite)"
-  note "PASS  tsan        (parallel + serve + durable suites clean under ThreadSanitizer)"
+  # The policy suite's determinism tests replicate across thread counts on
+  # the steal pool, so its cross-thread hand-offs belong under TSan too.
+  cmake --build "$tsan_dir" -j --target csq_policies_tests \
+    || fail "tsan (policies build)"
+  (cd "$tsan_dir" && ctest -L policies --output-on-failure) || fail "tsan (policies suite)"
+  note "PASS  tsan        (parallel + serve + durable + policies suites clean under ThreadSanitizer)"
 fi
 
 # --- stage 4: chaos (fault injection under ASan+UBSan) ----------------------

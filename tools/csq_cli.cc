@@ -3,16 +3,22 @@
 //   csq_cli analyze   --policy cscq|csid|dedicated [workload flags]
 //                     [--resilient] (cscq only: exact -> truncated ->
 //                     simulation degradation ladder)
-//   csq_cli simulate  --policy cscq|csid|dedicated|cscq-norename|mg2-fcfs|
-//                              mg2-sjf|lwr|tags|round-robin
-//                     [workload flags] [--completions N] [--seed N]
-//                     [--tags-cutoff X] [--reps N] [--target-ci X]
+//   csq_cli simulate  --policy <registry token; see docs/policies.md>
+//                     [workload flags] [--dist exp|coxian|bpareto]
+//                     [--completions N] [--seed N] [--tags-cutoff X]
+//                     [--steal-threshold N] [--steal-batch N]
+//                     [--share-threshold N] [--reps N] [--target-ci X]
 //                     [--max-reps N]
 //   csq_cli sweep     --x rho_s|rho_l --from A --to B --points N
 //                     [workload flags] [--csv] [--resilient]
 //                     [--checkpoint FILE [--checkpoint-every N]]
 //                     (crash-resumable: periodic atomic snapshots; rerun
 //                     with the same flags + file to resume byte-identically)
+//   csq_cli sweep     --policy a,b,... [--dist exp|coxian|bpareto]
+//                     [--from A --to B --points N] [--csv|--json]
+//                     (policy x dist x load panel: analysis for
+//                     cscq/csid/dedicated, replicated simulation elsewhere;
+//                     bit-identical across --threads values)
 //   csq_cli stability [--points N]
 //
 // Workload flags: --rho-s X --rho-l X --mean-s X --mean-l X --scv-l X
@@ -34,6 +40,8 @@
 // 5 ill-conditioned system, 6 result failed self-verification, 7 deadline
 // exceeded, 8 cancelled, 10 corrupt durability artifact.
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -173,28 +181,35 @@ int cmd_analyze(const Args& a) {
   return 0;
 }
 
+// Per-policy knobs shared by simulate and the sweep panel.
+PolicyConfig policy_knobs(const Args& a) {
+  PolicyConfig cfg;
+  cfg.steal_threshold = static_cast<int>(a.number("steal-threshold", cfg.steal_threshold));
+  cfg.steal_batch = static_cast<int>(a.number("steal-batch", cfg.steal_batch));
+  cfg.share_threshold = static_cast<int>(a.number("share-threshold", cfg.share_threshold));
+  return cfg;
+}
+
+// Workload honoring --dist (long-size family); plain --scv-l workload
+// otherwise, so existing invocations are unchanged.
+SystemConfig sim_workload(const Args& a) {
+  if (!a.has("dist")) return workload(a);
+  return panel_workload(job_size_dist_from_name(a.text("dist", "exp")),
+                        a.number("rho-s", 0.9), a.number("rho-l", 0.5),
+                        a.number("mean-s", 1.0), a.number("mean-l", 1.0),
+                        a.number("scv-l", 1.0));
+}
+
 int cmd_simulate(const Args& a) {
-  static const std::map<std::string, sim::PolicyKind> kKinds = {
-      {"dedicated", sim::PolicyKind::kDedicated},
-      {"csid", sim::PolicyKind::kCsId},
-      {"cscq", sim::PolicyKind::kCsCq},
-      {"cscq-norename", sim::PolicyKind::kCsCqNoRename},
-      {"mg2-fcfs", sim::PolicyKind::kMg2Fcfs},
-      {"mg2-sjf", sim::PolicyKind::kMg2Sjf},
-      {"lwr", sim::PolicyKind::kLwr},
-      {"tags", sim::PolicyKind::kTags},
-      {"round-robin", sim::PolicyKind::kRoundRobin},
-  };
-  const std::string p = a.text("policy", "cscq");
-  const auto it = kKinds.find(p);
-  if (it == kKinds.end()) {
-    std::cerr << "unknown simulated policy: " << p << "\n";
-    return 2;
-  }
+  // Policy tokens resolve through the registry — one source of names for
+  // the CLI, serve layer and sweep panel (csq::InvalidInputError exits 2
+  // and lists the valid tokens).
+  const sim::PolicyKind kind = sim::policy_kind_from_token(a.text("policy", "cscq"));
   sim::SimOptions o;
   o.total_completions = static_cast<std::size_t>(a.number("completions", 500000));
   o.seed = static_cast<std::uint64_t>(a.number("seed", o.seed));
   o.tags_cutoff = a.number("tags-cutoff", o.tags_cutoff);
+  o.policy = policy_knobs(a);
   Table t({"class", "E[T]", "ci95", "completions"});
   const int reps = static_cast<int>(a.number("reps", 1));
   if (reps > 1 || a.has("target-ci")) {
@@ -208,13 +223,13 @@ int cmd_simulate(const Args& a) {
     ropts.target_rel_ci = a.number("target-ci", 0.0);
     ropts.max_replications =
         static_cast<int>(a.number("max-reps", std::max(ropts.max_replications, reps)));
-    const sim::ReplicatedResult r = sim::simulate_replications(it->second, workload(a), o, ropts);
+    const sim::ReplicatedResult r = sim::simulate_replications(kind, sim_workload(a), o, ropts);
     t.add_row({"short", format_cell(r.shorts.mean_response), format_cell(r.shorts.ci95),
                std::to_string(r.shorts.completions)});
     t.add_row({"long", format_cell(r.longs.mean_response), format_cell(r.longs.ci95),
                std::to_string(r.longs.completions)});
   } else {
-    const sim::SimResult r = sim::simulate(it->second, workload(a), o);
+    const sim::SimResult r = sim::simulate(kind, sim_workload(a), o);
     t.add_row({"short", format_cell(r.shorts.mean_response), format_cell(r.shorts.ci95),
                std::to_string(r.shorts.completions)});
     t.add_row({"long", format_cell(r.longs.mean_response), format_cell(r.longs.ci95),
@@ -224,7 +239,85 @@ int cmd_simulate(const Args& a) {
   return 0;
 }
 
+// JSON numbers rendered with round-trip precision: the acceptance contract
+// is byte-identical --json output across thread counts, so every double is
+// printed at %.17g (NaN columns become null — JSON has no NaN).
+std::string json_number(double v) {
+  if (std::isnan(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// sweep --policy a,b,... [--dist exp|coxian|bpareto]: the policy x
+// job-size-distribution x load panel. Analytic policies (cscq/csid/
+// dedicated) evaluate exactly; the rest run replicated simulation. Rows are
+// policy-major and bit-identical for every --threads value.
+int cmd_sweep_panel(const Args& a) {
+  std::vector<sim::PolicyKind> kinds;
+  const std::string spec = a.text("policy", "");
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string one =
+        spec.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!one.empty()) kinds.push_back(sim::policy_kind_from_token(one));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (kinds.empty()) {
+    std::cerr << "sweep --policy needs a comma-separated policy list\n";
+    return 2;
+  }
+  const JobSizeDist dist = job_size_dist_from_name(a.text("dist", "exp"));
+  const auto grid = linspace(a.number("from", 0.1), a.number("to", 1.3),
+                             static_cast<int>(a.number("points", 7)));
+  PanelOptions opts;
+  opts.threads = static_cast<int>(a.number("threads", 1));
+  opts.seed = static_cast<std::uint64_t>(a.number("seed", opts.seed));
+  opts.sim_completions = static_cast<std::size_t>(
+      a.number("completions", static_cast<double>(opts.sim_completions)));
+  opts.sim_replications = static_cast<int>(a.number("reps", opts.sim_replications));
+  opts.policy = policy_knobs(a);
+  opts.budget = run_budget(a);
+  const std::vector<PanelRow> rows = sweep_policy_panel(
+      kinds, dist, a.number("rho-l", 0.5), a.number("mean-s", 1.0),
+      a.number("mean-l", 1.0), a.number("scv-l", 4.0), grid, opts);
+  if (a.has("json")) {
+    std::cout << "[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const PanelRow& r = rows[i];
+      std::cout << (i == 0 ? "" : ",") << "\n  {\"policy\":\"" << sim::policy_token(r.policy)
+                << "\",\"dist\":\"" << job_size_dist_name(r.dist)
+                << "\",\"rho_s\":" << json_number(r.rho_short)
+                << ",\"rho_l\":" << json_number(r.rho_long)
+                << ",\"short_response\":" << json_number(r.short_response)
+                << ",\"short_ci95\":" << json_number(r.short_ci95)
+                << ",\"long_response\":" << json_number(r.long_response)
+                << ",\"long_ci95\":" << json_number(r.long_ci95) << ",\"status\":\""
+                << point_status_name(r.status) << "\",\"analytic\":"
+                << (r.analytic ? "true" : "false") << "}";
+    }
+    std::cout << "\n]\n";
+    return 0;
+  }
+  Table t({"policy", "dist", "rho_s", "short_T", "short_ci95", "long_T", "long_ci95",
+           "status", "analytic"});
+  for (const PanelRow& r : rows)
+    t.add_row({sim::policy_token(r.policy), job_size_dist_name(r.dist),
+               format_cell(r.rho_short), format_cell(r.short_response),
+               format_cell(r.short_ci95), format_cell(r.long_response),
+               format_cell(r.long_ci95), point_status_name(r.status),
+               r.analytic ? "yes" : "no"});
+  if (a.has("csv"))
+    t.write_csv(std::cout);
+  else
+    t.print(std::cout);
+  return 0;
+}
+
 int cmd_sweep(const Args& a) {
+  if (a.has("policy") || a.has("dist")) return cmd_sweep_panel(a);
   const std::string axis = a.text("x", "rho_s");
   const auto grid =
       linspace(a.number("from", 0.05), a.number("to", 1.45),
@@ -304,14 +397,19 @@ void usage() {
       "  workload: --rho-s X --rho-l X --mean-s X --mean-l X --scv-l X\n"
       "  analyze:  --policy cscq|csid|dedicated [--verify none|basic|full]\n"
       "            [--resilient] (cscq: exact->truncated->simulation ladder)\n"
-      "  simulate: --policy cscq|csid|dedicated|cscq-norename|mg2-fcfs|mg2-sjf|\n"
-      "                     lwr|tags|round-robin  [--completions N] [--seed N]\n"
-      "                     [--tags-cutoff X] [--reps N] [--target-ci X]\n"
-      "                     [--max-reps N]\n"
+      "  simulate: --policy <registry token; docs/policies.md lists them>\n"
+      "                     [--dist exp|coxian|bpareto] [--completions N]\n"
+      "                     [--seed N] [--tags-cutoff X] [--steal-threshold N]\n"
+      "                     [--steal-batch N] [--share-threshold N] [--reps N]\n"
+      "                     [--target-ci X] [--max-reps N]\n"
       "  sweep:    --x rho_s|rho_l --from A --to B --points N [--csv]\n"
       "            [--resilient] [--checkpoint FILE [--checkpoint-every N]]\n"
       "            (--checkpoint: crash-resumable; rerun with the same flags\n"
       "             and file to resume — output rows are byte-identical)\n"
+      "  sweep:    --policy a,b,... [--dist exp|coxian|bpareto] [--csv|--json]\n"
+      "            [--from A --to B --points N] [--reps N] [--completions N]\n"
+      "            (policy panel: analysis where available, replicated\n"
+      "             simulation elsewhere; bit-identical across --threads)\n"
       "  stability: [--points N] [--csv]\n"
       "  global:   --json-errors (structured error JSON on stdout)\n"
       "            --metrics[=file] (obs counter dump; docs/observability.md)\n"

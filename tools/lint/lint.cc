@@ -365,6 +365,16 @@ const std::vector<RuleInfo>& rules() {
        "expose a torn artifact after power loss: the directory entry can reach\n"
        "disk before the file's bytes do. Fix: fsync the descriptor before the\n"
        "rename (tmp + fsync + rename)."},
+      {"policy-registry",
+       "every sim PolicyKind enumerator must be wired through policy_name(), "
+       "make_policy() and the docs/policies.md policy table (R19)",
+       "The policy zoo is plug-in by registry: PolicyKind is its key space, and\n"
+       "a kind that policy_name() cannot print, make_policy() cannot construct,\n"
+       "or docs/policies.md does not describe is a half-registered policy — the\n"
+       "CLI and serve layer would accept its token and then fail downstream, or\n"
+       "serve an undocumented policy. Fix: add the missing policy_name /\n"
+       "make_policy case, and a docs table row containing the display name\n"
+       "policy_name() returns."},
       {"suppression", "csq-lint: allow(...) comments must name a known rule and give a reason",
        "A suppression is `// csq-lint: allow(rule-id): reason` on the finding's\n"
        "line or the line above (block-comment interiors and stacked\n"
@@ -894,6 +904,118 @@ void rule_metric_naming(const std::vector<SourceFile>& files, std::vector<Findin
   }
 }
 
+// policy-registry (R19, cross-file): the simulator policy zoo is keyed by
+// `enum class PolicyKind`; the registry contract is that every enumerator is
+//   (a) printable  — handled by a `case PolicyKind::kX: return "Name";` in
+//                    policy_name(),
+//   (b) buildable  — handled by a case in make_policy(), and
+//   (c) documented — its display name (the string policy_name() returns)
+//                    appears in the docs/policies.md policy table
+//                    (Config::policy_docs).
+// A kind missing any leg is half-registered: the CLI/serve token would be
+// accepted and then fail downstream, or serve an undocumented policy.
+// Findings anchor to the enumerator's own line — the enum is where the next
+// policy author is looking. Only src/ files are scanned, and the rule is
+// inert when no PolicyKind enum is in the file set (fixture sets for other
+// rules, forward declarations).
+void rule_policy_registry(const std::vector<SourceFile>& files, const Config& config,
+                          std::vector<Finding>* out) {
+  struct Enumerator {
+    std::string name;
+    std::string path;  // file declaring the enum
+    int line = 0;
+  };
+  std::vector<Enumerator> enumerators;
+  for (const SourceFile& f : files) {
+    if (!starts_with(f.rel, "src/")) continue;
+    const Tokens& t = f.tokens;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      if (t[i].text != "enum" || t[i + 1].text != "class" ||
+          t[i + 2].text != "PolicyKind")
+        continue;
+      // Skip the underlying-type clause; a `;` first means a forward
+      // declaration (core/sweep.h carries one), not the definition.
+      std::size_t j = i + 3;
+      while (j < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+      if (j >= t.size() || t[j].text != "{") continue;
+      bool expect_name = true;
+      for (++j; j < t.size() && t[j].text != "}"; ++j) {
+        if (expect_name && t[j].kind == TokKind::kIdent) {
+          enumerators.push_back({t[j].text, f.path, t[j].line});
+          expect_name = false;
+        } else if (t[j].text == ",") {
+          expect_name = true;
+        }
+      }
+    }
+  }
+  if (enumerators.empty()) return;
+
+  // Collect, from the body of every definition of `fn` in src/, the
+  // PolicyKind::kX enumerators it mentions — and for policy_name, the
+  // display string of each `case PolicyKind::kX: return "Name";`.
+  struct FnBody {
+    std::set<std::string> kinds;
+    std::map<std::string, std::string> display;  // kX -> "Name"
+  };
+  const auto collect = [&files](const char* fn) {
+    FnBody body;
+    for (const SourceFile& f : files) {
+      if (!starts_with(f.rel, "src/")) continue;
+      const Tokens& t = f.tokens;
+      for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind != TokKind::kIdent || t[i].text != fn || t[i + 1].text != "(")
+          continue;
+        // Balance the parameter list, then require an opening `{`: a `;`
+        // there is a declaration or a call site, not the definition.
+        std::size_t j = i + 1;
+        int parens = 0;
+        for (; j < t.size(); ++j) {
+          if (t[j].text == "(") ++parens;
+          else if (t[j].text == ")" && --parens == 0) { ++j; break; }
+        }
+        if (j >= t.size() || t[j].text != "{") continue;
+        int depth = 0;
+        for (; j < t.size(); ++j) {
+          if (t[j].text == "{") ++depth;
+          else if (t[j].text == "}") {
+            if (--depth == 0) break;
+          } else if (t[j].kind == TokKind::kIdent && t[j].text == "PolicyKind" &&
+                     j + 2 < t.size() && t[j + 1].text == "::" &&
+                     t[j + 2].kind == TokKind::kIdent) {
+            body.kinds.insert(t[j + 2].text);
+            if (j + 5 < t.size() && t[j + 3].text == ":" && t[j + 4].text == "return" &&
+                t[j + 5].kind == TokKind::kString)
+              body.display[t[j + 2].text] =
+                  t[j + 5].text.substr(1, t[j + 5].text.size() - 2);
+          }
+        }
+      }
+    }
+    return body;
+  };
+  const FnBody names = collect("policy_name");
+  const FnBody factory = collect("make_policy");
+
+  for (const Enumerator& e : enumerators) {
+    if (names.kinds.find(e.name) == names.kinds.end())
+      out->push_back({e.path, e.line, "policy-registry",
+                      "PolicyKind::" + e.name + " has no policy_name() case — every "
+                          "policy needs a display name"});
+    if (factory.kinds.find(e.name) == factory.kinds.end())
+      out->push_back({e.path, e.line, "policy-registry",
+                      "PolicyKind::" + e.name + " has no make_policy() case — the "
+                          "registry cannot construct it"});
+    const auto d = names.display.find(e.name);
+    if (d != names.display.end() &&
+        config.policy_docs.find(d->second) == std::string::npos)
+      out->push_back({e.path, e.line, "policy-registry",
+                      "policy \"" + d->second + "\" (PolicyKind::" + e.name +
+                          ") is not documented in the " + config.policy_docs_name +
+                          " policy table"});
+  }
+}
+
 // serve-hygiene (R11): request-handler code (Config::serve_paths — the serve
 // layer and the csq_serve binary) must degrade, never die, and never grow
 // the request queue outside the bounded admit gate:
@@ -1064,6 +1186,7 @@ std::vector<Finding> run_rules(std::vector<SourceFile>& files, const Config& con
   rule_error_docs(files, &cross);
   rule_fault_site_naming(files, &cross);
   rule_metric_naming(files, &cross);
+  rule_policy_registry(files, config, &cross);
   {
     std::vector<FileIndex> owned(files.size());
     std::vector<const FileIndex*> indexes(files.size(), nullptr);

@@ -39,6 +39,9 @@
 //   journal-hygiene    (R18) no direct file I/O in request-handler code
 //                           (durability goes through src/durable/); a
 //                           rename() publish in src/durable/ needs an fsync
+//   policy-registry    (R19) every sim PolicyKind enumerator must be wired
+//                           through policy_name(), make_policy() and the
+//                           docs/policies.md policy table
 //   suppression        (meta) malformed `csq-lint: allow(...)` comments
 //
 // Findings print as `file:line: [rule-id] message`. A finding on line L is
@@ -220,6 +223,13 @@ struct Config {
   // file whose bytes were never synced can publish a torn artifact after a
   // power failure).
   std::vector<std::string> journal_publish_paths = {"src/durable/"};
+  // policy-registry (R19): contents of the policy catalog (docs/policies.md),
+  // loaded by tools/lint/main.cc. Every PolicyKind enumerator's display name
+  // (the string policy_name() returns for it) must appear in this text; when
+  // it is empty (catalog missing) every policy is flagged as undocumented.
+  std::string policy_docs;
+  // Catalog file named in policy-registry findings.
+  std::string policy_docs_name = "docs/policies.md";
 };
 
 class IndexCache;  // tools/lint/index.h
